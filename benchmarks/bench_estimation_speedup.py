@@ -1,0 +1,35 @@
+"""§4.2 — model estimation vs full analysis speed (paper: 0.01 s vs 10 s)."""
+
+from benchmarks._common import shared_setup, sized, write_result
+from repro.experiments.speedup import estimation_speedup
+
+
+def test_estimation_speedup(benchmark):
+    setup = shared_setup()
+    result = benchmark.pedantic(
+        estimation_speedup,
+        args=(setup,),
+        kwargs={
+            "n_analysis": sized(10, 30),
+            "n_estimates": sized(2000, 10000),
+            "n_train": sized(100, 500),
+            "n_kernels": sized(5, 50),
+            "n_images": sized(2, 4),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        "estimation_speedup",
+        (
+            "Generic GF, per configuration:\n"
+            f"  full analysis (simulate + synthesise): "
+            f"{result.analysis_seconds_per_config * 1e3:9.2f} ms\n"
+            f"  model estimate:                        "
+            f"{result.estimate_seconds_per_config * 1e3:9.4f} ms\n"
+            f"  speed-up: {result.speedup:,.0f}x "
+            "(paper reports ~1000x: 10 s vs 0.01 s)"
+        ),
+    )
+    # the paper's three-orders-of-magnitude claim
+    assert result.speedup > 1000

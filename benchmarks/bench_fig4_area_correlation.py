@@ -1,0 +1,59 @@
+"""Figure 4 — correlation of estimated vs real (synthesised) area."""
+
+import numpy as np
+
+from benchmarks._common import shared_setup, sized, write_result
+from repro.experiments.fig4_correlation import fig4_correlation
+from repro.utils.tabulate import format_table
+
+
+def _ascii_scatter(real, est, bins=18):
+    lo = min(real.min(), est.min())
+    hi = max(real.max(), est.max())
+    span = hi - lo or 1.0
+    grid = [[" "] * bins for _ in range(bins)]
+    for r, e in zip(real, est):
+        col = min(int((r - lo) / span * (bins - 1)), bins - 1)
+        row = min(int((e - lo) / span * (bins - 1)), bins - 1)
+        grid[bins - 1 - row][col] = "o"
+    for k in range(bins):  # the identity diagonal
+        r = bins - 1 - k
+        if grid[r][k] == " ":
+            grid[r][k] = "."
+    return "\n".join("".join(row) for row in grid)
+
+
+def test_fig4_area_correlation(benchmark):
+    setup = shared_setup()
+    series = benchmark.pedantic(
+        fig4_correlation,
+        args=(setup,),
+        kwargs={"n_train": sized(400, 1500), "n_test": sized(400, 1500)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [s.engine, f"{s.pearson_r:.4f}", f"{s.relative_rmse:.2%}"]
+        for s in series
+    ]
+    blocks = [
+        format_table(
+            ["Engine", "Pearson r", "relative RMSE"],
+            rows,
+            title="Fig. 4: estimated vs real area (held-out configs)",
+        )
+    ]
+    for s in series:
+        blocks.append(
+            f"\n{s.engine} (x: real area, y: estimated, '.': identity)\n"
+            + _ascii_scatter(s.real_area, s.estimated_area)
+        )
+    write_result("fig4_area_correlation", "\n".join(blocks))
+
+    by_name = {s.engine: s for s in series}
+    # the learned forest tracks real area more tightly than the naive sum
+    assert (
+        by_name["Random Forest"].relative_rmse
+        < by_name["Naive model"].relative_rmse
+    )
+    assert by_name["Random Forest"].pearson_r > 0.9

@@ -1,0 +1,28 @@
+"""Table 1 — the number of operations in target accelerators."""
+
+from benchmarks._common import write_result
+from repro.experiments.table1_operations import (
+    PAPER_TABLE1,
+    TABLE1_COLUMNS,
+    table1_rows,
+)
+from repro.utils.tabulate import format_table
+
+
+def test_table1_operations(benchmark):
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    headers = ["Problem"] + [
+        f"{kind}{width}" for kind, width in TABLE1_COLUMNS
+    ] + ["Total", "Paper"]
+    table_rows = [
+        [r["problem"], *r["counts"], r["total"],
+         "match" if r["matches_paper"] else "MISMATCH"]
+        for r in rows
+    ]
+    write_result(
+        "table1_operations",
+        format_table(headers, table_rows,
+                     title="Table 1: operations per accelerator"),
+    )
+    assert all(r["matches_paper"] for r in rows)
+    assert [r["total"] for r in rows] == [5, 11, 17]

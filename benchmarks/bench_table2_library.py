@@ -1,0 +1,27 @@
+"""Table 2 — approximate circuits included in the library."""
+
+from benchmarks._common import shared_setup, write_result
+from repro.experiments.table2_library import table2_counts
+from repro.utils.tabulate import format_table
+
+
+def test_table2_library(benchmark):
+    setup = shared_setup()
+    counts = benchmark.pedantic(
+        table2_counts, args=(setup.library,), rounds=1, iterations=1
+    )
+    rows = [
+        [f"{kind} {width}-bit", data["generated"], data["paper"],
+         f"{data['fraction']:.1%}"]
+        for (kind, width), data in counts.items()
+    ]
+    write_result(
+        "table2_library",
+        format_table(
+            ["Operation", "# generated", "# paper", "fraction"],
+            rows,
+            title="Table 2: library size per operation "
+                  "(generated at the run's scale vs paper)",
+        ),
+    )
+    assert all(d["generated"] > 0 for d in counts.values())

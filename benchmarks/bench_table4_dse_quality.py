@@ -1,0 +1,57 @@
+"""Table 4 — front distance of the proposed algorithm vs random sampling."""
+
+from benchmarks._common import shared_setup, sized, write_result
+from repro.experiments.table4_dse import table4_distances
+from repro.utils.tabulate import format_table
+
+
+def test_table4_dse_quality(benchmark):
+    setup = shared_setup()
+    budgets = (
+        (10**3, 10**4, 10**5) if sized(0, 1) else (10**3, 10**4)
+    )
+    result = benchmark.pedantic(
+        table4_distances,
+        args=(setup,),
+        kwargs={
+            "budgets": budgets,
+            "n_train": sized(300, 1500),
+            "n_test": sized(150, 1500),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            r.algorithm,
+            f"{r.evaluations:.0e}",
+            r.pareto_size,
+            f"{r.to_optimal_avg:.5f}",
+            f"{r.to_optimal_max:.5f}",
+            f"{r.from_optimal_avg:.5f}",
+            f"{r.from_optimal_max:.5f}",
+        ]
+        for r in result.rows
+    ]
+    write_result(
+        "table4_dse_quality",
+        format_table(
+            ["Algorithm", "#eval", "#Pareto", "to avg", "to max",
+             "from avg", "from max"],
+            rows,
+            title=(
+                "Table 4: distance to the optimal Pareto front "
+                f"(optimal: {result.optimal_size} configs out of "
+                f"{result.optimal_evaluations:.3g})"
+            ),
+        ),
+    )
+
+    by_key = {(r.algorithm, r.evaluations): r for r in result.rows}
+    for budget in budgets[:2]:
+        proposed = by_key[("Proposed", budget)]
+        sampled = by_key[("Random sampling", budget)]
+        # paper shape: the heuristic finds more front members and misses
+        # less of the optimal front than random sampling
+        assert proposed.pareto_size > sampled.pareto_size
+        assert proposed.from_optimal_avg < sampled.from_optimal_avg

@@ -1,0 +1,57 @@
+"""Table 5 — design-space size after each methodology step."""
+
+from benchmarks._common import shared_setup, sized, write_result
+from repro.core.pipeline import AutoAxConfig
+from repro.experiments.table5_space import default_cases, table5_sizes
+from repro.utils.tabulate import format_table
+
+
+def test_table5_space_reduction(benchmark):
+    setup = shared_setup()
+    config = AutoAxConfig(
+        n_train=sized(200, 4000),
+        n_test=sized(100, 1000),
+        max_evaluations=sized(20_000, 10**6),
+        seed=setup.seed,
+    )
+    cases = default_cases(
+        setup,
+        n_kernels=sized(5, 50),
+        n_gf_images=sized(2, 4),
+    )
+    rows = benchmark.pedantic(
+        table5_sizes,
+        args=(setup,),
+        kwargs={"config": config, "cases": cases},
+        rounds=1,
+        iterations=1,
+    )
+    table = [
+        [
+            r.problem,
+            f"{r.all_possible:.2e}",
+            f"{r.all_possible_paper_scale:.2e}",
+            f"{r.after_preprocessing:.2e}",
+            r.pseudo_pareto,
+            r.final_pareto,
+        ]
+        for r in rows
+    ]
+    write_result(
+        "table5_space_reduction",
+        format_table(
+            ["Application", "all possible", "(paper-scale lib)",
+             "after preprocessing", "pseudo Pareto", "final Pareto"],
+            table,
+            title="Table 5: design-space size after each step",
+        ),
+    )
+
+    for r in rows:
+        # each step shrinks the candidate set by orders of magnitude
+        assert r.all_possible / r.after_preprocessing > 10
+        assert r.after_preprocessing / r.pseudo_pareto > 10
+        assert r.final_pareto <= r.pseudo_pareto
+    # op-count ordering carries over to space sizes
+    assert rows[0].all_possible < rows[1].all_possible
+    assert rows[1].all_possible < rows[2].all_possible

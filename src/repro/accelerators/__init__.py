@@ -1,0 +1,31 @@
+"""Accelerator models: dataflow IR, software simulation and profiling.
+
+Each case-study accelerator exists in two coupled views, as the paper
+requires: a *software model* (the dataflow graph evaluated with pluggable
+operation implementations, used for QoR analysis) and a *hardware model*
+(the same graph lowered to a composed gate netlist, used for synthesis).
+"""
+
+from repro.accelerators.graph import DataflowGraph, Node, NodeKind
+from repro.accelerators.base import ImageAccelerator, OpSlot
+from repro.accelerators.profiler import OperandProfile, profile_accelerator
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.accelerators.gaussian_fixed import FixedGaussianFilter
+from repro.accelerators.gaussian_generic import (
+    GenericGaussianFilter,
+    gaussian_kernel_weights,
+)
+
+__all__ = [
+    "DataflowGraph",
+    "Node",
+    "NodeKind",
+    "ImageAccelerator",
+    "OpSlot",
+    "OperandProfile",
+    "profile_accelerator",
+    "SobelEdgeDetector",
+    "FixedGaussianFilter",
+    "GenericGaussianFilter",
+    "gaussian_kernel_weights",
+]

@@ -1,0 +1,58 @@
+"""Gaussian filter with fixed coefficients — paper Fig. 2b.
+
+The 3x3 kernel (w = 3, sigma = 2) is quantised to ``[[12, 15, 12],
+[15, 20, 15], [12, 15, 12]] / 128``.  Because the coefficients are
+constants, the constant multiplications are realised multiplier-lessly
+(MCM) with shifts and adds, as the paper obtains from SPIRAL:
+
+* ``12 * s = (s << 3) + (s << 2)``  — one 16-bit adder
+* ``15 * s = (s << 4) - s``         — one 16-bit subtractor
+* ``20 * s = (s << 4) + (s << 2)``  — one 16-bit adder
+
+yielding exactly the Table 1 inventory: four 8-bit adders, two 9-bit
+adders, four 16-bit adders and one 16-bit subtractor (11 operations).
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.base import ImageAccelerator
+from repro.accelerators.graph import DataflowGraph, NodeKind
+
+#: The quantised kernel (sums to 128, so the output shift is 7).
+KERNEL = ((12, 15, 12), (15, 20, 15), (12, 15, 12))
+
+
+class FixedGaussianFilter(ImageAccelerator):
+    """3x3 Gaussian smoothing filter with constant MCM coefficients."""
+
+    name = "fixed_gf"
+
+    def _build_graph(self) -> DataflowGraph:
+        g = DataflowGraph(self.name)
+        for k in range(9):
+            g.add_input(f"x{k}", 8)
+        # Symmetric pixel groups: corners (weight 12) and edges (weight 15).
+        g.add_op("add_c1", NodeKind.ADD, 8, "x0", "x2")
+        g.add_op("add_c2", NodeKind.ADD, 8, "x6", "x8")
+        g.add_op("add_e1", NodeKind.ADD, 8, "x1", "x7")
+        g.add_op("add_e2", NodeKind.ADD, 8, "x3", "x5")
+        g.add_op("add_c", NodeKind.ADD, 9, "add_c1", "add_c2")
+        g.add_op("add_e", NodeKind.ADD, 9, "add_e1", "add_e2")
+        # MCM: 12 * corners.
+        g.add_shl("c_shl3", "add_c", 3)
+        g.add_shl("c_shl2", "add_c", 2)
+        g.add_op("mcm12", NodeKind.ADD, 16, "c_shl3", "c_shl2")
+        # MCM: 15 * edges.
+        g.add_shl("e_shl4", "add_e", 4)
+        g.add_op("mcm15", NodeKind.SUB, 16, "e_shl4", "add_e")
+        # MCM: 20 * centre.
+        g.add_shl("m_shl4", "x4", 4)
+        g.add_shl("m_shl2", "x4", 2)
+        g.add_op("mcm20", NodeKind.ADD, 16, "m_shl4", "m_shl2")
+        # Accumulate and normalise.
+        g.add_op("acc1", NodeKind.ADD, 16, "mcm12", "mcm15")
+        g.add_op("acc2", NodeKind.ADD, 16, "acc1", "mcm20")
+        g.add_shr("norm", "acc2", 7)
+        g.add_clip("out", "norm", 0, 255)
+        g.set_output("out")
+        return g

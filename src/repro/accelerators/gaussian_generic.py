@@ -1,0 +1,98 @@
+"""Generic Gaussian filter — a 3x3 convolution with runtime coefficients.
+
+Nine 8-bit multipliers (pixel x coefficient) feed a tree of eight 16-bit
+adders (Table 1: 17 operations).  Coefficients are 8-bit weights that sum
+to 256, so the accumulated value fits 16 bits and the output shift is 8.
+
+QoR follows the paper's protocol: the filter is simulated for many
+Gaussian kernels (w = 3, sigma in [0.3, 0.8]) and the SSIM is averaged
+over all (kernel, image) pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.accelerators.base import ImageAccelerator
+from repro.accelerators.graph import DataflowGraph, NodeKind
+
+#: Total integer weight of every quantised kernel (output shift is 8).
+KERNEL_SUM = 256
+
+
+def gaussian_kernel_weights(sigma: float) -> Tuple[int, ...]:
+    """3x3 Gaussian kernel quantised to integers summing to 256.
+
+    Returns the nine weights row-major.  Raises for non-positive sigma.
+    """
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    values = []
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            values.append(math.exp(-(dr * dr + dc * dc) / (2 * sigma**2)))
+    total = sum(values)
+    weights = [int(round(v / total * KERNEL_SUM)) for v in values]
+    # Fix rounding drift on the centre tap so the weights sum exactly.
+    weights[4] += KERNEL_SUM - sum(weights)
+    if weights[4] < 0 or weights[4] > 255:
+        raise ValueError(f"sigma={sigma} yields an unencodable centre tap")
+    return tuple(weights)
+
+
+def kernel_sweep(
+    count: int = 50, low: float = 0.3, high: float = 0.8
+) -> List[Tuple[int, ...]]:
+    """The paper's kernel set: ``count`` sigmas evenly spread in [low, high]."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if count == 1:
+        sigmas = [0.5 * (low + high)]
+    else:
+        step = (high - low) / (count - 1)
+        sigmas = [low + i * step for i in range(count)]
+    return [gaussian_kernel_weights(s) for s in sigmas]
+
+
+class GenericGaussianFilter(ImageAccelerator):
+    """3x3 convolution accelerator with coefficient inputs ``w0..w8``."""
+
+    name = "generic_gf"
+
+    #: default coefficients used when a simulation passes no ``extra``
+    DEFAULT_SIGMA = 0.5
+
+    def _build_graph(self) -> DataflowGraph:
+        g = DataflowGraph(self.name)
+        for k in range(9):
+            g.add_input(f"x{k}", 8)
+        for k in range(9):
+            g.add_input(f"w{k}", 8)
+        for k in range(9):
+            g.add_op(f"mul{k}", NodeKind.MUL, 8, f"w{k}", f"x{k}")
+        g.add_op("sum1", NodeKind.ADD, 16, "mul0", "mul1")
+        g.add_op("sum2", NodeKind.ADD, 16, "mul2", "mul3")
+        g.add_op("sum3", NodeKind.ADD, 16, "mul4", "mul5")
+        g.add_op("sum4", NodeKind.ADD, 16, "mul6", "mul7")
+        g.add_op("sum5", NodeKind.ADD, 16, "sum1", "sum2")
+        g.add_op("sum6", NodeKind.ADD, 16, "sum3", "sum4")
+        g.add_op("sum7", NodeKind.ADD, 16, "sum5", "sum6")
+        g.add_op("sum8", NodeKind.ADD, 16, "sum7", "mul8")
+        g.add_shr("norm", "sum8", 8)
+        g.add_clip("out", "norm", 0, 255)
+        g.set_output("out")
+        return g
+
+    def extra_inputs(self) -> Dict[str, int]:
+        weights = gaussian_kernel_weights(self.DEFAULT_SIGMA)
+        return {f"w{k}": weights[k] for k in range(9)}
+
+    @staticmethod
+    def kernel_extra(weights: Tuple[int, ...]) -> Dict[str, int]:
+        """Build the ``extra`` input dict for one kernel."""
+        if len(weights) != 9:
+            raise ValueError("a 3x3 kernel needs nine weights")
+        return {f"w{k}": int(weights[k]) for k in range(9)}

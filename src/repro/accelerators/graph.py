@@ -1,0 +1,208 @@
+"""Dataflow-graph IR for accelerators.
+
+Nodes are primary inputs, constants, *approximable* arithmetic operations
+(add/sub/mul at a declared operand width) and free wiring operators
+(shifts, absolute value, clipping).  Evaluation is vectorised: node values
+are numpy int64 arrays.
+
+The arithmetic op nodes are the replacement points of the methodology: the
+evaluator takes an *assignment* mapping op-node names to implementation
+callables ``f(a, b) -> array`` (an exact op, or an approximate component's
+LUT/evaluate).  Nodes not present in the assignment use the exact
+operation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AcceleratorError
+from repro.utils.bitops import bit_mask
+
+OpImpl = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+class NodeKind(enum.Enum):
+    INPUT = "input"
+    CONST = "const"
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    SHL = "shl"
+    SHR = "shr"
+    ABS = "abs"
+    CLIP = "clip"
+
+
+#: Node kinds that can be replaced by approximate library components.
+APPROXIMABLE = (NodeKind.ADD, NodeKind.SUB, NodeKind.MUL)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One dataflow node; ``attrs`` hold kind-specific parameters."""
+
+    name: str
+    kind: NodeKind
+    operands: Tuple[str, ...] = ()
+    width: int = 0  # operand width for approximable ops
+    attrs: Dict[str, int] = field(default_factory=dict)
+
+
+class DataflowGraph:
+    """A DAG of named nodes with a single output."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._nodes: Dict[str, Node] = {}
+        self._order: List[str] = []
+        self._output: Optional[str] = None
+
+    # -- construction -----------------------------------------------------
+
+    def _add(self, node: Node) -> str:
+        if node.name in self._nodes:
+            raise AcceleratorError(f"duplicate node name {node.name!r}")
+        for dep in node.operands:
+            if dep not in self._nodes:
+                raise AcceleratorError(
+                    f"node {node.name!r} references unknown node {dep!r}"
+                )
+        self._nodes[node.name] = node
+        self._order.append(node.name)
+        return node.name
+
+    def add_input(self, name: str, width: int) -> str:
+        return self._add(Node(name, NodeKind.INPUT, width=width))
+
+    def add_const(self, name: str, value: int, width: int) -> str:
+        return self._add(
+            Node(name, NodeKind.CONST, width=width, attrs={"value": value})
+        )
+
+    def add_op(self, name: str, kind: NodeKind, width: int, a: str, b: str
+               ) -> str:
+        if kind not in APPROXIMABLE:
+            raise AcceleratorError(f"{kind} is not an arithmetic op kind")
+        return self._add(Node(name, kind, (a, b), width=width))
+
+    def add_shl(self, name: str, x: str, amount: int) -> str:
+        return self._add(
+            Node(name, NodeKind.SHL, (x,), attrs={"amount": amount})
+        )
+
+    def add_shr(self, name: str, x: str, amount: int) -> str:
+        return self._add(
+            Node(name, NodeKind.SHR, (x,), attrs={"amount": amount})
+        )
+
+    def add_abs(self, name: str, x: str) -> str:
+        return self._add(Node(name, NodeKind.ABS, (x,)))
+
+    def add_clip(self, name: str, x: str, low: int, high: int) -> str:
+        return self._add(
+            Node(name, NodeKind.CLIP, (x,), attrs={"low": low, "high": high})
+        )
+
+    def set_output(self, name: str) -> None:
+        if name not in self._nodes:
+            raise AcceleratorError(f"unknown output node {name!r}")
+        self._output = name
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def output(self) -> str:
+        if self._output is None:
+            raise AcceleratorError("graph output has not been set")
+        return self._output
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def nodes(self) -> List[Node]:
+        """All nodes in insertion (topological) order."""
+        return [self._nodes[n] for n in self._order]
+
+    def inputs(self) -> List[Node]:
+        return [n for n in self.nodes() if n.kind is NodeKind.INPUT]
+
+    def approximable_ops(self) -> List[Node]:
+        """Arithmetic op nodes in insertion order."""
+        return [n for n in self.nodes() if n.kind in APPROXIMABLE]
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(
+        self,
+        input_values: Dict[str, np.ndarray],
+        assignment: Optional[Dict[str, OpImpl]] = None,
+        capture: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> np.ndarray:
+        """Evaluate the graph on vector inputs.
+
+        ``assignment`` overrides the implementation of arithmetic op nodes
+        by name; omitted ops are exact.  If ``capture`` is a dict, it is
+        filled with the operand pair of every arithmetic op (used by the
+        profiler).
+        """
+        assignment = assignment or {}
+        values: Dict[str, np.ndarray] = {}
+        for node in self.nodes():
+            if node.kind is NodeKind.INPUT:
+                if node.name not in input_values:
+                    raise AcceleratorError(
+                        f"missing value for input {node.name!r}"
+                    )
+                values[node.name] = (
+                    np.asarray(input_values[node.name], dtype=np.int64)
+                    & bit_mask(node.width)
+                )
+            elif node.kind is NodeKind.CONST:
+                values[node.name] = np.int64(node.attrs["value"])
+            elif node.kind in APPROXIMABLE:
+                a = values[node.operands[0]]
+                b = values[node.operands[1]]
+                if capture is not None:
+                    mask = bit_mask(node.width)
+                    capture[node.name] = (a & mask, b & mask)
+                impl = assignment.get(node.name)
+                if impl is None:
+                    if node.kind is NodeKind.ADD:
+                        out = (a & bit_mask(node.width)) + (
+                            b & bit_mask(node.width)
+                        )
+                    elif node.kind is NodeKind.SUB:
+                        out = (a & bit_mask(node.width)) - (
+                            b & bit_mask(node.width)
+                        )
+                    else:
+                        out = (a & bit_mask(node.width)) * (
+                            b & bit_mask(node.width)
+                        )
+                else:
+                    out = impl(a, b)
+                values[node.name] = out
+            elif node.kind is NodeKind.SHL:
+                values[node.name] = values[node.operands[0]] << node.attrs[
+                    "amount"
+                ]
+            elif node.kind is NodeKind.SHR:
+                values[node.name] = values[node.operands[0]] >> node.attrs[
+                    "amount"
+                ]
+            elif node.kind is NodeKind.ABS:
+                values[node.name] = np.abs(values[node.operands[0]])
+            elif node.kind is NodeKind.CLIP:
+                values[node.name] = np.clip(
+                    values[node.operands[0]],
+                    node.attrs["low"],
+                    node.attrs["high"],
+                )
+            else:  # pragma: no cover - exhaustive
+                raise AcceleratorError(f"unhandled node kind {node.kind}")
+        return values[self.output]

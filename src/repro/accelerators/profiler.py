@@ -1,0 +1,128 @@
+"""Operand profiling — methodology Step 1's data collection.
+
+Runs the accurate accelerator over benchmark data and records, for every
+replaceable operation, the empirical joint distribution of its operand
+pair: a dense probability mass function for narrow operands (the paper's
+Fig. 3) and a subsampled list of raw operand pairs for wide ones (used to
+estimate WMED by empirical expectation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerators.base import ImageAccelerator
+from repro.library.component import OpSignature
+from repro.utils.rng import RngLike, ensure_rng
+
+#: Widest operands for which a dense PMF array is kept (2**20 bins).
+DENSE_PMF_MAX_WIDTH = 10
+
+
+@dataclass
+class OperandProfile:
+    """Empirical operand distribution of one operation."""
+
+    op_name: str
+    signature: OpSignature
+    total_count: int
+    pmf: Optional[np.ndarray]  # flat, length 4**width, sums to 1 (or None)
+    sample_a: np.ndarray
+    sample_b: np.ndarray
+
+    @property
+    def width(self) -> int:
+        return self.signature[1]
+
+    def pmf_2d(self) -> np.ndarray:
+        """The dense PMF as a (2**w, 2**w) matrix (operand a rows)."""
+        if self.pmf is None:
+            raise ValueError(
+                f"{self.op_name}: no dense PMF at width {self.width}"
+            )
+        size = 1 << self.width
+        return self.pmf.reshape(size, size)
+
+
+def profile_accelerator(
+    accelerator: ImageAccelerator,
+    images: Sequence[np.ndarray],
+    scenarios: Optional[Sequence[Dict[str, int]]] = None,
+    max_samples: int = 1 << 16,
+    rng: RngLike = 0,
+) -> Dict[str, OperandProfile]:
+    """Profile every replaceable op of ``accelerator`` on ``images``.
+
+    ``scenarios`` lists ``extra``-input dicts (e.g. kernel coefficients for
+    the generic Gaussian filter); ``None`` runs each image once with the
+    accelerator defaults.
+    """
+    if not images:
+        raise ValueError("need at least one benchmark image")
+    gen = ensure_rng(rng)
+    runs = scenarios if scenarios else [None]
+
+    slots = accelerator.op_slots()
+    hists: Dict[str, np.ndarray] = {}
+    samples: Dict[str, List[Tuple[np.ndarray, np.ndarray]]] = {
+        s.name: [] for s in slots
+    }
+    counts: Dict[str, int] = {s.name: 0 for s in slots}
+    widths = {s.name: s.signature[1] for s in slots}
+
+    for slot in slots:
+        if widths[slot.name] <= DENSE_PMF_MAX_WIDTH:
+            hists[slot.name] = np.zeros(
+                1 << (2 * widths[slot.name]), dtype=np.float64
+            )
+
+    per_run_quota = max(1, max_samples // (len(images) * len(runs)))
+    for image in images:
+        for extra in runs:
+            capture: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+            accelerator.compute(image, assignment=None, extra=extra,
+                                capture=capture)
+            for name, (a, b) in capture.items():
+                if name not in counts:
+                    continue
+                a = a.reshape(-1)
+                b = b.reshape(-1)
+                counts[name] += a.size
+                if name in hists:
+                    w = widths[name]
+                    flat = (a << w) | b
+                    hists[name] += np.bincount(
+                        flat, minlength=1 << (2 * w)
+                    ).astype(np.float64)
+                take = min(per_run_quota, a.size)
+                if take < a.size:
+                    idx = gen.choice(a.size, size=take, replace=False)
+                    samples[name].append((a[idx], b[idx]))
+                else:
+                    samples[name].append((a, b))
+
+    profiles: Dict[str, OperandProfile] = {}
+    for slot in slots:
+        name = slot.name
+        pmf = None
+        if name in hists:
+            total = hists[name].sum()
+            pmf = hists[name] / total if total > 0 else hists[name]
+        sample_a = np.concatenate([a for a, _ in samples[name]])
+        sample_b = np.concatenate([b for _, b in samples[name]])
+        if sample_a.size > max_samples:
+            idx = gen.choice(sample_a.size, size=max_samples, replace=False)
+            sample_a = sample_a[idx]
+            sample_b = sample_b[idx]
+        profiles[name] = OperandProfile(
+            op_name=name,
+            signature=slot.signature,
+            total_count=counts[name],
+            pmf=pmf,
+            sample_a=sample_a,
+            sample_b=sample_b,
+        )
+    return profiles

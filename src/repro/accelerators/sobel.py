@@ -1,0 +1,41 @@
+"""Sobel edge detector (vertical edges) — paper Fig. 2a.
+
+Five replaceable operations (Table 1): two 8-bit adders, two 9-bit adders
+and one 10-bit subtractor.  The x2 weights of the centre row are free
+shifts; the output is the saturated magnitude of the gradient.
+
+::
+
+    Gx = (x2 + 2*x5 + x8) - (x0 + 2*x3 + x6)
+    out = clip(|Gx|, 0, 255)
+"""
+
+from __future__ import annotations
+
+from repro.accelerators.base import ImageAccelerator
+from repro.accelerators.graph import DataflowGraph, NodeKind
+
+
+class SobelEdgeDetector(ImageAccelerator):
+    """Vertical-edge Sobel operator on a 3x3 window."""
+
+    name = "sobel_ed"
+
+    def _build_graph(self) -> DataflowGraph:
+        g = DataflowGraph(self.name)
+        for k in range(9):
+            g.add_input(f"x{k}", 8)
+        # Right column (positive weights).
+        g.add_op("add1", NodeKind.ADD, 8, "x2", "x8")
+        g.add_shl("shl5", "x5", 1)
+        g.add_op("add2", NodeKind.ADD, 9, "add1", "shl5")
+        # Left column (negative weights).
+        g.add_op("add3", NodeKind.ADD, 8, "x0", "x6")
+        g.add_shl("shl3", "x3", 1)
+        g.add_op("add4", NodeKind.ADD, 9, "add3", "shl3")
+        # Gradient and magnitude.
+        g.add_op("sub", NodeKind.SUB, 10, "add2", "add4")
+        g.add_abs("mag", "sub")
+        g.add_clip("out", "mag", 0, 255)
+        g.set_output("out")
+        return g

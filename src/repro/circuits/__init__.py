@@ -1,0 +1,66 @@
+"""Behavioural models of exact and approximate arithmetic circuits.
+
+Every circuit is a bit-accurate, vectorised functional model of a hardware
+implementation: it accepts numpy integer arrays (or Python ints) and returns
+the value the gate-level circuit would produce.  Families implemented here
+mirror the techniques behind the libraries the paper draws from
+(EvoApprox8b, QuAd adders, GeAr adders, broken-array multipliers) plus the
+classic approximate multiplier constructions (partial-product masking,
+perforation, Kulkarni 2x2 recursion, Mitchell logarithm, DRUM).
+"""
+
+from repro.circuits.base import (
+    ArithmeticCircuit,
+    ExactAdder,
+    ExactMultiplier,
+    ExactSubtractor,
+    Operation,
+)
+from repro.circuits.adders import (
+    AlmostCorrectAdder,
+    GeArAdder,
+    LowerOrAdder,
+    QuAdAdder,
+    TruncatedAdder,
+)
+from repro.circuits.subtractors import (
+    BlockSubtractor,
+    TruncatedSubtractor,
+)
+from repro.circuits.multipliers import (
+    BrokenArrayMultiplier,
+    DrumMultiplier,
+    MaskedMultiplier,
+    MitchellMultiplier,
+    PerforatedMultiplier,
+    RecursiveApproxMultiplier,
+    TruncatedMultiplier,
+)
+from repro.circuits.characterization import ErrorStats, characterize
+from repro.circuits.luts import build_lut, lut_index
+
+__all__ = [
+    "ArithmeticCircuit",
+    "Operation",
+    "ExactAdder",
+    "ExactSubtractor",
+    "ExactMultiplier",
+    "TruncatedAdder",
+    "LowerOrAdder",
+    "AlmostCorrectAdder",
+    "GeArAdder",
+    "QuAdAdder",
+    "TruncatedSubtractor",
+    "BlockSubtractor",
+    "MaskedMultiplier",
+    "TruncatedMultiplier",
+    "BrokenArrayMultiplier",
+    "PerforatedMultiplier",
+    "RecursiveApproxMultiplier",
+    "MitchellMultiplier",
+    "DrumMultiplier",
+    "ErrorStats",
+    "characterize",
+    "build_lut",
+    "lut_index",
+]

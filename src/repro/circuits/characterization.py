@@ -1,0 +1,95 @@
+"""Error characterisation of approximate circuits.
+
+Every library component is "fully characterised" (paper §1) by standard
+error metrics computed against the exact operation:
+
+* ``med`` — mean error distance, E[|approx - exact|]
+* ``wce`` — worst-case error, max |approx - exact|
+* ``mre`` — mean relative error distance, E[|approx - exact| / max(1, |exact|)]
+* ``error_prob`` — probability of producing any wrong output
+* ``error_var`` — variance of the signed error
+* ``mse`` — mean squared error
+
+For operand widths up to :data:`~repro.circuits.luts.MAX_LUT_WIDTH` the
+metrics are exhaustive over all input pairs (uniform input distribution);
+wider circuits are characterised on a seeded uniform random sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.base import ArithmeticCircuit
+from repro.circuits.luts import MAX_LUT_WIDTH, build_exact_lut, build_lut
+from repro.utils.bitops import bit_mask
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary error metrics of one approximate circuit."""
+
+    med: float
+    wce: int
+    mre: float
+    error_prob: float
+    error_var: float
+    mse: float
+
+    def is_exact(self) -> bool:
+        """True when no evaluated input produced an error."""
+        return self.wce == 0
+
+
+def _stats_from_outputs(
+    approx: np.ndarray, exact: np.ndarray
+) -> ErrorStats:
+    signed_err = (approx - exact).astype(np.float64)
+    abs_err = np.abs(signed_err)
+    denom = np.maximum(np.abs(exact).astype(np.float64), 1.0)
+    return ErrorStats(
+        med=float(abs_err.mean()),
+        wce=int(abs_err.max()),
+        mre=float((abs_err / denom).mean()),
+        error_prob=float((abs_err > 0).mean()),
+        error_var=float(signed_err.var()),
+        mse=float((signed_err**2).mean()),
+    )
+
+
+def sample_operands(
+    width: int, count: int, rng: RngLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform random operand pairs for a ``width``-bit circuit."""
+    gen = ensure_rng(rng)
+    high = bit_mask(width) + 1
+    a = gen.integers(0, high, size=count, dtype=np.int64)
+    b = gen.integers(0, high, size=count, dtype=np.int64)
+    return a, b
+
+
+def characterize(
+    circuit: ArithmeticCircuit,
+    sample_size: int = 1 << 15,
+    rng: RngLike = 0,
+    exhaustive: Optional[bool] = None,
+) -> ErrorStats:
+    """Compute :class:`ErrorStats` for ``circuit``.
+
+    ``exhaustive=None`` (default) chooses exhaustive evaluation whenever the
+    operand width permits a LUT, falling back to ``sample_size`` seeded
+    uniform samples otherwise.
+    """
+    if exhaustive is None:
+        exhaustive = circuit.width <= MAX_LUT_WIDTH
+    if exhaustive:
+        approx = build_lut(circuit)
+        exact = build_exact_lut(circuit)
+    else:
+        a, b = sample_operands(circuit.width, sample_size, rng)
+        approx = np.asarray(circuit.evaluate(a, b), dtype=np.int64)
+        exact = np.asarray(circuit.exact(a, b), dtype=np.int64)
+    return _stats_from_outputs(approx, exact)

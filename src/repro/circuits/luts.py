@@ -1,0 +1,53 @@
+"""Lookup-table compilation for small-width circuits.
+
+Accelerator simulation evaluates each operation on ~10**5 pixel values per
+image.  For operand widths up to :data:`MAX_LUT_WIDTH` bits we pre-compute
+the full truth table once per circuit; the hot path then reduces to a numpy
+gather.  The flat index of operand pair ``(a, b)`` is ``(a << n) | b``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.base import ArithmeticCircuit
+from repro.errors import CircuitError
+from repro.utils.bitops import bit_mask
+
+#: Widest operands for which an exhaustive LUT is reasonable (2**20 entries).
+MAX_LUT_WIDTH = 10
+
+
+def lut_index(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
+    """Flat LUT index of operand pair ``(a, b)`` at the given width."""
+    mask = bit_mask(width)
+    return ((np.asarray(a, dtype=np.int64) & mask) << width) | (
+        np.asarray(b, dtype=np.int64) & mask
+    )
+
+
+def build_lut(circuit: ArithmeticCircuit) -> np.ndarray:
+    """Exhaustive output table of ``circuit`` (int64, length ``4**width``)."""
+    n = circuit.width
+    if n > MAX_LUT_WIDTH:
+        raise CircuitError(
+            f"LUT for {n}-bit operands would need {4**n} entries; "
+            f"widths above {MAX_LUT_WIDTH} must use evaluate()"
+        )
+    size = 1 << n
+    pairs = np.arange(size * size, dtype=np.int64)
+    a = pairs >> n
+    b = pairs & bit_mask(n)
+    return np.asarray(circuit.evaluate(a, b), dtype=np.int64)
+
+
+def build_exact_lut(circuit: ArithmeticCircuit) -> np.ndarray:
+    """Exhaustive table of the *exact* operation at the circuit's width."""
+    n = circuit.width
+    if n > MAX_LUT_WIDTH:
+        raise CircuitError(f"width {n} exceeds LUT limit {MAX_LUT_WIDTH}")
+    size = 1 << n
+    pairs = np.arange(size * size, dtype=np.int64)
+    a = pairs >> n
+    b = pairs & bit_mask(n)
+    return np.asarray(circuit.exact(a, b), dtype=np.int64)

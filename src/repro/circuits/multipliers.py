@@ -1,0 +1,284 @@
+"""Approximate multiplier families.
+
+* :class:`MaskedMultiplier` — general array multiplier whose partial-product
+  cells can be individually omitted; the base of the exact, broken-array,
+  perforated and truncated variants.
+* :class:`BrokenArrayMultiplier` (BAM) — cells below a vertical break line
+  are dropped for rows below the horizontal break line.
+* :class:`PerforatedMultiplier` — whole partial-product rows omitted.
+* :class:`TruncatedMultiplier` — operand truncation (low bits zeroed).
+* :class:`RecursiveApproxMultiplier` — Kulkarni-style recursive composition
+  of 2x2 blocks, any subset of which uses the approximate 2x2 cell
+  (``3*3 -> 7``); the 2**16 leaf subsets of the 8-bit instance supply the
+  bulk of the paper-scale multiplier library (Table 2 lists 29911).
+* :class:`MitchellMultiplier` — logarithmic multiplication with a truncated
+  mantissa.
+* :class:`DrumMultiplier` — dynamic-range unbiased multiplier (leading
+  ``k``-bit slices, LSB forced to one, exact small multiply, shift back).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.base import ArithmeticCircuit, Operation
+from repro.errors import CircuitError
+from repro.utils.bitops import bit_mask
+
+
+class MaskedMultiplier(ArithmeticCircuit):
+    """Array multiplier with a per-row column mask of kept partial products.
+
+    ``row_masks[i]`` is an integer bit mask over the bits of operand ``a``:
+    partial product ``a_j & b_i`` (weight ``i + j``) is generated only when
+    bit ``j`` of ``row_masks[i]`` is set.  The exact multiplier keeps all
+    ``n**2`` cells.
+    """
+
+    op = Operation.MUL
+
+    def __init__(self, width: int, row_masks: Sequence[int], name: str = ""):
+        row_masks = tuple(int(m) & bit_mask(width) for m in row_masks)
+        if len(row_masks) != width:
+            raise CircuitError(
+                f"need {width} row masks, got {len(row_masks)}"
+            )
+        if not name:
+            name = f"mul{width}_mask_" + "-".join(f"{m:x}" for m in row_masks)
+        super().__init__(width, name=name)
+        self.row_masks = row_masks
+
+    def is_exact(self) -> bool:
+        full = bit_mask(self.width)
+        return all(m == full for m in self.row_masks)
+
+    def params(self) -> Dict[str, object]:
+        return {"row_masks": list(self.row_masks)}
+
+    def kept_cells(self) -> int:
+        """Number of generated partial-product cells."""
+        return sum(bin(m).count("1") for m in self.row_masks)
+
+    def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        result = np.zeros_like(a)
+        for i, mask in enumerate(self.row_masks):
+            if mask == 0:
+                continue
+            row = (a & mask) * ((b >> i) & 1)
+            result = result + (row << i)
+        return result
+
+
+def _bam_row_masks(width: int, vbl: int, hbl: int) -> Tuple[int, ...]:
+    """Row masks for a BAM-style break-line multiplier.
+
+    Cell ``(i, j)`` is kept when its weight ``i + j`` reaches the vertical
+    break line or its row ``i`` lies at/above the horizontal break line:
+    ``(i + j) >= vbl or i >= hbl``.
+    """
+    masks = []
+    for i in range(width):
+        mask = 0
+        for j in range(width):
+            if (i + j) >= vbl or i >= hbl:
+                mask |= 1 << j
+        masks.append(mask)
+    return tuple(masks)
+
+
+class BrokenArrayMultiplier(MaskedMultiplier):
+    """BAM(vbl, hbl): break-line truncation of the carry-save array."""
+
+    def __init__(self, width: int, vbl: int, hbl: int):
+        if not 0 <= vbl <= 2 * width - 1:
+            raise CircuitError(f"vbl must be in [0, {2 * width - 1}], got {vbl}")
+        if not 0 <= hbl <= width:
+            raise CircuitError(f"hbl must be in [0, {width}], got {hbl}")
+        super().__init__(
+            width,
+            _bam_row_masks(width, vbl, hbl),
+            name=f"mul{width}_bam_v{vbl}h{hbl}",
+        )
+        self.vbl = int(vbl)
+        self.hbl = int(hbl)
+
+    def params(self) -> Dict[str, object]:
+        return {"vbl": self.vbl, "hbl": self.hbl}
+
+
+class PerforatedMultiplier(MaskedMultiplier):
+    """Partial-product perforation: the listed rows are omitted entirely."""
+
+    def __init__(self, width: int, omitted_rows: Iterable[int]):
+        omitted: FrozenSet[int] = frozenset(int(r) for r in omitted_rows)
+        if any(r < 0 or r >= width for r in omitted):
+            raise CircuitError(f"omitted rows out of range [0, {width})")
+        full = bit_mask(width)
+        masks = tuple(0 if i in omitted else full for i in range(width))
+        tag = "".join(str(r) for r in sorted(omitted)) or "none"
+        super().__init__(width, masks, name=f"mul{width}_perf_{tag}")
+        self.omitted_rows = omitted
+
+    def params(self) -> Dict[str, object]:
+        return {"omitted_rows": sorted(self.omitted_rows)}
+
+
+class TruncatedMultiplier(MaskedMultiplier):
+    """Operand truncation: low ``ta`` bits of ``a`` and ``tb`` of ``b`` drop."""
+
+    def __init__(self, width: int, trunc_a: int, trunc_b: int):
+        if not 0 <= trunc_a <= width or not 0 <= trunc_b <= width:
+            raise CircuitError("truncation amounts must be in [0, width]")
+        keep_a = bit_mask(width) & ~bit_mask(trunc_a)
+        masks = tuple(
+            keep_a if i >= trunc_b else 0 for i in range(width)
+        )
+        super().__init__(
+            width, masks, name=f"mul{width}_trunc_a{trunc_a}b{trunc_b}"
+        )
+        self.trunc_a = int(trunc_a)
+        self.trunc_b = int(trunc_b)
+
+    def params(self) -> Dict[str, object]:
+        return {"trunc_a": self.trunc_a, "trunc_b": self.trunc_b}
+
+
+class RecursiveApproxMultiplier(ArithmeticCircuit):
+    """Kulkarni-style recursive multiplier built from 2x2 blocks.
+
+    An ``n x n`` multiply (``n`` a power of two, ``n >= 2``) splits into
+    four ``n/2 x n/2`` multiplies combined exactly; the recursion bottoms
+    out at 2x2 blocks.  ``approx_leaves`` selects which of the
+    ``(n/2)**2`` leaf blocks use the approximate 2x2 cell, which computes
+    ``3 * 3 = 7`` (and is exact elsewhere).  Leaves are indexed by
+    ``(i, j)`` where leaf ``(i, j)`` multiplies bits ``[2j, 2j+2)`` of ``a``
+    with bits ``[2i, 2i+2)`` of ``b``, flattened as ``i * (n/2) + j``.
+    """
+
+    op = Operation.MUL
+
+    def __init__(self, width: int, approx_leaves: Iterable[int]):
+        if width < 2 or width & (width - 1):
+            raise CircuitError("width must be a power of two >= 2")
+        half = width // 2
+        leaves: FrozenSet[int] = frozenset(int(x) for x in approx_leaves)
+        if any(x < 0 or x >= half * half for x in leaves):
+            raise CircuitError(
+                f"leaf indices must be in [0, {half * half})"
+            )
+        tag = hex(sum(1 << x for x in leaves))[2:] if leaves else "0"
+        super().__init__(width, name=f"mul{width}_rec2x2_{tag}")
+        self.approx_leaves = leaves
+
+    def is_exact(self) -> bool:
+        return not self.approx_leaves
+
+    def params(self) -> Dict[str, object]:
+        return {"approx_leaves": sorted(self.approx_leaves)}
+
+    def _leaf(self, a2: np.ndarray, b2: np.ndarray, index: int) -> np.ndarray:
+        product = a2 * b2
+        if index in self.approx_leaves:
+            # The approximate 2x2 cell maps 3*3 to 7 (0b111 vs 0b1001).
+            product = np.where((a2 == 3) & (b2 == 3), 7, product)
+        return product
+
+    def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        half_leaves = self.width // 2
+        result = np.zeros_like(a)
+        for i in range(half_leaves):
+            b2 = (b >> (2 * i)) & 3
+            for j in range(half_leaves):
+                a2 = (a >> (2 * j)) & 3
+                index = i * half_leaves + j
+                result = result + (
+                    self._leaf(a2, b2, index) << (2 * (i + j))
+                )
+        return result
+
+
+def _msb_index(x: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised position of the most significant set bit (-1 for zero)."""
+    msb = np.full_like(x, -1)
+    for k in range(width):
+        msb = np.where((x >> k) & 1, k, msb)
+    return msb
+
+
+class MitchellMultiplier(ArithmeticCircuit):
+    """Mitchell's logarithmic multiplier with ``frac_bits`` mantissa bits.
+
+    Operands are approximated as ``2**k * (1 + m)`` with the mantissa ``m``
+    truncated to ``frac_bits`` fractional bits; logs are added and the
+    antilogarithm is taken with the standard linear approximation.  The
+    result is always <= the exact product (Mitchell underestimates).
+    """
+
+    op = Operation.MUL
+
+    def __init__(self, width: int, frac_bits: int):
+        if not 1 <= frac_bits <= 2 * width:
+            raise CircuitError(
+                f"frac_bits must be in [1, {2 * width}], got {frac_bits}"
+            )
+        super().__init__(width, name=f"mul{width}_mitchell_f{frac_bits}")
+        self.frac_bits = int(frac_bits)
+
+    def params(self) -> Dict[str, object]:
+        return {"frac_bits": self.frac_bits}
+
+    def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        f = self.frac_bits
+        ka = _msb_index(a, self.width)
+        kb = _msb_index(b, self.width)
+        safe_ka = np.maximum(ka, 0)
+        safe_kb = np.maximum(kb, 0)
+        # Fixed-point mantissas with f fractional bits, truncated.
+        frac_a = ((a - (1 << safe_ka).astype(np.int64)) << f) >> safe_ka
+        frac_b = ((b - (1 << safe_kb).astype(np.int64)) << f) >> safe_kb
+        log_sum = ((safe_ka + safe_kb) << f) + frac_a + frac_b
+        characteristic = log_sum >> f
+        mantissa = log_sum & bit_mask(f)
+        # Antilog: 2**c * (1 + m); carry in the mantissa sum already folded
+        # into the characteristic by the fixed-point addition above.
+        product = ((1 << f) + mantissa) << characteristic
+        product = product >> f
+        return np.where((ka < 0) | (kb < 0), 0, product)
+
+
+class DrumMultiplier(ArithmeticCircuit):
+    """DRUM(k): unbiased dynamic-range multiplier.
+
+    Takes the leading ``k``-bit slice of each operand (LSB of the slice
+    forced to 1 to de-bias truncation), multiplies the slices exactly and
+    shifts back.  Exact whenever both operands fit in ``k`` bits.
+    """
+
+    op = Operation.MUL
+
+    def __init__(self, width: int, k: int):
+        if not 2 <= k <= width:
+            raise CircuitError(f"k must be in [2, {width}], got {k}")
+        super().__init__(width, name=f"mul{width}_drum_k{k}")
+        self.k = int(k)
+
+    def is_exact(self) -> bool:
+        return self.k == self.width
+
+    def params(self) -> Dict[str, object]:
+        return {"k": self.k}
+
+    def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        k = self.k
+        ka = _msb_index(a, self.width)
+        kb = _msb_index(b, self.width)
+        shift_a = np.maximum(ka - (k - 1), 0)
+        shift_b = np.maximum(kb - (k - 1), 0)
+        slice_a = a >> shift_a
+        slice_b = b >> shift_b
+        # Force the slice LSB to one only when bits were actually dropped.
+        slice_a = np.where(shift_a > 0, slice_a | 1, slice_a)
+        slice_b = np.where(shift_b > 0, slice_b | 1, slice_b)
+        return (slice_a * slice_b) << (shift_a + shift_b)

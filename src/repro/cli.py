@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+
+* ``inventory`` — print the operation inventory of the case-study
+  accelerators (Table 1).
+* ``generate-library`` — build and characterise a component library and
+  save it as JSON.
+* ``profile`` — profile an accelerator on the synthetic benchmark set and
+  print per-operation operand statistics (Fig. 3 numbers).
+* ``run`` — execute the full autoAx pipeline and print (optionally save)
+  the final Pareto front.
+* ``export-verilog`` — lower an accelerator with exact components and
+  write structural Verilog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.accelerators.gaussian_fixed import FixedGaussianFilter
+from repro.accelerators.gaussian_generic import GenericGaussianFilter
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.utils.tabulate import format_table
+
+ACCELERATORS = {
+    "sobel": SobelEdgeDetector,
+    "fixed_gf": FixedGaussianFilter,
+    "generic_gf": GenericGaussianFilter,
+}
+
+
+def _add_accelerator_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--accelerator",
+        choices=sorted(ACCELERATORS),
+        default="sobel",
+        help="target accelerator (default: sobel)",
+    )
+
+
+def _cmd_inventory(args: argparse.Namespace) -> int:
+    from repro.experiments.table1_operations import (
+        TABLE1_COLUMNS,
+        table1_rows,
+    )
+
+    rows = table1_rows()
+    headers = ["Problem"] + [
+        f"{kind}{width}" for kind, width in TABLE1_COLUMNS
+    ] + ["Total"]
+    print(
+        format_table(
+            headers,
+            [[r["problem"], *r["counts"], r["total"]] for r in rows],
+        )
+    )
+    return 0
+
+
+def _cmd_generate_library(args: argparse.Namespace) -> int:
+    from repro.library.generation import generate_library, scaled_plan
+    from repro.library.io import save_library
+
+    plan = scaled_plan(args.scale, seed=args.seed)
+    print(f"generating {plan.total()} components...", file=sys.stderr)
+    library = generate_library(plan)
+    save_library(library, args.out)
+    print(f"wrote {len(library)} components to {args.out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.accelerators.profiler import profile_accelerator
+    from repro.imaging.datasets import benchmark_images
+
+    accelerator = ACCELERATORS[args.accelerator]()
+    images = benchmark_images(args.images)
+    profiles = profile_accelerator(accelerator, images, rng=args.seed)
+    rows = []
+    for name, profile in profiles.items():
+        rows.append(
+            [
+                name,
+                f"{profile.signature[0]}{profile.signature[1]}",
+                profile.total_count,
+                "dense" if profile.pmf is not None else "sampled",
+                profile.sample_a.size,
+            ]
+        )
+    print(
+        format_table(
+            ["op", "signature", "operand pairs", "PMF", "samples"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import AutoAx, AutoAxConfig
+    from repro.imaging.datasets import benchmark_images
+    from repro.library.generation import generate_library, scaled_plan
+    from repro.library.io import load_library
+
+    if args.library:
+        library = load_library(args.library)
+    else:
+        library = generate_library(scaled_plan(args.scale,
+                                               seed=args.seed))
+    accelerator = ACCELERATORS[args.accelerator]()
+    images = benchmark_images(args.images)
+    config = AutoAxConfig(
+        n_train=args.train,
+        n_test=max(2, args.train // 2),
+        max_evaluations=args.evals,
+        seed=args.seed,
+    )
+    result = AutoAx(accelerator, library, images, config=config).run()
+
+    sizes = result.summary_row()
+    print(
+        f"space: {sizes['all_possible']:.3g} -> "
+        f"{sizes['after_preprocessing']:.3g} -> "
+        f"{int(sizes['pseudo_pareto'])} pseudo -> "
+        f"{int(sizes['final_pareto'])} final"
+    )
+    print(
+        f"models: QoR={result.qor_model.name} "
+        f"({result.qor_model.fidelity_test:.1%}), "
+        f"HW={result.hw_model.name} "
+        f"({result.hw_model.fidelity_test:.1%})"
+    )
+    order = result.final_points[:, 1].argsort()
+    print(format_table(
+        ["SSIM", "area (um^2)"],
+        [[f"{s:.4f}", f"{a:.1f}"]
+         for s, a in result.final_points[order]],
+    ))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("ssim,area\n")
+            for s, a in result.final_points[order]:
+                handle.write(f"{s},{a}\n")
+        print(f"front written to {args.out}")
+    return 0
+
+
+def _cmd_export_verilog(args: argparse.Namespace) -> int:
+    from repro.circuits.base import (
+        ExactAdder,
+        ExactMultiplier,
+        ExactSubtractor,
+    )
+    from repro.library.component import record_from_circuit
+    from repro.netlist.verilog import to_verilog
+    from repro.synthesis.synthesizer import optimize
+
+    accelerator = ACCELERATORS[args.accelerator]()
+    records = {}
+    for slot in accelerator.op_slots():
+        kind, width = slot.signature
+        klass = {
+            "add": ExactAdder,
+            "sub": ExactSubtractor,
+            "mul": ExactMultiplier,
+        }[kind]
+        records[slot.name] = record_from_circuit(
+            klass(width), sample_size=1 << 8
+        )
+    netlist = accelerator.to_netlist(records)
+    if args.optimize:
+        optimize(netlist)
+    text = to_verilog(netlist, module_name=args.accelerator)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out} ({netlist.gate_count()} gates)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="autoAx (DAC 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("inventory", help="Table 1 operation inventory")
+
+    gen = sub.add_parser("generate-library",
+                         help="build a characterised library")
+    gen.add_argument("--scale", type=float, default=0.02)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+
+    prof = sub.add_parser("profile", help="operand profiling stats")
+    _add_accelerator_arg(prof)
+    prof.add_argument("--images", type=int, default=4)
+    prof.add_argument("--seed", type=int, default=0)
+
+    run = sub.add_parser("run", help="full autoAx pipeline")
+    _add_accelerator_arg(run)
+    run.add_argument("--library", help="library JSON (else generated)")
+    run.add_argument("--scale", type=float, default=0.01)
+    run.add_argument("--images", type=int, default=4)
+    run.add_argument("--train", type=int, default=150)
+    run.add_argument("--evals", type=int, default=10_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--out", help="CSV file for the final front")
+
+    export = sub.add_parser("export-verilog",
+                            help="structural Verilog of an accelerator")
+    _add_accelerator_arg(export)
+    export.add_argument("--out", help="output .v file (else stdout)")
+    export.add_argument("--optimize", action="store_true",
+                        help="run synthesis optimisation first")
+
+    return parser
+
+
+_COMMANDS = {
+    "inventory": _cmd_inventory,
+    "generate-library": _cmd_generate_library,
+    "profile": _cmd_profile,
+    "run": _cmd_run,
+    "export-verilog": _cmd_export_verilog,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,206 @@
+"""Step 3 — model-based design-space exploration.
+
+:func:`heuristic_pareto_construction` implements the paper's Algorithm 1:
+stochastic hill climbing whose acceptance test is insertion into a Pareto
+archive of (estimated QoR, estimated HW cost), with random restarts from
+the archive after ``stagnation_limit`` rejected moves.  The baselines the
+paper compares against are here too: random sampling, the deterministic
+uniform-selection heuristic, and exhaustive enumeration (for the optimal
+reference front of Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import Configuration, ConfigurationSpace
+from repro.core.modeling import EstimationModel
+from repro.core.pareto import ParetoArchive, pareto_front_indices
+from repro.errors import DSEError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class DSEResult:
+    """Outcome of one Pareto-construction run.
+
+    ``points`` holds the (estimated QoR, estimated cost) pairs of the
+    archive members — QoR in its natural orientation (higher is better).
+    """
+
+    configs: List[Configuration]
+    points: np.ndarray
+    evaluations: int
+    inserts: int
+    restarts: int
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+
+def _estimate(
+    qor_model: EstimationModel,
+    hw_model: EstimationModel,
+    configs: Sequence[Configuration],
+) -> np.ndarray:
+    qor = qor_model.predict(configs)
+    cost = hw_model.predict(configs)
+    return np.stack([qor, cost], axis=1)
+
+
+def heuristic_pareto_construction(
+    space: ConfigurationSpace,
+    qor_model: EstimationModel,
+    hw_model: EstimationModel,
+    max_evaluations: int = 10_000,
+    stagnation_limit: int = 50,
+    rng: RngLike = 0,
+    batch_size: int = 64,
+) -> DSEResult:
+    """Algorithm 1: hill climbing with a Pareto archive and restarts.
+
+    Candidate neighbours are estimated in small batches so the tree
+    ensembles amortise their per-call overhead; the batch is consumed
+    sequentially, preserving the algorithm's move semantics (each
+    accepted move changes the parent, and remaining candidates of the
+    batch are discarded).
+    """
+    if max_evaluations < 1:
+        raise DSEError("max_evaluations must be >= 1")
+    if stagnation_limit < 1:
+        raise DSEError("stagnation_limit must be >= 1")
+    gen = ensure_rng(rng)
+    archive = ParetoArchive(n_objectives=2)
+
+    parent = space.random_configuration(gen)
+    est = _estimate(qor_model, hw_model, [parent])[0]
+    archive.insert((-est[0], est[1]), parent)
+    evaluations = 1
+    inserts = 1
+    restarts = 0
+    stagnation = 0
+
+    while evaluations < max_evaluations:
+        batch_n = min(batch_size, max_evaluations - evaluations)
+        candidates = [space.neighbor(parent, gen) for _ in range(batch_n)]
+        estimates = _estimate(qor_model, hw_model, candidates)
+        for candidate, (eqor, ehw) in zip(candidates, estimates):
+            evaluations += 1
+            if archive.insert((-eqor, ehw), candidate):
+                parent = candidate
+                inserts += 1
+                stagnation = 0
+                break
+            stagnation += 1
+            if stagnation >= stagnation_limit:
+                members = archive.payloads
+                parent = members[int(gen.integers(0, len(members)))]
+                restarts += 1
+                stagnation = 0
+                break
+
+    points = archive.points
+    points[:, 0] = -points[:, 0]
+    return DSEResult(
+        configs=list(archive.payloads),
+        points=points,
+        evaluations=evaluations,
+        inserts=inserts,
+        restarts=restarts,
+    )
+
+
+def random_sampling(
+    space: ConfigurationSpace,
+    qor_model: EstimationModel,
+    hw_model: EstimationModel,
+    max_evaluations: int = 10_000,
+    rng: RngLike = 0,
+) -> DSEResult:
+    """RS baseline: estimate random configurations, keep the front."""
+    if max_evaluations < 1:
+        raise DSEError("max_evaluations must be >= 1")
+    gen = ensure_rng(rng)
+    configs = [
+        space.random_configuration(gen) for _ in range(max_evaluations)
+    ]
+    estimates = _estimate(qor_model, hw_model, configs)
+    minimised = np.stack([-estimates[:, 0], estimates[:, 1]], axis=1)
+    front = pareto_front_indices(minimised)
+    return DSEResult(
+        configs=[configs[i] for i in front],
+        points=estimates[front],
+        evaluations=max_evaluations,
+        inserts=len(front),
+        restarts=0,
+    )
+
+
+def uniform_selection(
+    space: ConfigurationSpace, n_points: int = 20
+) -> List[Configuration]:
+    """The manual baseline of Fig. 5: equal relative error everywhere.
+
+    For each target error level, every operation picks the candidate whose
+    WMED relative to the operation's output range is closest to the
+    level.  Deterministic; duplicate configurations are collapsed.
+    """
+    if n_points < 1:
+        raise DSEError("n_points must be >= 1")
+    relative: List[np.ndarray] = []
+    for slot, wmeds in zip(space.slots, space.wmeds):
+        kind, width = slot.signature
+        out_range = float(1 << (2 * width if kind == "mul" else width + 1))
+        relative.append(wmeds / out_range)
+    max_rel = max(float(r.max()) for r in relative)
+    levels = np.linspace(0.0, max_rel, n_points)
+    configs: List[Configuration] = []
+    seen = set()
+    for level in levels:
+        genes = tuple(
+            int(np.argmin(np.abs(rel - level))) for rel in relative
+        )
+        if genes not in seen:
+            seen.add(genes)
+            configs.append(genes)
+    return configs
+
+
+def exhaustive_search(
+    space: ConfigurationSpace,
+    qor_model: EstimationModel,
+    hw_model: EstimationModel,
+    batch_size: int = 200_000,
+) -> DSEResult:
+    """Estimate *every* configuration; exact front of the estimated space.
+
+    Only feasible for reduced/capped spaces — this is the "optimal
+    Pareto" reference of Table 4.
+    """
+    all_configs = space.enumerate_all()
+    n = all_configs.shape[0]
+    keep_configs: List[np.ndarray] = []
+    keep_points: List[np.ndarray] = []
+    for start in range(0, n, batch_size):
+        block = all_configs[start : start + batch_size]
+        est = _estimate(qor_model, hw_model, block)
+        minimised = np.stack([-est[:, 0], est[:, 1]], axis=1)
+        front = pareto_front_indices(minimised)
+        keep_configs.append(block[front])
+        keep_points.append(est[front])
+    merged_configs = np.vstack(keep_configs)
+    merged_points = np.vstack(keep_points)
+    minimised = np.stack(
+        [-merged_points[:, 0], merged_points[:, 1]], axis=1
+    )
+    front = pareto_front_indices(minimised)
+    return DSEResult(
+        configs=[tuple(int(g) for g in merged_configs[i]) for i in front],
+        points=merged_points[front],
+        evaluations=n,
+        inserts=len(front),
+        restarts=0,
+    )

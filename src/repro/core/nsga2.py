@@ -1,0 +1,174 @@
+"""NSGA-II over configuration space — an alternative model-based explorer.
+
+The paper uses a Pareto-archive hill climber (Algorithm 1) because the
+number of candidate solutions is enormous; a population-based
+multi-objective GA is the obvious alternative and is provided here as an
+extension.  Objectives are the same model estimates (QoR maximised, HW
+cost minimised); genomes are configurations; crossover is uniform
+per-slot gene exchange and mutation re-draws single genes.
+
+Reference: Deb et al., "A fast and elitist multiobjective genetic
+algorithm: NSGA-II", IEEE TEC 2002.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import Configuration, ConfigurationSpace
+from repro.core.dse import DSEResult
+from repro.core.modeling import EstimationModel
+from repro.core.pareto import pareto_front_indices
+from repro.errors import DSEError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def fast_non_dominated_sort(points: np.ndarray) -> List[np.ndarray]:
+    """Partition ``points`` (minimisation) into non-domination fronts."""
+    n = points.shape[0]
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        p = points[i]
+        beats = np.all(p <= points, axis=1) & np.any(p < points, axis=1)
+        beaten = np.all(points <= p, axis=1) & np.any(points < p, axis=1)
+        dominated_by[i] = np.nonzero(beats)[0].tolist()
+        domination_count[i] = int(beaten.sum())
+    fronts: List[np.ndarray] = []
+    current = np.nonzero(domination_count == 0)[0]
+    while current.size:
+        fronts.append(current)
+        next_front: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current = np.asarray(sorted(set(next_front)), dtype=np.int64)
+    return fronts
+
+
+def crowding_distance(points: np.ndarray) -> np.ndarray:
+    """Crowding distance of each point within one front."""
+    n, m = points.shape
+    distance = np.zeros(n)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for k in range(m):
+        order = np.argsort(points[:, k])
+        span = points[order[-1], k] - points[order[0], k]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span <= 0:
+            continue
+        gaps = (points[order[2:], k] - points[order[:-2], k]) / span
+        distance[order[1:-1]] += gaps
+    return distance
+
+
+def _tournament(rank, crowd, rng, count):
+    """Binary tournament selection indices (lower rank, higher crowding)."""
+    n = rank.shape[0]
+    a = rng.integers(0, n, size=count)
+    b = rng.integers(0, n, size=count)
+    better_rank = rank[a] < rank[b]
+    tie = rank[a] == rank[b]
+    better_crowd = crowd[a] > crowd[b]
+    pick_a = better_rank | (tie & better_crowd)
+    return np.where(pick_a, a, b)
+
+
+def nsga2_search(
+    space: ConfigurationSpace,
+    qor_model: EstimationModel,
+    hw_model: EstimationModel,
+    population_size: int = 100,
+    generations: int = 50,
+    crossover_prob: float = 0.9,
+    mutation_prob: float = 0.2,
+    rng: RngLike = 0,
+) -> DSEResult:
+    """NSGA-II exploration returning the final population's Pareto front.
+
+    Total model evaluations: ``population_size * (generations + 1)``.
+    """
+    if population_size < 4 or population_size % 2:
+        raise DSEError("population_size must be an even number >= 4")
+    if generations < 1:
+        raise DSEError("generations must be >= 1")
+    gen = ensure_rng(rng)
+    sizes = np.asarray(space.slot_sizes())
+    n_slots = space.n_slots
+
+    population = np.stack(
+        [space.random_configuration(gen) for _ in range(population_size)]
+    ).astype(np.int64)
+
+    def estimate(genomes: np.ndarray) -> np.ndarray:
+        qor = qor_model.predict(genomes)
+        cost = hw_model.predict(genomes)
+        return np.stack([-qor, cost], axis=1)  # minimisation space
+
+    objectives = estimate(population)
+    evaluations = population_size
+
+    for _ in range(generations):
+        fronts = fast_non_dominated_sort(objectives)
+        rank = np.empty(population_size, dtype=np.int64)
+        crowd = np.empty(population_size)
+        for level, front in enumerate(fronts):
+            rank[front] = level
+            crowd[front] = crowding_distance(objectives[front])
+
+        parents = _tournament(rank, crowd, gen, population_size)
+        children = population[parents].copy()
+        # uniform crossover on consecutive pairs
+        for i in range(0, population_size, 2):
+            if gen.random() < crossover_prob:
+                swap = gen.random(n_slots) < 0.5
+                tmp = children[i, swap].copy()
+                children[i, swap] = children[i + 1, swap]
+                children[i + 1, swap] = tmp
+        # per-gene mutation: redraw uniformly
+        mutate = gen.random(children.shape) < (mutation_prob / n_slots)
+        redraw = (gen.random(children.shape) * sizes).astype(np.int64)
+        children = np.where(mutate, redraw, children)
+
+        child_obj = estimate(children)
+        evaluations += population_size
+
+        merged = np.vstack([population, children])
+        merged_obj = np.vstack([objectives, child_obj])
+        fronts = fast_non_dominated_sort(merged_obj)
+        chosen: List[int] = []
+        for front in fronts:
+            if len(chosen) + front.size <= population_size:
+                chosen.extend(front.tolist())
+            else:
+                crowd = crowding_distance(merged_obj[front])
+                order = front[np.argsort(-crowd)]
+                chosen.extend(
+                    order[: population_size - len(chosen)].tolist()
+                )
+                break
+        population = merged[chosen]
+        objectives = merged_obj[chosen]
+
+    front_idx = pareto_front_indices(objectives)
+    unique: dict = {}
+    for i in front_idx:
+        unique[tuple(int(g) for g in population[i])] = i
+    configs = list(unique.keys())
+    idx = np.asarray(list(unique.values()), dtype=np.int64)
+    points = np.stack(
+        [-objectives[idx, 0], objectives[idx, 1]], axis=1
+    )
+    return DSEResult(
+        configs=configs,
+        points=points,
+        evaluations=evaluations,
+        inserts=len(configs),
+        restarts=0,
+    )

@@ -1,0 +1,229 @@
+"""End-to-end autoAx pipeline (paper Fig. 1).
+
+``AutoAx.run()`` executes the three methodology steps against one
+accelerator + library + benchmark-data triple and returns everything the
+paper reports: design-space sizes after each step (Table 5), the chosen
+estimation models with their fidelities (Table 3), the pseudo Pareto set,
+and the final real-evaluated Pareto fronts in (SSIM, area) and
+(SSIM, area, energy) space (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerators.base import ImageAccelerator
+from repro.accelerators.profiler import OperandProfile, profile_accelerator
+from repro.core.configuration import (
+    HW_FEATURES,
+    Configuration,
+    ConfigurationSpace,
+)
+from repro.core.dse import DSEResult, heuristic_pareto_construction
+from repro.core.evaluation import AcceleratorEvaluator, EvaluationResult
+from repro.core.modeling import (
+    EngineReport,
+    build_training_set,
+    fit_engines,
+    select_best_model,
+)
+from repro.core.pareto import pareto_front_indices
+from repro.core.preprocessing import reduce_library
+from repro.library.library import ComponentLibrary
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class AutoAxConfig:
+    """Tunables of the pipeline; defaults are laptop-scale."""
+
+    n_train: int = 400
+    n_test: int = 200
+    engines: Tuple[str, ...] = ("Random Forest",)
+    include_naive: bool = True
+    hw_features: Tuple[str, ...] = HW_FEATURES
+    max_evaluations: int = 20_000
+    stagnation_limit: int = 50
+    per_op_cap: Optional[int] = None
+    max_samples: int = 1 << 16
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_train < 2 or self.n_test < 2:
+            raise ValueError("need at least two train and test samples")
+        if not self.engines:
+            raise ValueError("at least one learning engine is required")
+
+
+@dataclass
+class AutoAxResult:
+    """Everything produced by one pipeline run."""
+
+    space: ConfigurationSpace
+    profiles: Dict[str, OperandProfile]
+    initial_space_size: float
+    reduced_space_size: float
+    qor_reports: List[EngineReport]
+    hw_reports: List[EngineReport]
+    qor_model: EngineReport
+    hw_model: EngineReport
+    pseudo_pareto: DSEResult
+    real_evaluations: List[EvaluationResult]
+    final_configs: List[Configuration]
+    final_points: np.ndarray  # columns: qor (ssim), area
+    final_configs_3d: List[Configuration]
+    final_points_3d: np.ndarray  # columns: qor, area, energy
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    def summary_row(self) -> Dict[str, float]:
+        """The Table 5 row of this run."""
+        return {
+            "all_possible": self.initial_space_size,
+            "after_preprocessing": self.reduced_space_size,
+            "pseudo_pareto": float(len(self.pseudo_pareto)),
+            "final_pareto": float(len(self.final_configs)),
+        }
+
+
+class AutoAx:
+    """The autoAx methodology bound to one accelerator instance."""
+
+    def __init__(
+        self,
+        accelerator: ImageAccelerator,
+        library: ComponentLibrary,
+        images: Sequence[np.ndarray],
+        scenarios: Optional[Sequence[Dict[str, int]]] = None,
+        config: AutoAxConfig = AutoAxConfig(),
+    ):
+        self.accelerator = accelerator
+        self.library = library
+        self.images = list(images)
+        self.scenarios = scenarios
+        self.config = config
+
+    # -- individual steps ---------------------------------------------------
+
+    def profile(self) -> Dict[str, OperandProfile]:
+        """Step 1a: operand PMFs of every replaceable operation."""
+        return profile_accelerator(
+            self.accelerator,
+            self.images,
+            scenarios=self.scenarios,
+            max_samples=self.config.max_samples,
+            rng=self.config.seed,
+        )
+
+    def reduce(
+        self, profiles: Dict[str, OperandProfile]
+    ) -> ConfigurationSpace:
+        """Step 1b: WMED scoring + per-operation Pareto filtering."""
+        return reduce_library(
+            self.accelerator,
+            self.library,
+            profiles,
+            per_op_cap=self.config.per_op_cap,
+        )
+
+    def initial_space_size(self) -> float:
+        """|library(op_1)| * ... * |library(op_n)| before filtering."""
+        total = 1.0
+        for slot in self.accelerator.op_slots():
+            total *= self.library.size(slot.signature)
+        return total
+
+    # -- full pipeline ---------------------------------------------------------
+
+    def run(self) -> AutoAxResult:
+        cfg = self.config
+        rng = ensure_rng(cfg.seed)
+        timings: Dict[str, float] = {}
+
+        start = time.perf_counter()
+        profiles = self.profile()
+        space = self.reduce(profiles)
+        timings["preprocessing"] = time.perf_counter() - start
+
+        evaluator = AcceleratorEvaluator(
+            self.accelerator, self.images, self.scenarios
+        )
+
+        start = time.perf_counter()
+        train = build_training_set(
+            space, evaluator, cfg.n_train, rng=rng
+        )
+        test = build_training_set(space, evaluator, cfg.n_test, rng=rng)
+        timings["training_set"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        qor_reports = fit_engines(
+            space,
+            train,
+            test,
+            target="qor",
+            engines=cfg.engines,
+            include_naive=cfg.include_naive,
+            hw_features=cfg.hw_features,
+            seed=cfg.seed,
+        )
+        hw_reports = fit_engines(
+            space,
+            train,
+            test,
+            target="area",
+            engines=cfg.engines,
+            include_naive=cfg.include_naive,
+            hw_features=cfg.hw_features,
+            seed=cfg.seed,
+        )
+        qor_best = select_best_model(qor_reports)
+        hw_best = select_best_model(hw_reports)
+        timings["model_construction"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        pseudo = heuristic_pareto_construction(
+            space,
+            qor_best.model,
+            hw_best.model,
+            max_evaluations=cfg.max_evaluations,
+            stagnation_limit=cfg.stagnation_limit,
+            rng=rng,
+        )
+        timings["pseudo_pareto"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        real = evaluator.evaluate_many(space, pseudo.configs)
+        timings["final_analysis"] = time.perf_counter() - start
+
+        qor = np.asarray([r.qor for r in real])
+        area = np.asarray([r.area for r in real])
+        energy = np.asarray([r.energy for r in real])
+
+        front2 = pareto_front_indices(np.stack([-qor, area], axis=1))
+        front3 = pareto_front_indices(
+            np.stack([-qor, area, energy], axis=1)
+        )
+
+        return AutoAxResult(
+            space=space,
+            profiles=profiles,
+            initial_space_size=self.initial_space_size(),
+            reduced_space_size=space.size(),
+            qor_reports=qor_reports,
+            hw_reports=hw_reports,
+            qor_model=qor_best,
+            hw_model=hw_best,
+            pseudo_pareto=pseudo,
+            real_evaluations=real,
+            final_configs=[pseudo.configs[i] for i in front2],
+            final_points=np.stack([qor[front2], area[front2]], axis=1),
+            final_configs_3d=[pseudo.configs[i] for i in front3],
+            final_points_3d=np.stack(
+                [qor[front3], area[front3], energy[front3]], axis=1
+            ),
+            timings=timings,
+        )

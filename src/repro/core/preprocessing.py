@@ -1,0 +1,93 @@
+"""Step 1 — library pre-processing (paper §2.2, §4.1.1).
+
+For every operation of the accelerator, the initial library is scored by
+WMED under the profiled operand distribution and filtered down to the
+circuits on the (WMED, area) Pareto front.  The result is the reduced
+configuration space RL_1 x ... x RL_n the rest of the methodology works
+in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.accelerators.base import ImageAccelerator
+from repro.accelerators.profiler import OperandProfile
+from repro.core.configuration import ConfigurationSpace
+from repro.core.pareto import pareto_front_indices
+from repro.core.wmed import wmed_table
+from repro.errors import LibraryError
+from repro.library.library import ComponentLibrary
+
+
+def pareto_filter_indices(
+    scores: np.ndarray, costs: np.ndarray
+) -> np.ndarray:
+    """Indices on the (score, cost) minimisation Pareto front, sorted."""
+    scores = np.asarray(scores, dtype=float)
+    costs = np.asarray(costs, dtype=float)
+    if scores.shape != costs.shape or scores.ndim != 1:
+        raise ValueError("scores and costs must be equal-length vectors")
+    points = np.stack([scores, costs], axis=1)
+    return pareto_front_indices(points)
+
+
+def _cap_front(
+    order: np.ndarray, scores: np.ndarray, cap: int
+) -> np.ndarray:
+    """Thin a front to at most ``cap`` members, keeping the extremes."""
+    if order.size <= cap:
+        return order
+    by_score = order[np.argsort(scores[order])]
+    picks = np.linspace(0, by_score.size - 1, cap).round().astype(int)
+    return by_score[np.unique(picks)]
+
+
+def reduce_library(
+    accelerator: ImageAccelerator,
+    library: ComponentLibrary,
+    profiles: Dict[str, OperandProfile],
+    per_op_cap: Optional[int] = None,
+    keep_exact: bool = True,
+) -> ConfigurationSpace:
+    """Build the reduced configuration space for ``accelerator``.
+
+    ``per_op_cap`` optionally thins each per-operation front (used by the
+    Table 4 benchmark, where the reference front must stay enumerable).
+    ``keep_exact`` force-keeps one exact implementation per operation so
+    the accurate accelerator stays reachable.
+    """
+    slots = accelerator.op_slots()
+    choices = []
+    wmeds = []
+    for slot in slots:
+        if slot.name not in profiles:
+            raise LibraryError(f"no operand profile for op {slot.name!r}")
+        candidates = library.components(slot.signature)
+        if not candidates:
+            raise LibraryError(
+                f"library has no components for {slot.signature}"
+            )
+        scores = wmed_table(candidates, profiles[slot.name])
+        areas = np.asarray(
+            [r.hardware.area for r in candidates], dtype=float
+        )
+        front = pareto_filter_indices(scores, areas)
+        if per_op_cap is not None:
+            front = _cap_front(front, scores, per_op_cap)
+        selected = set(front.tolist())
+        if keep_exact:
+            exact_ids = [
+                i for i, r in enumerate(candidates) if r.is_exact()
+            ]
+            if exact_ids and not any(i in selected for i in exact_ids):
+                cheapest = min(
+                    exact_ids, key=lambda i: candidates[i].hardware.area
+                )
+                selected.add(cheapest)
+        chosen = sorted(selected)
+        choices.append([candidates[i] for i in chosen])
+        wmeds.append(scores[chosen])
+    return ConfigurationSpace(slots, choices, wmeds)

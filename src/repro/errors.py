@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch a single type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised when an approximate-circuit model is misused or misconfigured."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed gate-level netlists (cycles, dangling nets...)."""
+
+
+class SynthesisError(ReproError):
+    """Raised when the synthesis substitute cannot process a design."""
+
+
+class LibraryError(ReproError):
+    """Raised for component-library problems (unknown op, empty library...)."""
+
+
+class AcceleratorError(ReproError):
+    """Raised for malformed accelerator dataflow graphs or configurations."""
+
+
+class ModelError(ReproError):
+    """Raised when an ML model is used before fit or fed invalid shapes."""
+
+
+class DSEError(ReproError):
+    """Raised for design-space-exploration misconfiguration."""

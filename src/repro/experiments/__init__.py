@@ -1,0 +1,45 @@
+"""Experiment drivers: one module per paper table / figure.
+
+Every driver is a plain function taking an :class:`ExperimentSetup` (or
+explicit arguments) and returning the rows/series the paper reports, so
+the pytest benchmarks, the examples and ad-hoc scripts all share one
+implementation.
+"""
+
+from repro.experiments.setup import ExperimentSetup, default_setup
+from repro.experiments.table1_operations import table1_rows
+from repro.experiments.table2_library import table2_counts
+from repro.experiments.fig3_pmf import fig3_profiles, render_pmf_ascii
+from repro.experiments.table3_fidelity import table3_fidelity
+from repro.experiments.fig4_correlation import fig4_correlation
+from repro.experiments.table4_dse import table4_distances
+from repro.experiments.table5_space import table5_sizes
+from repro.experiments.fig5_fronts import fig5_fronts
+from repro.experiments.speedup import estimation_speedup
+from repro.experiments.ablations import (
+    ablate_hw_features,
+    ablate_model_selection,
+    ablate_preprocessing,
+    ablate_qor_features,
+    ablate_restarts,
+)
+
+__all__ = [
+    "ablate_hw_features",
+    "ablate_model_selection",
+    "ablate_preprocessing",
+    "ablate_qor_features",
+    "ablate_restarts",
+    "ExperimentSetup",
+    "default_setup",
+    "table1_rows",
+    "table2_counts",
+    "fig3_profiles",
+    "render_pmf_ascii",
+    "table3_fidelity",
+    "fig4_correlation",
+    "table4_distances",
+    "table5_sizes",
+    "fig5_fronts",
+    "estimation_speedup",
+]

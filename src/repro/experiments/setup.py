@@ -1,0 +1,72 @@
+"""Shared experiment fixtures: the component library and benchmark images.
+
+Generating and characterising a library takes tens of seconds, so the
+default setup caches it as JSON under ``.cache/`` in the working tree (or
+``REPRO_CACHE_DIR``).  ``REPRO_SCALE`` overrides the library scale: 1.0
+regenerates the paper-size Table 2 library (tens of thousands of
+components — expect a long build).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.imaging.datasets import benchmark_images
+from repro.library.generation import generate_library, scaled_plan
+from repro.library.io import load_library, save_library
+from repro.library.library import ComponentLibrary
+
+#: Default library scale relative to Table 2 (0.02 => ~800 components).
+DEFAULT_SCALE = 0.02
+
+#: Default benchmark image geometry (rows, cols).  The paper uses
+#: 384x256 px; benches default to quarter-size for turnaround and accept
+#: the paper geometry via ``paper_scale=True``.
+DEFAULT_SHAPE = (128, 192)
+PAPER_SHAPE = (256, 384)
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything the experiment drivers need."""
+
+    library: ComponentLibrary
+    images: List[np.ndarray]
+    seed: int = 0
+
+    @property
+    def image_shape(self) -> Tuple[int, int]:
+        return tuple(self.images[0].shape)
+
+
+def _cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", ".cache"))
+
+
+def default_setup(
+    scale: Optional[float] = None,
+    n_images: int = 8,
+    image_shape: Optional[Tuple[int, int]] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> ExperimentSetup:
+    """Build (or load from cache) the default experiment setup."""
+    if scale is None:
+        scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+    if image_shape is None:
+        image_shape = DEFAULT_SHAPE
+    cache = _cache_dir() / f"library_scale_{scale:g}_seed_{seed}.json"
+    library = None
+    if use_cache and cache.exists():
+        library = load_library(cache)
+    if library is None:
+        library = generate_library(scaled_plan(scale, seed=seed))
+        if use_cache:
+            save_library(library, cache)
+    images = benchmark_images(n_images, shape=image_shape)
+    return ExperimentSetup(library=library, images=images, seed=seed)

@@ -1,0 +1,95 @@
+"""Table 5 — design-space size after each step of the methodology.
+
+For every accelerator the driver reports: the size of the unconstrained
+space (|library|^ops, both at the run's library scale and extrapolated to
+the paper-scale Table 2 library), the size after library pre-processing,
+the pseudo Pareto set size and the final Pareto set size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerators.base import ImageAccelerator
+from repro.accelerators.gaussian_fixed import FixedGaussianFilter
+from repro.accelerators.gaussian_generic import (
+    GenericGaussianFilter,
+    kernel_sweep,
+)
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.core.pipeline import AutoAx, AutoAxConfig
+from repro.experiments.setup import ExperimentSetup
+from repro.library.generation import PAPER_COUNTS
+
+
+@dataclass
+class Table5Row:
+    """One accelerator's row of Table 5."""
+
+    problem: str
+    all_possible: float
+    all_possible_paper_scale: float
+    after_preprocessing: float
+    pseudo_pareto: int
+    final_pareto: int
+
+
+def _paper_scale_size(accelerator: ImageAccelerator) -> float:
+    total = 1.0
+    for slot in accelerator.op_slots():
+        total *= PAPER_COUNTS[slot.signature]
+    return total
+
+
+def default_cases(
+    setup: ExperimentSetup, n_kernels: int = 5, n_gf_images: int = 2
+):
+    """The three paper case studies with their QoR scenarios."""
+    kernels = [
+        GenericGaussianFilter.kernel_extra(w)
+        for w in kernel_sweep(n_kernels)
+    ]
+    return (
+        ("Sobel ED", SobelEdgeDetector(), setup.images, None),
+        ("Fixed GF", FixedGaussianFilter(), setup.images, None),
+        (
+            "Generic GF",
+            GenericGaussianFilter(),
+            setup.images[:n_gf_images],
+            kernels,
+        ),
+    )
+
+
+def table5_sizes(
+    setup: ExperimentSetup,
+    config: Optional[AutoAxConfig] = None,
+    cases=None,
+) -> List[Table5Row]:
+    """Run the full pipeline per accelerator and collect space sizes."""
+    if config is None:
+        config = AutoAxConfig(
+            n_train=200, n_test=100, max_evaluations=20_000,
+            seed=setup.seed,
+        )
+    if cases is None:
+        cases = default_cases(setup)
+    rows: List[Table5Row] = []
+    for label, accelerator, images, scenarios in cases:
+        pipeline = AutoAx(
+            accelerator, setup.library, images, scenarios=scenarios,
+            config=config,
+        )
+        result = pipeline.run()
+        rows.append(
+            Table5Row(
+                problem=label,
+                all_possible=result.initial_space_size,
+                all_possible_paper_scale=_paper_scale_size(accelerator),
+                after_preprocessing=result.reduced_space_size,
+                pseudo_pareto=len(result.pseudo_pareto),
+                final_pareto=len(result.final_configs),
+            )
+        )
+    return rows

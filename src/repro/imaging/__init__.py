@@ -1,0 +1,12 @@
+"""Image substrate: synthetic benchmark dataset and quality metrics.
+
+The paper evaluates QoR on 384x256 gray-scale images from the Berkeley
+Segmentation Dataset.  That dataset is not redistributable here, so
+:mod:`repro.imaging.datasets` synthesises deterministic natural-like scenes
+with the same resolution and bit depth (see DESIGN.md, substitutions).
+"""
+
+from repro.imaging.datasets import benchmark_images, synthetic_image
+from repro.imaging.metrics import mse, psnr, ssim
+
+__all__ = ["benchmark_images", "synthetic_image", "mse", "psnr", "ssim"]

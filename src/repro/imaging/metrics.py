@@ -1,0 +1,79 @@
+"""Image quality metrics: MSE, PSNR and SSIM.
+
+SSIM follows Wang et al. (2004) with the standard 11x11 Gaussian window
+(sigma = 1.5) and stabilisation constants K1 = 0.01, K2 = 0.03, matching the
+configuration used by common toolboxes and, per the paper, the QoR measure of
+all three case studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+
+def _as_float_pair(a: np.ndarray, b: np.ndarray):
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.ndim != 2:
+        raise ValueError("metrics expect 2-D gray-scale images")
+    return a, b
+
+
+def mse(reference: np.ndarray, test: np.ndarray) -> float:
+    """Mean squared error between two gray-scale images."""
+    a, b = _as_float_pair(reference, test)
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(
+    reference: np.ndarray, test: np.ndarray, data_range: float = 255.0
+) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images)."""
+    err = mse(reference, test)
+    if err == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(data_range**2 / err))
+
+
+def ssim(
+    reference: np.ndarray,
+    test: np.ndarray,
+    data_range: float = 255.0,
+    sigma: float = 1.5,
+    truncate: float = 3.5,
+    k1: float = 0.01,
+    k2: float = 0.03,
+) -> float:
+    """Mean structural similarity index between two gray-scale images.
+
+    Local statistics are computed with a Gaussian window of width
+    ``2 * truncate * sigma + 1`` (11 px for the defaults).  Returns a value
+    in [-1, 1]; 1 means identical images.
+    """
+    a, b = _as_float_pair(reference, test)
+    if data_range <= 0:
+        raise ValueError("data_range must be positive")
+
+    def win_mean(img: np.ndarray) -> np.ndarray:
+        return ndimage.gaussian_filter(
+            img, sigma=sigma, truncate=truncate, mode="reflect"
+        )
+
+    mu_a = win_mean(a)
+    mu_b = win_mean(b)
+    mu_aa = win_mean(a * a)
+    mu_bb = win_mean(b * b)
+    mu_ab = win_mean(a * b)
+
+    var_a = mu_aa - mu_a * mu_a
+    var_b = mu_bb - mu_b * mu_b
+    cov_ab = mu_ab - mu_a * mu_b
+
+    c1 = (k1 * data_range) ** 2
+    c2 = (k2 * data_range) ** 2
+    numerator = (2 * mu_a * mu_b + c1) * (2 * cov_ab + c2)
+    denominator = (mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2)
+    return float(np.mean(numerator / denominator))

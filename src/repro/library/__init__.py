@@ -1,0 +1,44 @@
+"""Component library: characterised approximate circuits per operation.
+
+Mirrors the role of EvoApprox8b + QuAd + BAM in the paper: for every
+operation signature (kind, bit-width) the library holds many approximate
+implementations, each fully characterised by error metrics (uniform-input)
+and post-synthesis hardware parameters.
+"""
+
+from repro.library.component import (
+    FAMILY_REGISTRY,
+    ComponentRecord,
+    HardwareCost,
+    OpSignature,
+    record_from_circuit,
+)
+from repro.library.library import ComponentLibrary
+from repro.library.generation import (
+    GenerationPlan,
+    generate_adders,
+    generate_library,
+    generate_multipliers,
+    generate_subtractors,
+    paper_scale_plan,
+    scaled_plan,
+)
+from repro.library.io import load_library, save_library
+
+__all__ = [
+    "FAMILY_REGISTRY",
+    "ComponentRecord",
+    "HardwareCost",
+    "OpSignature",
+    "record_from_circuit",
+    "ComponentLibrary",
+    "GenerationPlan",
+    "generate_adders",
+    "generate_subtractors",
+    "generate_multipliers",
+    "generate_library",
+    "paper_scale_plan",
+    "scaled_plan",
+    "load_library",
+    "save_library",
+]

@@ -1,0 +1,49 @@
+"""Library persistence.
+
+Characterising a large library takes minutes, so generated libraries are
+cached as JSON.  Only family names, parameters and characterisation results
+are stored; behavioural models are rebuilt from the family registry on
+load (no pickling of code).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import LibraryError
+from repro.library.component import ComponentRecord
+from repro.library.library import ComponentLibrary
+
+FORMAT_VERSION = 1
+
+
+def save_library(
+    library: ComponentLibrary, path: Union[str, Path]
+) -> None:
+    """Write ``library`` to ``path`` as JSON."""
+    path = Path(path)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "components": [record.to_dict() for record in library],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(payload, handle)
+
+
+def load_library(path: Union[str, Path]) -> ComponentLibrary:
+    """Load a library previously written by :func:`save_library`."""
+    path = Path(path)
+    with path.open() as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise LibraryError(
+            f"unsupported library format {version!r} in {path}"
+        )
+    library = ComponentLibrary()
+    for data in payload["components"]:
+        library.add(ComponentRecord.from_dict(data))
+    return library

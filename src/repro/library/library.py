@@ -1,0 +1,88 @@
+"""The component library container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import LibraryError
+from repro.library.component import ComponentRecord, OpSignature
+
+
+class ComponentLibrary:
+    """Approximate circuits grouped by operation signature.
+
+    The container preserves insertion order per signature and enforces
+    unique component names within a signature.
+    """
+
+    def __init__(self, components: Iterable[ComponentRecord] = ()):
+        self._groups: Dict[OpSignature, List[ComponentRecord]] = {}
+        self._names: Dict[OpSignature, set] = {}
+        for record in components:
+            self.add(record)
+
+    def add(self, record: ComponentRecord) -> None:
+        """Insert ``record``; duplicate names per signature are rejected."""
+        sig = record.signature
+        names = self._names.setdefault(sig, set())
+        if record.name in names:
+            raise LibraryError(
+                f"duplicate component {record.name!r} for signature {sig}"
+            )
+        names.add(record.name)
+        self._groups.setdefault(sig, []).append(record)
+
+    def extend(self, records: Iterable[ComponentRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    def signatures(self) -> List[OpSignature]:
+        """All operation signatures present, sorted."""
+        return sorted(self._groups)
+
+    def components(self, signature: OpSignature) -> List[ComponentRecord]:
+        """Components available for ``signature`` (copy of the list)."""
+        if signature not in self._groups:
+            raise LibraryError(f"no components for signature {signature}")
+        return list(self._groups[signature])
+
+    def get(self, signature: OpSignature, name: str) -> ComponentRecord:
+        """Look up one component by signature and name."""
+        for record in self._groups.get(signature, ()):
+            if record.name == name:
+                return record
+        raise LibraryError(f"component {name!r} not found for {signature}")
+
+    def exact_component(self, signature: OpSignature) -> ComponentRecord:
+        """The first exact implementation registered for ``signature``."""
+        for record in self._groups.get(signature, ()):
+            if record.is_exact():
+                return record
+        raise LibraryError(f"no exact component for signature {signature}")
+
+    def size(self, signature: Optional[OpSignature] = None) -> int:
+        """Component count, total or per signature."""
+        if signature is not None:
+            return len(self._groups.get(signature, ()))
+        return sum(len(group) for group in self._groups.values())
+
+    def __iter__(self) -> Iterator[ComponentRecord]:
+        for group in self._groups.values():
+            yield from group
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __contains__(self, signature: OpSignature) -> bool:
+        return signature in self._groups
+
+    def summary(self) -> Dict[OpSignature, int]:
+        """Component count per signature (the paper's Table 2 content)."""
+        return {sig: len(group) for sig, group in sorted(self._groups.items())}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(
+            f"{kind}{width}:{count}"
+            for (kind, width), count in self.summary().items()
+        )
+        return f"<ComponentLibrary {parts}>"

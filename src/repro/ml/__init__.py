@@ -1,0 +1,58 @@
+"""Supervised learning engines for QoR / hardware-cost estimation.
+
+Re-implements, against plain numpy, the scikit-learn regressors the paper
+benchmarks in Table 3 (random forest, decision tree, k-NN, Bayesian ridge,
+partial least squares, lasso, AdaBoost, least-angle regression, gradient
+boosting, MLP, Gaussian process, kernel ridge, SGD) plus the two naive
+additive models.  Model quality is judged by *fidelity* — pairwise order
+agreement — per the paper's §2.3.
+"""
+
+from repro.ml.base import Regressor
+from repro.ml.fidelity import fidelity, fidelity_matrix
+from repro.ml.metrics import mean_absolute_error, r2_score, rmse
+from repro.ml.model_selection import train_test_split
+from repro.ml.linear import (
+    BayesianRidge,
+    LarsRegressor,
+    LassoRegressor,
+    LinearRegression,
+    SGDRegressor,
+)
+from repro.ml.pls import PLSRegression
+from repro.ml.trees import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.boosting import AdaBoostRegressor, GradientBoostingRegressor
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.mlp import MLPRegressor
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.kernel_ridge import KernelRidgeRegressor
+from repro.ml.naive import NaiveAdditiveModel
+from repro.ml.registry import default_engines, make_engine
+
+__all__ = [
+    "Regressor",
+    "fidelity",
+    "fidelity_matrix",
+    "mean_absolute_error",
+    "r2_score",
+    "rmse",
+    "train_test_split",
+    "LinearRegression",
+    "LassoRegressor",
+    "BayesianRidge",
+    "LarsRegressor",
+    "SGDRegressor",
+    "PLSRegression",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "AdaBoostRegressor",
+    "GradientBoostingRegressor",
+    "KNeighborsRegressor",
+    "MLPRegressor",
+    "GaussianProcessRegressor",
+    "KernelRidgeRegressor",
+    "NaiveAdditiveModel",
+    "default_engines",
+    "make_engine",
+]

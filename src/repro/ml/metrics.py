@@ -1,0 +1,39 @@
+"""Scalar regression quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _pair(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    return y_true, y_pred
+
+
+def mean_absolute_error(y_true, y_pred) -> float:
+    """Mean absolute deviation."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root mean squared error."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_true - y_pred) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 = perfect, can be negative)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,106 @@
+"""Multi-layer perceptron regressor (ReLU hidden layers, Adam)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.base import Regressor
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class MLPRegressor(Regressor):
+    """Feed-forward network trained with Adam on squared loss.
+
+    Matches sklearn's default shape: one hidden layer of 100 ReLU units,
+    mini-batch Adam, L2 penalty ``alpha``.
+    """
+
+    def __init__(
+        self,
+        hidden_layer_sizes: Sequence[int] = (100,),
+        alpha: float = 1e-4,
+        learning_rate: float = 1e-3,
+        max_iter: int = 200,
+        batch_size: int = 64,
+        rng: RngLike = 0,
+    ):
+        super().__init__()
+        if any(h < 1 for h in hidden_layer_sizes):
+            raise ValueError("hidden layer sizes must be positive")
+        self.hidden_layer_sizes = tuple(hidden_layer_sizes)
+        self.alpha = alpha
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.rng = rng
+
+    def _init_params(self, d: int, gen) -> Tuple[list, list]:
+        sizes = [d, *self.hidden_layer_sizes, 1]
+        weights, biases = [], []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            bound = np.sqrt(6.0 / (fan_in + fan_out))
+            weights.append(gen.uniform(-bound, bound, (fan_in, fan_out)))
+            biases.append(np.zeros(fan_out))
+        return weights, biases
+
+    def _forward(self, X, weights, biases):
+        activations = [X]
+        h = X
+        for w, b in zip(weights[:-1], biases[:-1]):
+            h = np.maximum(h @ w + b, 0.0)
+            activations.append(h)
+        out = h @ weights[-1] + biases[-1]
+        return activations, out[:, 0]
+
+    def _fit(self, X, y):
+        gen = ensure_rng(self.rng)
+        n, d = X.shape
+        weights, biases = self._init_params(d, gen)
+        m_w = [np.zeros_like(w) for w in weights]
+        v_w = [np.zeros_like(w) for w in weights]
+        m_b = [np.zeros_like(b) for b in biases]
+        v_b = [np.zeros_like(b) for b in biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        batch = min(self.batch_size, n)
+        for _ in range(self.max_iter):
+            order = gen.permutation(n)
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                acts, pred = self._forward(X[idx], weights, biases)
+                delta = (pred - y[idx])[:, None] / idx.size
+                grads_w, grads_b = [], []
+                for layer in range(len(weights) - 1, -1, -1):
+                    grads_w.append(
+                        acts[layer].T @ delta + self.alpha * weights[layer]
+                    )
+                    grads_b.append(delta.sum(axis=0))
+                    if layer > 0:
+                        delta = (delta @ weights[layer].T) * (
+                            acts[layer] > 0
+                        )
+                grads_w.reverse()
+                grads_b.reverse()
+                step += 1
+                for layer in range(len(weights)):
+                    for param, grad, m, v in (
+                        (weights[layer], grads_w[layer], m_w, v_w),
+                        (biases[layer], grads_b[layer], m_b, v_b),
+                    ):
+                        m[layer] = beta1 * m[layer] + (1 - beta1) * grad
+                        v[layer] = beta2 * v[layer] + (1 - beta2) * grad**2
+                        m_hat = m[layer] / (1 - beta1**step)
+                        v_hat = v[layer] / (1 - beta2**step)
+                        param -= (
+                            self.learning_rate
+                            * m_hat
+                            / (np.sqrt(v_hat) + eps)
+                        )
+        self._weights = weights
+        self._biases = biases
+
+    def _predict(self, X):
+        _, out = self._forward(X, self._weights, self._biases)
+        return out

@@ -1,0 +1,32 @@
+"""Train/test split helper."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def train_test_split(
+    X,
+    y,
+    test_size: float = 0.5,
+    rng: RngLike = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (X_train, X_test, y_train, y_test)."""
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y row counts differ")
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_size)))
+    if n_test >= n:
+        raise ValueError("split leaves no training samples")
+    order = ensure_rng(rng).permutation(n)
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

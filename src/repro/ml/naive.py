@@ -1,0 +1,43 @@
+"""The paper's naive estimation models (§4.1.2).
+
+The naive area model predicts the accelerator area as the *sum* of the
+component areas; the naive QoR model predicts SSIM as the *negative sum*
+of the component WMEDs.  Both reduce to a signed sum over a subset of
+feature columns — no learning involved (``fit`` is a no-op that only
+records feature count).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml.base import Regressor
+
+
+class NaiveAdditiveModel(Regressor):
+    """Signed sum over selected feature columns.
+
+    ``columns=None`` sums all features.  ``sign=-1`` yields the paper's
+    naive SSIM model (higher cumulative error => lower predicted quality).
+    """
+
+    def __init__(
+        self, columns: Optional[Sequence[int]] = None, sign: float = 1.0
+    ):
+        super().__init__()
+        if sign not in (-1.0, 1.0, -1, 1):
+            raise ValueError("sign must be +1 or -1")
+        self.columns = None if columns is None else list(columns)
+        self.sign = float(sign)
+
+    def _fit(self, X, y):
+        if self.columns is not None:
+            bad = [c for c in self.columns if not 0 <= c < X.shape[1]]
+            if bad:
+                raise ValueError(f"column indices out of range: {bad}")
+
+    def _predict(self, X):
+        cols = X if self.columns is None else X[:, self.columns]
+        return self.sign * cols.sum(axis=1)

@@ -1,0 +1,37 @@
+"""k-nearest-neighbours regression (brute force, Euclidean)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+
+
+class KNeighborsRegressor(Regressor):
+    """Mean of the ``k`` nearest training targets."""
+
+    def __init__(self, n_neighbors: int = 5):
+        super().__init__()
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+
+    def _fit(self, X, y):
+        self._X = X
+        self._y = y
+
+    def _predict(self, X):
+        k = min(self.n_neighbors, self._X.shape[0])
+        out = np.empty(X.shape[0])
+        # Chunked distance computation keeps memory bounded.
+        chunk = max(1, 2_000_000 // max(1, self._X.shape[0]))
+        for start in range(0, X.shape[0], chunk):
+            block = X[start : start + chunk]
+            d2 = (
+                np.sum(block**2, axis=1)[:, None]
+                - 2.0 * block @ self._X.T
+                + np.sum(self._X**2, axis=1)[None, :]
+            )
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            out[start : start + chunk] = self._y[nearest].mean(axis=1)
+        return out

@@ -1,0 +1,58 @@
+"""Partial least squares regression (NIPALS, single y)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Regressor
+
+
+class PLSRegression(Regressor):
+    """PLS1 with ``n_components`` latent directions."""
+
+    def __init__(self, n_components: int = 2):
+        super().__init__()
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+
+    def _fit(self, X, y):
+        self._x_mean = X.mean(axis=0)
+        self._x_scale = X.std(axis=0)
+        self._x_scale[self._x_scale == 0] = 1.0
+        self._y_mean = y.mean()
+        E = (X - self._x_mean) / self._x_scale
+        f = y - self._y_mean
+        n, d = X.shape
+        k = min(self.n_components, d, n - 1) if n > 1 else 1
+        W = np.zeros((d, k))
+        P = np.zeros((d, k))
+        q = np.zeros(k)
+        for a in range(k):
+            w = E.T @ f
+            norm = np.linalg.norm(w)
+            if norm < 1e-12:
+                k = a
+                break
+            w /= norm
+            t = E @ w
+            tt = float(t @ t)
+            if tt < 1e-12:
+                k = a
+                break
+            p = E.T @ t / tt
+            qa = float(f @ t) / tt
+            E = E - np.outer(t, p)
+            f = f - qa * t
+            W[:, a] = w
+            P[:, a] = p
+            q[a] = qa
+        if k == 0:
+            self._coef = np.zeros(d)
+            return
+        W, P, q = W[:, :k], P[:, :k], q[:k]
+        self._coef = W @ np.linalg.solve(P.T @ W, q)
+
+    def _predict(self, X):
+        Xs = (X - self._x_mean) / self._x_scale
+        return Xs @ self._coef + self._y_mean

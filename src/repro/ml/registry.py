@@ -1,0 +1,63 @@
+"""Registry of learning engines — one per Table 3 row."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import ModelError
+from repro.ml.base import Regressor
+from repro.ml.boosting import AdaBoostRegressor, GradientBoostingRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.kernel_ridge import KernelRidgeRegressor
+from repro.ml.linear import (
+    BayesianRidge,
+    LarsRegressor,
+    LassoRegressor,
+    SGDRegressor,
+)
+from repro.ml.mlp import MLPRegressor
+from repro.ml.neighbors import KNeighborsRegressor
+from repro.ml.pls import PLSRegression
+from repro.ml.trees import DecisionTreeRegressor
+
+#: Table 3 engines, in the paper's row order.  Factories take a seed.
+_ENGINES: Dict[str, Callable[[int], Regressor]] = {
+    "Random Forest": lambda seed: RandomForestRegressor(
+        n_estimators=100, max_features=0.7, rng=seed
+    ),
+    "Decision Tree": lambda seed: DecisionTreeRegressor(rng=seed),
+    "K-Neighbors": lambda seed: KNeighborsRegressor(n_neighbors=5),
+    "Bayesian Ridge": lambda seed: BayesianRidge(),
+    "Partial least squares": lambda seed: PLSRegression(n_components=2),
+    "Lasso": lambda seed: LassoRegressor(alpha=0.001),
+    "Ada Boost": lambda seed: AdaBoostRegressor(
+        n_estimators=50, max_depth=3, rng=seed
+    ),
+    "Least-angle": lambda seed: LarsRegressor(),
+    "Gradient Boosting": lambda seed: GradientBoostingRegressor(
+        n_estimators=100, learning_rate=0.1, max_depth=3, rng=seed
+    ),
+    "MLP neural network": lambda seed: MLPRegressor(
+        hidden_layer_sizes=(100,), max_iter=60, rng=seed
+    ),
+    "Gaussian process": lambda seed: GaussianProcessRegressor(),
+    "Kernel ridge": lambda seed: KernelRidgeRegressor(),
+    "Stochastic Gradient Descent": lambda seed: SGDRegressor(
+        max_iter=50, rng=seed
+    ),
+}
+
+
+def default_engines() -> List[str]:
+    """Engine names in the paper's Table 3 order."""
+    return list(_ENGINES)
+
+
+def make_engine(name: str, seed: int = 0) -> Regressor:
+    """Instantiate a fresh engine by its Table 3 name."""
+    if name not in _ENGINES:
+        raise ModelError(
+            f"unknown engine {name!r}; known: {sorted(_ENGINES)}"
+        )
+    return _ENGINES[name](seed)

@@ -1,0 +1,28 @@
+"""Gate-level netlist substrate.
+
+This package stands in for the structural-Verilog view of each library
+component.  Circuit families build real gate netlists (AND/OR/XOR/FA/HA...)
+so that the synthesis substitute (:mod:`repro.synthesis`) can reproduce the
+paper's key effect: constant and dead-logic propagation across component
+boundaries makes the true accelerator area smaller than the sum of component
+areas.
+"""
+
+from repro.netlist.cells import CELLS, CellType, macro_cell
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+from repro.netlist.builders import build_netlist
+from repro.netlist.simulate import simulate
+from repro.netlist.verilog import to_verilog
+
+__all__ = [
+    "to_verilog",
+    "CELLS",
+    "CellType",
+    "macro_cell",
+    "CONST0",
+    "CONST1",
+    "Gate",
+    "Netlist",
+    "build_netlist",
+    "simulate",
+]

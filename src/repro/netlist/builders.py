@@ -1,0 +1,64 @@
+"""Dispatch from behavioural circuit models to structural netlists."""
+
+from __future__ import annotations
+
+from repro.circuits.adders import (
+    AlmostCorrectAdder,
+    LowerOrAdder,
+    QuAdAdder,
+    TruncatedAdder,
+)
+from repro.circuits.base import (
+    ArithmeticCircuit,
+    ExactAdder,
+    ExactMultiplier,
+    ExactSubtractor,
+)
+from repro.circuits.multipliers import (
+    DrumMultiplier,
+    MaskedMultiplier,
+    MitchellMultiplier,
+    RecursiveApproxMultiplier,
+)
+from repro.circuits.subtractors import BlockSubtractor, TruncatedSubtractor
+from repro.errors import NetlistError
+from repro.netlist import builders_adder as adders
+from repro.netlist import builders_multiplier as mults
+from repro.netlist.netlist import Netlist
+
+#: Builder dispatch table, ordered so subclasses are matched before their
+#: base classes (GeArAdder before QuAdAdder, BAM before MaskedMultiplier).
+_BUILDERS = (
+    (ExactAdder, adders.build_exact_adder),
+    (TruncatedAdder, adders.build_truncated_adder),
+    (LowerOrAdder, adders.build_lower_or_adder),
+    (AlmostCorrectAdder, adders.build_almost_correct_adder),
+    (QuAdAdder, adders.build_quad_adder),
+    (ExactSubtractor, adders.build_exact_subtractor),
+    (TruncatedSubtractor, adders.build_truncated_subtractor),
+    (BlockSubtractor, adders.build_block_subtractor),
+    (RecursiveApproxMultiplier, mults.build_recursive_multiplier),
+    (MitchellMultiplier, mults.build_mitchell_multiplier),
+    (DrumMultiplier, mults.build_drum_multiplier),
+    (ExactMultiplier, None),  # exact multiplier builds as a full-mask array
+    (MaskedMultiplier, mults.build_masked_multiplier),
+)
+
+
+def build_netlist(circuit: ArithmeticCircuit) -> Netlist:
+    """Return the gate-level netlist implementing ``circuit``."""
+    if isinstance(circuit, ExactMultiplier):
+        full = MaskedMultiplier(
+            circuit.width,
+            [(1 << circuit.width) - 1] * circuit.width,
+            name=circuit.name,
+        )
+        return mults.build_masked_multiplier(full)
+    for klass, builder in _BUILDERS:
+        if builder is not None and isinstance(circuit, klass):
+            netlist = builder(circuit)
+            netlist.validate()
+            return netlist
+    raise NetlistError(
+        f"no netlist builder for circuit family {type(circuit).__name__}"
+    )

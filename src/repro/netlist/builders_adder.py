@@ -1,0 +1,179 @@
+"""Structural netlist builders for the adder and subtractor families.
+
+Every builder returns a :class:`~repro.netlist.netlist.Netlist` with input
+vectors ``a`` and ``b`` (operand width, LSB first) and output vector ``y``
+(result width).  Subtractor outputs are the ``n+1``-bit two's-complement
+encoding of ``a - b``.
+
+Builders are intentionally naive — redundant MAJ3 cells with constant
+carries and the like are left in; the synthesis substitute's constant
+propagation cleans them up, exactly as a logic synthesiser would.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.circuits.adders import (
+    AlmostCorrectAdder,
+    LowerOrAdder,
+    QuAdAdder,
+    TruncatedAdder,
+)
+from repro.circuits.base import ExactAdder, ExactSubtractor
+from repro.circuits.subtractors import BlockSubtractor, TruncatedSubtractor
+from repro.netlist.cells import CELLS
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.netlist.vector_ops import (
+    borrow_chain,
+    carry_chain,
+    invert_bits,
+    ripple_add,
+    ripple_sub,
+)
+
+
+def build_exact_adder(circuit: ExactAdder) -> Netlist:
+    """Plain ripple-carry adder: ``n`` FA cells."""
+    n = circuit.width
+    nl = Netlist(circuit.name)
+    a = nl.add_input("a", n)
+    b = nl.add_input("b", n)
+    sums, carry = ripple_add(nl, a, b)
+    nl.add_output("y", sums + [carry])
+    return nl
+
+
+def build_truncated_adder(circuit: TruncatedAdder) -> Netlist:
+    """Truncated adder: upper RCA only; low result bits are fill wiring."""
+    n, t = circuit.width, circuit.trunc_bits
+    nl = Netlist(circuit.name)
+    a = nl.add_input("a", n)
+    b = nl.add_input("b", n)
+    low: List[int] = []
+    for i in range(t):
+        if circuit.fill == "zero":
+            low.append(CONST0)
+        elif circuit.fill == "half":
+            low.append(CONST1 if i == t - 1 else CONST0)
+        else:  # copy operand a
+            low.append(a[i])
+    sums, carry = ripple_add(nl, a[t:], b[t:])
+    nl.add_output("y", low + sums + [carry])
+    return nl
+
+
+def build_lower_or_adder(circuit: LowerOrAdder) -> Netlist:
+    """LOA: OR cells for the low part, AND carry generator, upper RCA."""
+    n, l = circuit.width, circuit.or_bits
+    nl = Netlist(circuit.name)
+    a = nl.add_input("a", n)
+    b = nl.add_input("b", n)
+    low: List[int] = []
+    for i in range(l):
+        (o,) = nl.add_gate(CELLS["OR2"], [a[i], b[i]])
+        low.append(o)
+    carry_in = CONST0
+    if l > 0:
+        (carry_in,) = nl.add_gate(CELLS["AND2"], [a[l - 1], b[l - 1]])
+    sums, carry = ripple_add(nl, a[l:], b[l:], carry_in)
+    nl.add_output("y", low + sums + [carry])
+    return nl
+
+
+def build_almost_correct_adder(circuit: AlmostCorrectAdder) -> Netlist:
+    """ACA: per output bit, an independent windowed carry chain."""
+    n, w = circuit.width, circuit.window
+    nl = Netlist(circuit.name)
+    a = nl.add_input("a", n)
+    b = nl.add_input("b", n)
+    bits: List[int] = []
+    for i in range(n + 1):
+        start = max(0, i - w)
+        carry = carry_chain(nl, a[start:i], b[start:i])
+        if i == n:
+            bits.append(carry)
+        else:
+            (s,) = nl.add_gate(CELLS["XOR3"], [a[i], b[i], carry])
+            bits.append(s)
+    nl.add_output("y", bits)
+    return nl
+
+
+def build_quad_adder(circuit: QuAdAdder) -> Netlist:
+    """QuAd/GeAr block adder: MAJ3 prediction chains + per-block RCAs."""
+    n = circuit.width
+    nl = Netlist(circuit.name)
+    a = nl.add_input("a", n)
+    b = nl.add_input("b", n)
+    bits: List[int] = [CONST0] * (n + 1)
+    offset = 0
+    for k, (length, pred) in enumerate(
+        zip(circuit.blocks, circuit.predictions)
+    ):
+        start = offset - pred
+        carry = carry_chain(nl, a[start:offset], b[start:offset])
+        sums, carry_out = ripple_add(
+            nl, a[offset : offset + length], b[offset : offset + length], carry
+        )
+        bits[offset : offset + length] = sums
+        if k == len(circuit.blocks) - 1:
+            bits[n] = carry_out
+        offset += length
+    nl.add_output("y", bits)
+    return nl
+
+
+def build_exact_subtractor(circuit: ExactSubtractor) -> Netlist:
+    """Two's-complement subtractor: invert ``b``, add with carry-in one."""
+    n = circuit.width
+    nl = Netlist(circuit.name)
+    a = nl.add_input("a", n)
+    b = nl.add_input("b", n)
+    b_ext = list(b) + [CONST0]
+    a_ext = list(a) + [CONST0]
+    b_inv = invert_bits(nl, b_ext)
+    sums, _ = ripple_add(nl, a_ext, b_inv, CONST1)
+    nl.add_output("y", sums)
+    return nl
+
+
+def build_truncated_subtractor(circuit: TruncatedSubtractor) -> Netlist:
+    """Truncated subtractor: upper two's-complement core, fill wiring below."""
+    n, t = circuit.width, circuit.trunc_bits
+    nl = Netlist(circuit.name)
+    a = nl.add_input("a", n)
+    b = nl.add_input("b", n)
+    low = [a[i] if circuit.fill == "copy" else CONST0 for i in range(t)]
+    a_ext = list(a[t:]) + [CONST0]
+    b_inv = invert_bits(nl, list(b[t:]) + [CONST0])
+    sums, _ = ripple_add(nl, a_ext, b_inv, CONST1)
+    nl.add_output("y", low + sums)
+    return nl
+
+
+def build_block_subtractor(circuit: BlockSubtractor) -> Netlist:
+    """Block subtractor with MAJ3 borrow-prediction chains per block."""
+    n = circuit.width
+    nl = Netlist(circuit.name)
+    a = nl.add_input("a", n)
+    b = nl.add_input("b", n)
+    bits: List[int] = [CONST0] * (n + 1)
+    offset = 0
+    for k, (length, pred) in enumerate(
+        zip(circuit.blocks, circuit.predictions)
+    ):
+        start = offset - pred
+        borrow = borrow_chain(nl, a[start:offset], b[start:offset])
+        diffs, borrow_out = ripple_sub(
+            nl,
+            a[offset : offset + length],
+            b[offset : offset + length],
+            borrow,
+        )
+        bits[offset : offset + length] = diffs
+        if k == len(circuit.blocks) - 1:
+            bits[n] = borrow_out
+        offset += length
+    nl.add_output("y", bits)
+    return nl

@@ -1,0 +1,77 @@
+"""Standard-cell library for the synthesis substitute.
+
+Numbers are representative of a 45 nm commercial library (the paper targets
+Synopsys Design Compiler at 45 nm): areas in um^2, pin-to-pin delays in ns,
+and a nominal per-gate power in uW that folds leakage together with dynamic
+power at a fixed switching activity.  Absolute values only set the scale —
+the methodology consumes relative costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CellType:
+    """One standard cell: geometry, timing, power and pin counts."""
+
+    name: str
+    area: float
+    delay: float
+    power: float
+    num_inputs: int
+    num_outputs: int
+    is_macro: bool = False
+
+    def __post_init__(self):
+        if self.area < 0 or self.delay < 0 or self.power < 0:
+            raise ValueError("cell costs must be non-negative")
+        if self.num_inputs < 1 or self.num_outputs < 1:
+            raise ValueError("cells need at least one input and output")
+
+
+def _cell(name, area, delay, power, n_in, n_out=1) -> CellType:
+    return CellType(name, area, delay, power, n_in, n_out)
+
+
+#: Primitive cells available to the builders.  FA/HA are the usual
+#: full/half-adder standard cells (outputs: sum, carry).  MAJ3 is the
+#: carry-only majority cell used by speculative adders; XOR3 is the
+#: three-input sum cell.
+CELLS = {
+    c.name: c
+    for c in [
+        _cell("INV", 0.53, 0.010, 0.3, 1),
+        _cell("BUF", 0.80, 0.015, 0.4, 1),
+        _cell("NAND2", 0.80, 0.014, 0.4, 2),
+        _cell("NOR2", 0.80, 0.016, 0.4, 2),
+        _cell("AND2", 1.06, 0.020, 0.5, 2),
+        _cell("OR2", 1.06, 0.020, 0.5, 2),
+        _cell("XOR2", 1.60, 0.030, 0.8, 2),
+        _cell("XNOR2", 1.60, 0.030, 0.8, 2),
+        _cell("MUX2", 1.86, 0.030, 0.9, 3),  # inputs: (d0, d1, sel)
+        _cell("MAJ3", 2.13, 0.033, 1.0, 3),
+        _cell("XOR3", 3.19, 0.055, 1.5, 3),
+        CellType("HA", 2.66, 0.045, 1.2, 2, 2),  # outputs: (sum, carry)
+        CellType("FA", 4.79, 0.075, 2.2, 3, 2),  # inputs: (a, b, cin)
+    ]
+}
+
+
+def macro_cell(
+    name: str,
+    area: float,
+    delay: float,
+    power: float,
+    num_inputs: int,
+    num_outputs: int,
+) -> CellType:
+    """Create a black-box macro cell (e.g. a logarithmic-multiplier core).
+
+    Macros are opaque to constant propagation; dead-logic elimination drops
+    them only when every output is unused.
+    """
+    return CellType(
+        name, area, delay, power, num_inputs, num_outputs, is_macro=True
+    )

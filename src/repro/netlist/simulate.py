@@ -1,0 +1,112 @@
+"""Vectorised logic simulation of netlists.
+
+Used by the test-suite to verify that every structural builder implements
+exactly the same function as its behavioural circuit model, and by the
+synthesis substitute to cross-check optimisations.
+
+Macro cells cannot be simulated (they are opaque); netlists containing them
+are only characterised structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+IntArray = Union[int, np.ndarray]
+
+
+def _eval_gate(cell_name: str, ins):
+    if cell_name == "INV":
+        return (1 - ins[0],)
+    if cell_name == "BUF":
+        return (ins[0],)
+    if cell_name == "NAND2":
+        return (1 - (ins[0] & ins[1]),)
+    if cell_name == "NOR2":
+        return (1 - (ins[0] | ins[1]),)
+    if cell_name == "AND2":
+        return (ins[0] & ins[1],)
+    if cell_name == "OR2":
+        return (ins[0] | ins[1],)
+    if cell_name == "XOR2":
+        return (ins[0] ^ ins[1],)
+    if cell_name == "XNOR2":
+        return (1 - (ins[0] ^ ins[1]),)
+    if cell_name == "MUX2":
+        d0, d1, sel = ins
+        return ((d0 & (1 - sel)) | (d1 & sel),)
+    if cell_name == "MAJ3":
+        a, b, c = ins
+        return ((a & b) | (a & c) | (b & c),)
+    if cell_name == "XOR3":
+        return (ins[0] ^ ins[1] ^ ins[2],)
+    if cell_name == "HA":
+        a, b = ins
+        return (a ^ b, a & b)
+    if cell_name == "FA":
+        a, b, c = ins
+        return (a ^ b ^ c, (a & b) | (a & c) | (b & c))
+    raise NetlistError(f"cannot simulate cell {cell_name!r}")
+
+
+def simulate(
+    netlist: Netlist, input_values: Dict[str, IntArray]
+) -> Dict[str, np.ndarray]:
+    """Simulate ``netlist`` on vector input values.
+
+    ``input_values`` maps every input port to an integer (or int array);
+    the returned dict maps every output port to the simulated integer
+    values (int64 arrays, LSB-first port bit order folded back into ints).
+    """
+    missing = set(netlist.inputs) - set(input_values)
+    if missing:
+        raise NetlistError(f"missing values for inputs: {sorted(missing)}")
+
+    shape = None
+    for value in input_values.values():
+        arr = np.asarray(value)
+        if arr.ndim > 0:
+            shape = arr.shape
+            break
+    zeros = np.zeros(shape, dtype=np.int64) if shape else 0
+    ones = zeros + 1
+
+    values: Dict[int, IntArray] = {CONST0: zeros, CONST1: ones}
+    for name, nets in netlist.inputs.items():
+        word = np.asarray(input_values[name], dtype=np.int64)
+        for position, net in enumerate(nets):
+            values[net] = (word >> position) & 1
+
+    for idx in netlist.topological_order():
+        gate = netlist.gates[idx]
+        if gate.cell.is_macro:
+            raise NetlistError(
+                f"macro cell {gate.cell.name!r} is not simulatable"
+            )
+        ins = []
+        for net in gate.inputs:
+            if net not in values:
+                raise NetlistError(f"net {net} read before being driven")
+            ins.append(values[net])
+        outs = _eval_gate(gate.cell.name, ins)
+        for net, val in zip(gate.outputs, outs):
+            values[net] = val
+
+    results: Dict[str, np.ndarray] = {}
+    for name, nets in netlist.outputs.items():
+        word = zeros
+        for position, net in enumerate(nets):
+            if net not in values:
+                raise NetlistError(
+                    f"output {name!r} bit {position} (net {net}) undriven"
+                )
+            word = word + (values[net].astype(np.int64) << position
+                           if isinstance(values[net], np.ndarray)
+                           else values[net] << position)
+        results[name] = word
+    return results

@@ -1,0 +1,112 @@
+"""Reusable structural building blocks: ripple chains and vector adders."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.netlist.cells import CELLS
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+
+def carry_chain(
+    netlist: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    carry_in: int = CONST0,
+) -> int:
+    """Ripple only the carry through ``a + b`` and return the carry-out.
+
+    Used for carry/borrow *prediction* segments where the sum bits are not
+    needed: each position costs a single MAJ3 cell.
+    """
+    carry = carry_in
+    for a, b in zip(a_bits, b_bits):
+        (carry,) = netlist.add_gate(CELLS["MAJ3"], [a, b, carry])
+    return carry
+
+
+def ripple_add(
+    netlist: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    carry_in: int = CONST0,
+) -> Tuple[List[int], int]:
+    """Ripple-carry addition of two equal-width bit vectors.
+
+    Returns ``(sum_bits, carry_out)``.
+    """
+    if len(a_bits) != len(b_bits):
+        raise ValueError("ripple_add needs equal-width vectors")
+    sums: List[int] = []
+    carry = carry_in
+    for a, b in zip(a_bits, b_bits):
+        s, carry = netlist.add_gate(CELLS["FA"], [a, b, carry])
+        sums.append(s)
+    return sums, carry
+
+
+def vector_add(
+    netlist: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    carry_in: int = CONST0,
+) -> List[int]:
+    """Add two bit vectors of possibly different widths.
+
+    The shorter vector is zero-extended; the result carries one extra bit.
+    """
+    width = max(len(a_bits), len(b_bits))
+    a_ext = list(a_bits) + [CONST0] * (width - len(a_bits))
+    b_ext = list(b_bits) + [CONST0] * (width - len(b_bits))
+    sums, carry = ripple_add(netlist, a_ext, b_ext, carry_in)
+    return sums + [carry]
+
+
+def invert_bits(netlist: Netlist, bits: Sequence[int]) -> List[int]:
+    """Bitwise inversion; constants are folded immediately."""
+    out: List[int] = []
+    for bit in bits:
+        if bit == CONST0:
+            out.append(CONST1)
+        elif bit == CONST1:
+            out.append(CONST0)
+        else:
+            (inv,) = netlist.add_gate(CELLS["INV"], [bit])
+            out.append(inv)
+    return out
+
+
+def borrow_chain(
+    netlist: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    borrow_in: int = CONST0,
+) -> int:
+    """Ripple only the borrow of ``a - b`` and return the borrow-out.
+
+    ``borrow_out = MAJ(~a, b, borrow_in)`` per position.
+    """
+    borrow = borrow_in
+    for a, b in zip(a_bits, b_bits):
+        not_a = invert_bits(netlist, [a])[0]
+        (borrow,) = netlist.add_gate(CELLS["MAJ3"], [not_a, b, borrow])
+    return borrow
+
+
+def ripple_sub(
+    netlist: Netlist,
+    a_bits: Sequence[int],
+    b_bits: Sequence[int],
+    borrow_in: int = CONST0,
+) -> Tuple[List[int], int]:
+    """Ripple-borrow subtraction ``a - b``; returns (diff_bits, borrow_out)."""
+    if len(a_bits) != len(b_bits):
+        raise ValueError("ripple_sub needs equal-width vectors")
+    diffs: List[int] = []
+    borrow = borrow_in
+    for a, b in zip(a_bits, b_bits):
+        (d,) = netlist.add_gate(CELLS["XOR3"], [a, b, borrow])
+        not_a = invert_bits(netlist, [a])[0]
+        (borrow,) = netlist.add_gate(CELLS["MAJ3"], [not_a, b, borrow])
+        diffs.append(d)
+    return diffs, borrow

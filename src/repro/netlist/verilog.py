@@ -1,0 +1,156 @@
+"""Structural Verilog export.
+
+The paper describes accelerators in Verilog HDL for synthesis; this
+module closes the loop by emitting synthesisable structural Verilog for
+any netlist in the substrate — component netlists and composed
+accelerators alike.  Primitive cells map to Verilog operators via
+``assign`` statements; macro cells are emitted as black-box instances
+with a module stub so downstream tools see consistent interfaces.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import NetlistError
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+
+_EXPRESSIONS = {
+    "INV": "~{0}",
+    "BUF": "{0}",
+    "AND2": "{0} & {1}",
+    "NAND2": "~({0} & {1})",
+    "OR2": "{0} | {1}",
+    "NOR2": "~({0} | {1})",
+    "XOR2": "{0} ^ {1}",
+    "XNOR2": "~({0} ^ {1})",
+    "MUX2": "{2} ? {1} : {0}",
+    "MAJ3": "({0} & {1}) | ({0} & {2}) | ({1} & {2})",
+    "XOR3": "{0} ^ {1} ^ {2}",
+}
+
+_MULTI_OUT = {
+    "HA": ("{0} ^ {1}", "{0} & {1}"),
+    "FA": (
+        "{0} ^ {1} ^ {2}",
+        "({0} & {1}) | ({0} & {2}) | ({1} & {2})",
+    ),
+}
+
+
+def _sanitize(name: str) -> str:
+    """Make an arbitrary netlist name a legal Verilog identifier."""
+    clean = re.sub(r"[^A-Za-z0-9_]", "_", name)
+    if not clean or not (clean[0].isalpha() or clean[0] == "_"):
+        clean = "m_" + clean
+    return clean
+
+
+def to_verilog(netlist: Netlist, module_name: str = "") -> str:
+    """Render ``netlist`` as a structural Verilog module.
+
+    Vector ports use ``[width-1:0]`` declarations with LSB-first bit
+    order preserved.  Macro cells become instantiations of stub modules
+    declared after the main module.
+    """
+    netlist.validate()
+    module = _sanitize(module_name or netlist.name)
+
+    def net_name(net: int) -> str:
+        if net == CONST0:
+            return "1'b0"
+        if net == CONST1:
+            return "1'b1"
+        return f"n{net}"
+
+    ports: List[str] = []
+    decls: List[str] = []
+    body: List[str] = []
+
+    for name, nets in netlist.inputs.items():
+        ports.append(_sanitize(name))
+        decls.append(
+            f"  input  [{len(nets) - 1}:0] {_sanitize(name)};"
+        )
+        for position, net in enumerate(nets):
+            body.append(
+                f"  assign {net_name(net)} = "
+                f"{_sanitize(name)}[{position}];"
+            )
+    for name, nets in netlist.outputs.items():
+        ports.append(_sanitize(name))
+        decls.append(
+            f"  output [{len(nets) - 1}:0] {_sanitize(name)};"
+        )
+
+    wire_nets = sorted(
+        {
+            net
+            for gate in netlist.live_gates()
+            for net in (*gate.inputs, *gate.outputs)
+            if net not in (CONST0, CONST1)
+        }
+        | {
+            net
+            for nets in netlist.inputs.values()
+            for net in nets
+        }
+    )
+    if wire_nets:
+        decls.append(
+            "  wire " + ", ".join(net_name(n) for n in wire_nets) + ";"
+        )
+
+    macro_stubs: Dict[str, Gate] = {}
+    for index, gate in enumerate(netlist.live_gates()):
+        cell = gate.cell
+        ins = [net_name(n) for n in gate.inputs]
+        outs = [net_name(n) for n in gate.outputs]
+        if cell.name in _EXPRESSIONS:
+            body.append(
+                f"  assign {outs[0]} = "
+                f"{_EXPRESSIONS[cell.name].format(*ins)};"
+            )
+        elif cell.name in _MULTI_OUT:
+            for expr, out in zip(_MULTI_OUT[cell.name], outs):
+                body.append(f"  assign {out} = {expr.format(*ins)};")
+        elif cell.is_macro:
+            stub = _sanitize(cell.name)
+            macro_stubs[stub] = gate
+            pins = ", ".join(
+                f".i{k}({v})" for k, v in enumerate(ins)
+            ) + ", " + ", ".join(
+                f".o{k}({v})" for k, v in enumerate(outs)
+            )
+            body.append(f"  {stub} u_{stub}_{index} ({pins});")
+        else:  # pragma: no cover - all cells are covered above
+            raise NetlistError(f"cannot export cell {cell.name!r}")
+
+    for name, nets in netlist.outputs.items():
+        for position, net in enumerate(nets):
+            body.append(
+                f"  assign {_sanitize(name)}[{position}] = "
+                f"{net_name(net)};"
+            )
+
+    lines = [f"module {module} ({', '.join(ports)});"]
+    lines.extend(decls)
+    lines.extend(body)
+    lines.append("endmodule")
+
+    for stub, gate in macro_stubs.items():
+        pin_list = [f"i{k}" for k in range(len(gate.inputs))] + [
+            f"o{k}" for k in range(len(gate.outputs))
+        ]
+        lines.append("")
+        lines.append(
+            f"module {stub} ({', '.join(pin_list)});  // black box"
+        )
+        for k in range(len(gate.inputs)):
+            lines.append(f"  input i{k};")
+        for k in range(len(gate.outputs)):
+            lines.append(f"  output o{k};")
+        lines.append("endmodule")
+
+    return "\n".join(lines) + "\n"

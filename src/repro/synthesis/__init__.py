@@ -1,0 +1,27 @@
+"""Synthesis substitute standing in for Synopsys Design Compiler @ 45 nm.
+
+Provides logic optimisation (constant propagation with gate rewriting and
+net aliasing, plus dead-gate elimination) and area/delay/power reporting
+over the gate netlists of :mod:`repro.netlist`.  Cross-component constant
+and dead-logic sweeps are what make the accelerator-level area a non-linear
+function of the component areas — the effect the paper's learned hardware
+models capture and the naive additive model misses.
+"""
+
+from repro.synthesis.passes import (
+    constant_propagation,
+    dead_gate_elimination,
+    dead_pin_rewrite,
+)
+from repro.synthesis.synthesizer import SynthesisReport, optimize, synthesize
+from repro.synthesis.timing import critical_path_delay
+
+__all__ = [
+    "constant_propagation",
+    "dead_gate_elimination",
+    "dead_pin_rewrite",
+    "SynthesisReport",
+    "optimize",
+    "synthesize",
+    "critical_path_delay",
+]

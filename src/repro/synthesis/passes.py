@@ -1,0 +1,350 @@
+"""Logic optimisation passes.
+
+:func:`constant_propagation` folds constants through the netlist, rewrites
+partially-constant cells to cheaper ones (FA with a zero carry becomes an
+HA, a majority cell with a zero input becomes an AND...), and merges nets
+that become aliases of one another.  :func:`dead_gate_elimination` removes
+every gate whose outputs cannot reach a primary output.  Run to fixpoint by
+:func:`repro.synthesis.synthesizer.optimize`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.cells import CELLS
+from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
+
+_CONST_VALUE = {CONST0: 0, CONST1: 1}
+_CONST_NET = {0: CONST0, 1: CONST1}
+
+
+class _NetState:
+    """Tracks constant values and alias links discovered during the pass."""
+
+    def __init__(self):
+        self.consts: Dict[int, int] = {}
+        self.alias: Dict[int, int] = {}
+
+    def resolve(self, net: int) -> int:
+        """Follow alias links (with path compression) to the canonical net."""
+        seen: List[int] = []
+        while net in self.alias:
+            seen.append(net)
+            net = self.alias[net]
+        if net in self.consts:
+            net = _CONST_NET[self.consts[net]]
+        for n in seen:
+            self.alias[n] = net
+        return net
+
+    def value(self, net: int) -> Optional[int]:
+        """Constant value of ``net`` if known, else ``None``."""
+        net = self.resolve(net)
+        if net in _CONST_VALUE:
+            return _CONST_VALUE[net]
+        return self.consts.get(net)
+
+    def set_const(self, net: int, value: int) -> None:
+        self.consts[self.resolve(net)] = value
+
+    def set_alias(self, net: int, target: int) -> None:
+        net = self.resolve(net)
+        target = self.resolve(target)
+        if net != target:
+            self.alias[net] = target
+
+
+def _simplify(
+    gate: Gate, state: _NetState
+) -> Optional[Tuple[str, object]]:
+    """Return a simplification action for ``gate`` or ``None``.
+
+    Actions: ``("drop", [(out, "const", v) | (out, "alias", net), ...])``
+    removes the gate after recording its outputs, and
+    ``("rewrite", Gate)`` replaces it with a cheaper gate.
+    """
+    cell = gate.cell.name
+    if gate.cell.is_macro:
+        return None
+    ins = [state.resolve(n) for n in gate.inputs]
+    vals = [state.value(n) for n in ins]
+
+    def drop_const(*pairs):
+        return ("drop", [(o, "const", v) for o, v in pairs])
+
+    def drop_alias(*pairs):
+        return ("drop", [(o, "alias", n) for o, n in pairs])
+
+    def rewrite(new_cell: str, new_inputs, outputs=None):
+        return (
+            "rewrite",
+            Gate(
+                CELLS[new_cell],
+                tuple(new_inputs),
+                gate.outputs if outputs is None else tuple(outputs),
+            ),
+        )
+
+    out = gate.outputs
+
+    if cell in ("BUF",):
+        if vals[0] is not None:
+            return drop_const((out[0], vals[0]))
+        return drop_alias((out[0], ins[0]))
+
+    if cell == "INV":
+        if vals[0] is not None:
+            return drop_const((out[0], 1 - vals[0]))
+        return None
+
+    if cell in ("AND2", "NAND2", "OR2", "NOR2"):
+        a, b = ins
+        va, vb = vals
+        inverted = cell in ("NAND2", "NOR2")
+        is_and = cell in ("AND2", "NAND2")
+        absorbing = 0 if is_and else 1
+        if va == absorbing or vb == absorbing:
+            return drop_const((out[0], absorbing ^ (1 if inverted else 0)))
+        if va == 1 - absorbing:
+            return (
+                rewrite("INV", [b]) if inverted else drop_alias((out[0], b))
+            )
+        if vb == 1 - absorbing:
+            return (
+                rewrite("INV", [a]) if inverted else drop_alias((out[0], a))
+            )
+        if a == b:
+            return (
+                rewrite("INV", [a]) if inverted else drop_alias((out[0], a))
+            )
+        return None
+
+    if cell in ("XOR2", "XNOR2"):
+        a, b = ins
+        va, vb = vals
+        odd = cell == "XOR2"
+        if va is not None and vb is not None:
+            return drop_const((out[0], (va ^ vb) if odd else 1 - (va ^ vb)))
+        if a == b:
+            return drop_const((out[0], 0 if odd else 1))
+        for x, vx, other in ((a, va, b), (b, vb, a)):
+            if vx == 0:
+                return (
+                    drop_alias((out[0], other))
+                    if odd
+                    else rewrite("INV", [other])
+                )
+            if vx == 1:
+                return (
+                    rewrite("INV", [other])
+                    if odd
+                    else drop_alias((out[0], other))
+                )
+        return None
+
+    if cell == "MUX2":
+        d0, d1, sel = ins
+        vs = vals[2]
+        if vs == 0:
+            return drop_alias((out[0], d0))
+        if vs == 1:
+            return drop_alias((out[0], d1))
+        if d0 == d1:
+            return drop_alias((out[0], d0))
+        if vals[0] == 0 and vals[1] == 1:
+            return drop_alias((out[0], sel))
+        if vals[0] == 1 and vals[1] == 0:
+            return rewrite("INV", [sel])
+        return None
+
+    if cell == "MAJ3":
+        known = [(i, v) for i, v in enumerate(vals) if v is not None]
+        if len(known) == 3:
+            return drop_const((out[0], 1 if sum(vals) >= 2 else 0))
+        if known:
+            i, v = known[0]
+            rest = [ins[j] for j in range(3) if j != i]
+            if v == 0:
+                return rewrite("AND2", rest)
+            return rewrite("OR2", rest)
+        if ins[0] == ins[1]:
+            return drop_alias((out[0], ins[0]))
+        if ins[0] == ins[2]:
+            return drop_alias((out[0], ins[0]))
+        if ins[1] == ins[2]:
+            return drop_alias((out[0], ins[1]))
+        return None
+
+    if cell == "XOR3":
+        known = [(i, v) for i, v in enumerate(vals) if v is not None]
+        if len(known) == 3:
+            return drop_const((out[0], vals[0] ^ vals[1] ^ vals[2]))
+        if known:
+            i, v = known[0]
+            rest = [ins[j] for j in range(3) if j != i]
+            return rewrite("XOR2" if v == 0 else "XNOR2", rest)
+        return None
+
+    if cell == "HA":
+        a, b = ins
+        va, vb = vals
+        s_out, c_out = out
+        if va is not None and vb is not None:
+            return drop_const((s_out, va ^ vb), (c_out, va & vb))
+        for x, vx, other in ((a, va, b), (b, vb, a)):
+            if vx == 0:
+                return ("drop", [(s_out, "alias", other), (c_out, "const", 0)])
+            if vx == 1:
+                return (
+                    "rewrite_multi",
+                    [
+                        Gate(CELLS["INV"], (other,), (s_out,)),
+                    ],
+                    [(c_out, "alias", other)],
+                )
+        return None
+
+    if cell == "FA":
+        a, b, c = ins
+        known = [(i, v) for i, v in enumerate(vals) if v is not None]
+        s_out, c_out = out
+        if len(known) == 3:
+            total = sum(vals)
+            return drop_const((s_out, total & 1), (c_out, total >> 1))
+        if known:
+            i, v = known[0]
+            rest = [ins[j] for j in range(3) if j != i]
+            if v == 0:
+                return rewrite("HA", rest)
+            return (
+                "rewrite_multi",
+                [
+                    Gate(CELLS["XNOR2"], tuple(rest), (s_out,)),
+                    Gate(CELLS["OR2"], tuple(rest), (c_out,)),
+                ],
+                [],
+            )
+        return None
+
+    return None
+
+
+def constant_propagation(netlist: Netlist) -> int:
+    """Fold constants / rewrite cells to fixpoint.  Returns change count."""
+    state = _NetState()
+    total_changes = 0
+    changed = True
+    while changed:
+        changed = False
+        for idx, gate in enumerate(netlist.gates):
+            if gate is None:
+                continue
+            action = _simplify(gate, state)
+            if action is None:
+                resolved = tuple(state.resolve(n) for n in gate.inputs)
+                if resolved != gate.inputs:
+                    netlist.gates[idx] = Gate(
+                        gate.cell, resolved, gate.outputs
+                    )
+                continue
+            if action[0] == "drop":
+                for net, kind, value in action[1]:
+                    if kind == "const":
+                        state.set_const(net, value)
+                    else:
+                        state.set_alias(net, value)
+                netlist.gates[idx] = None
+            elif action[0] == "rewrite":
+                netlist.gates[idx] = action[1]
+            else:  # rewrite_multi: replacement gates + drop records
+                _, new_gates, records = action
+                netlist.gates[idx] = new_gates[0]
+                for extra in new_gates[1:]:
+                    netlist.gates.append(extra)
+                for net, kind, value in records:
+                    if kind == "const":
+                        state.set_const(net, value)
+                    else:
+                        state.set_alias(net, value)
+            changed = True
+            total_changes += 1
+
+    # Re-point every remaining gate input and the output ports through the
+    # alias/constant map.
+    for idx, gate in enumerate(netlist.gates):
+        if gate is None:
+            continue
+        resolved = tuple(state.resolve(n) for n in gate.inputs)
+        if resolved != gate.inputs:
+            netlist.gates[idx] = Gate(gate.cell, resolved, gate.outputs)
+    for name, nets in netlist.outputs.items():
+        netlist.outputs[name] = [state.resolve(n) for n in nets]
+    return total_changes
+
+
+def dead_gate_elimination(netlist: Netlist) -> int:
+    """Remove gates that cannot reach a primary output.  Returns count."""
+    live = set()
+    for nets in netlist.outputs.values():
+        live.update(nets)
+    removed = 0
+    for idx in reversed(netlist.topological_order()):
+        gate = netlist.gates[idx]
+        if any(net in live for net in gate.outputs):
+            live.update(gate.inputs)
+        else:
+            netlist.gates[idx] = None
+            removed += 1
+    return removed
+
+
+#: Rewrites for multi-output cells with one dead output pin: the cheaper
+#: single-output cell computing the remaining live pin.
+#: {cell: {live_pin_index: replacement_cell}}
+_DEAD_PIN_REWRITES = {
+    "FA": {0: "XOR3", 1: "MAJ3"},  # live sum -> XOR3, live carry -> MAJ3
+    "HA": {0: "XOR2", 1: "AND2"},
+}
+
+
+def dead_pin_rewrite(netlist: Netlist) -> int:
+    """Downsize multi-output cells whose outputs are partially unused.
+
+    A ripple adder whose sum bits are never read still has to propagate
+    its carry; a real synthesis tool strips the sum logic and keeps a
+    majority (carry) chain.  This pass performs that rewrite for FA and
+    HA cells, which is what lets a heavily-truncated downstream component
+    shrink its upstream producers — the non-additive area effect the
+    paper's learned hardware models capture (§4.1.2).  Returns the number
+    of rewritten gates.
+    """
+    live = set()
+    for nets in netlist.outputs.values():
+        live.update(nets)
+    order = netlist.topological_order()
+    for idx in reversed(order):
+        gate = netlist.gates[idx]
+        if any(net in live for net in gate.outputs):
+            live.update(gate.inputs)
+
+    rewritten = 0
+    for idx in order:
+        gate = netlist.gates[idx]
+        if gate is None or gate.cell.name not in _DEAD_PIN_REWRITES:
+            continue
+        live_pins = [
+            pin for pin, net in enumerate(gate.outputs) if net in live
+        ]
+        if len(live_pins) != 1:
+            continue
+        replacement = _DEAD_PIN_REWRITES[gate.cell.name].get(live_pins[0])
+        if replacement is None:
+            continue
+        netlist.gates[idx] = Gate(
+            CELLS[replacement],
+            gate.inputs,
+            (gate.outputs[live_pins[0]],),
+        )
+        rewritten += 1
+    return rewritten

@@ -1,0 +1,30 @@
+"""Shared low-level helpers: RNG handling, bit manipulation, validation."""
+
+from repro.utils.bitops import (
+    bit_mask,
+    extract_bit,
+    min_bits_unsigned,
+    to_signed,
+    to_unsigned,
+)
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tabulate import format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+)
+
+__all__ = [
+    "bit_mask",
+    "extract_bit",
+    "min_bits_unsigned",
+    "to_signed",
+    "to_unsigned",
+    "ensure_rng",
+    "spawn_rngs",
+    "format_table",
+    "check_in_range",
+    "check_positive",
+    "check_probability_vector",
+]

@@ -1,0 +1,50 @@
+"""Bit-level helpers used by the behavioural circuit models.
+
+All helpers are vectorised: they accept scalars or numpy integer arrays and
+return the same shape.  Widths are operand widths in bits; arithmetic is
+performed in int64 so that 16x16-bit products never overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+IntLike = Union[int, np.ndarray]
+
+
+def bit_mask(width: int) -> int:
+    """Return the all-ones mask for ``width`` bits (``width >= 0``)."""
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    return (1 << width) - 1
+
+
+def extract_bit(value: IntLike, position: int) -> IntLike:
+    """Return bit ``position`` of ``value`` (0 = LSB) as 0/1."""
+    if position < 0:
+        raise ValueError("bit position must be non-negative")
+    return (value >> position) & 1
+
+
+def min_bits_unsigned(value: int) -> int:
+    """Number of bits needed to represent a non-negative integer."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    return max(1, int(value).bit_length())
+
+
+def to_signed(value: IntLike, width: int) -> IntLike:
+    """Interpret ``width``-bit unsigned words as two's-complement integers."""
+    mask = bit_mask(width)
+    sign = 1 << (width - 1)
+    value = value & mask
+    return np.where(value & sign, value - (1 << width), value) if isinstance(
+        value, np.ndarray
+    ) else (value - (1 << width) if value & sign else value)
+
+
+def to_unsigned(value: IntLike, width: int) -> IntLike:
+    """Wrap (possibly negative) integers into ``width``-bit unsigned words."""
+    return value & bit_mask(width)

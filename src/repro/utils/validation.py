@@ -1,0 +1,39 @@
+"""Argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+import numbers
+from typing import Optional
+
+import numpy as np
+
+
+def check_positive(value: numbers.Real, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(
+    value: numbers.Real,
+    name: str,
+    low: Optional[numbers.Real] = None,
+    high: Optional[numbers.Real] = None,
+) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (bounds optional)."""
+    if low is not None and value < low:
+        raise ValueError(f"{name} must be >= {low}, got {value!r}")
+    if high is not None and value > high:
+        raise ValueError(f"{name} must be <= {high}, got {value!r}")
+
+
+def check_probability_vector(p: np.ndarray, name: str = "p") -> None:
+    """Raise ``ValueError`` unless ``p`` is non-negative and sums to ~1."""
+    p = np.asarray(p, dtype=float)
+    if p.ndim == 0:
+        raise ValueError(f"{name} must be array-like")
+    if np.any(p < 0):
+        raise ValueError(f"{name} must be non-negative")
+    total = float(p.sum())
+    if not np.isclose(total, 1.0, rtol=1e-6, atol=1e-9):
+        raise ValueError(f"{name} must sum to 1, sums to {total}")

@@ -1,0 +1,119 @@
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.accelerators.gaussian_fixed import KERNEL, FixedGaussianFilter
+from repro.accelerators.gaussian_generic import (
+    GenericGaussianFilter,
+    gaussian_kernel_weights,
+    kernel_sweep,
+)
+from repro.imaging.datasets import synthetic_image
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthetic_image(1, shape=(48, 64))
+
+
+class TestFixedGF:
+    def test_table1_inventory(self):
+        acc = FixedGaussianFilter()
+        assert acc.op_inventory() == {
+            ("add", 8): 4,
+            ("add", 9): 2,
+            ("add", 16): 4,
+            ("sub", 16): 1,
+        }
+
+    def test_kernel_sums_to_128(self):
+        assert sum(sum(row) for row in KERNEL) == 128
+
+    def test_matches_integer_convolution(self, image):
+        acc = FixedGaussianFilter()
+        out = acc.golden(image)
+        k = np.asarray(KERNEL, dtype=np.int64)
+        ref = ndimage.correlate(
+            image.astype(np.int64), k, mode="nearest"
+        ) >> 7
+        assert np.array_equal(out, np.clip(ref, 0, 255))
+
+    def test_smooths(self, image):
+        out = FixedGaussianFilter().golden(image)
+        assert out.astype(float).std() <= image.astype(float).std()
+
+    def test_constant_image_preserved(self):
+        flat = np.full((16, 16), 100, dtype=np.uint8)
+        out = FixedGaussianFilter().golden(flat)
+        assert np.all(np.abs(out.astype(int) - 100) <= 1)
+
+
+class TestKernelWeights:
+    def test_sum_is_256(self):
+        for sigma in (0.3, 0.5, 0.8, 2.0):
+            assert sum(gaussian_kernel_weights(sigma)) == 256
+
+    def test_symmetry(self):
+        w = gaussian_kernel_weights(0.6)
+        assert w[0] == w[2] == w[6] == w[8]
+        assert w[1] == w[3] == w[5] == w[7]
+
+    def test_small_sigma_concentrates_centre(self):
+        w03 = gaussian_kernel_weights(0.3)
+        w08 = gaussian_kernel_weights(0.8)
+        assert w03[4] > w08[4]
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel_weights(0.0)
+
+    def test_sweep(self):
+        kernels = kernel_sweep(5, 0.3, 0.8)
+        assert len(kernels) == 5
+        assert kernels[0][4] > kernels[-1][4]  # sigma grows, centre falls
+
+    def test_sweep_single(self):
+        assert len(kernel_sweep(1)) == 1
+
+    def test_sweep_invalid(self):
+        with pytest.raises(ValueError):
+            kernel_sweep(0)
+
+
+class TestGenericGF:
+    def test_table1_inventory(self):
+        acc = GenericGaussianFilter()
+        assert acc.op_inventory() == {("mul", 8): 9, ("add", 16): 8}
+
+    def test_matches_integer_convolution(self, image):
+        acc = GenericGaussianFilter()
+        weights = gaussian_kernel_weights(0.5)
+        out = acc.golden(image, extra=acc.kernel_extra(weights))
+        k = np.asarray(weights, dtype=np.int64).reshape(3, 3)
+        ref = ndimage.correlate(
+            image.astype(np.int64), k, mode="nearest"
+        ) >> 8
+        assert np.array_equal(out, np.clip(ref, 0, 255))
+
+    def test_default_extra_inputs(self, image):
+        acc = GenericGaussianFilter()
+        out_default = acc.golden(image)
+        out_explicit = acc.golden(
+            image,
+            extra=acc.kernel_extra(
+                gaussian_kernel_weights(acc.DEFAULT_SIGMA)
+            ),
+        )
+        assert np.array_equal(out_default, out_explicit)
+
+    def test_kernel_extra_validation(self):
+        with pytest.raises(ValueError):
+            GenericGaussianFilter.kernel_extra((1, 2, 3))
+
+    def test_different_kernels_differ(self, image):
+        acc = GenericGaussianFilter()
+        a = acc.golden(image, extra=acc.kernel_extra(
+            gaussian_kernel_weights(0.3)))
+        b = acc.golden(image, extra=acc.kernel_extra(
+            gaussian_kernel_weights(0.8)))
+        assert not np.array_equal(a, b)

@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.accelerators.graph import DataflowGraph, NodeKind
+from repro.errors import AcceleratorError
+
+
+def simple_graph():
+    g = DataflowGraph("g")
+    g.add_input("a", 8)
+    g.add_input("b", 8)
+    g.add_op("sum", NodeKind.ADD, 8, "a", "b")
+    g.add_shr("half", "sum", 1)
+    g.set_output("half")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        g = DataflowGraph("g")
+        g.add_input("a", 8)
+        with pytest.raises(AcceleratorError):
+            g.add_input("a", 8)
+
+    def test_unknown_operand_rejected(self):
+        g = DataflowGraph("g")
+        with pytest.raises(AcceleratorError):
+            g.add_op("x", NodeKind.ADD, 8, "missing", "missing")
+
+    def test_non_arith_kind_rejected(self):
+        g = DataflowGraph("g")
+        g.add_input("a", 8)
+        with pytest.raises(AcceleratorError):
+            g.add_op("x", NodeKind.SHL, 8, "a", "a")
+
+    def test_output_must_exist(self):
+        g = DataflowGraph("g")
+        with pytest.raises(AcceleratorError):
+            g.set_output("nope")
+
+    def test_output_unset(self):
+        g = DataflowGraph("g")
+        with pytest.raises(AcceleratorError):
+            _ = g.output
+
+    def test_approximable_ops_in_order(self):
+        g = simple_graph()
+        assert [n.name for n in g.approximable_ops()] == ["sum"]
+
+
+class TestEvaluation:
+    def test_exact_semantics(self):
+        g = simple_graph()
+        out = g.evaluate({"a": np.array([10, 20]), "b": np.array([4, 6])})
+        assert np.array_equal(out, [7, 13])
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(AcceleratorError):
+            simple_graph().evaluate({"a": np.array([1])})
+
+    def test_assignment_overrides(self):
+        g = simple_graph()
+        out = g.evaluate(
+            {"a": np.array([10]), "b": np.array([4])},
+            assignment={"sum": lambda a, b: a},
+        )
+        assert out[0] == 5
+
+    def test_capture_collects_operands(self):
+        g = simple_graph()
+        capture = {}
+        g.evaluate(
+            {"a": np.array([300]), "b": np.array([4])}, capture=capture
+        )
+        # inputs masked to 8 bits: 300 & 255 = 44
+        a, b = capture["sum"]
+        assert a[0] == 44 and b[0] == 4
+
+    def test_all_wiring_nodes(self):
+        g = DataflowGraph("g")
+        g.add_input("a", 8)
+        g.add_const("c", 3, 8)
+        g.add_op("s", NodeKind.MUL, 8, "a", "c")
+        g.add_shl("up", "s", 2)
+        g.add_shr("down", "up", 1)
+        g.add_op("d", NodeKind.SUB, 10, "down", "c")
+        g.add_abs("m", "d")
+        g.add_clip("out", "m", 0, 255)
+        g.set_output("out")
+        out = g.evaluate({"a": np.array([7])})
+        expected = np.clip(abs(((7 * 3) << 2 >> 1) - 3), 0, 255)
+        assert out[0] == expected
+
+    def test_sub_yields_negative_intermediates(self):
+        g = DataflowGraph("g")
+        g.add_input("a", 8)
+        g.add_input("b", 8)
+        g.add_op("d", NodeKind.SUB, 8, "a", "b")
+        g.set_output("d")
+        out = g.evaluate({"a": np.array([1]), "b": np.array([9])})
+        assert out[0] == -8

@@ -1,0 +1,157 @@
+"""Hardware-model lowering: composed netlists must equal software models.
+
+For every accelerator, compose a netlist from a mixed exact/approximate
+assignment and check the synthesised hardware computes exactly what the
+software simulation computes, pixel for pixel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.gaussian_fixed import FixedGaussianFilter
+from repro.accelerators.gaussian_generic import (
+    GenericGaussianFilter,
+    gaussian_kernel_weights,
+)
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.circuits.adders import LowerOrAdder, QuAdAdder, TruncatedAdder
+from repro.circuits.base import ExactAdder, ExactMultiplier, ExactSubtractor
+from repro.circuits.multipliers import BrokenArrayMultiplier
+from repro.circuits.subtractors import TruncatedSubtractor
+from repro.errors import AcceleratorError
+from repro.imaging.datasets import synthetic_image
+from repro.library.component import record_from_circuit
+from repro.netlist.simulate import simulate
+from repro.synthesis.synthesizer import optimize
+
+
+def exact_records(accelerator):
+    out = {}
+    for slot in accelerator.op_slots():
+        kind, width = slot.signature
+        klass = {
+            "add": ExactAdder, "sub": ExactSubtractor,
+            "mul": ExactMultiplier,
+        }[kind]
+        out[slot.name] = record_from_circuit(
+            klass(width), sample_size=1 << 8
+        )
+    return out
+
+
+def check_netlist_matches_sw(accelerator, records, extra=None):
+    image = synthetic_image(2, shape=(12, 16))
+    netlist = accelerator.to_netlist(records)
+    netlist.validate()
+    optimize(netlist)
+    netlist.validate()
+    inputs = accelerator.window_inputs(image)
+    merged = accelerator.extra_inputs()
+    if extra:
+        merged.update(extra)
+    for name, value in merged.items():
+        inputs[name] = np.full(image.size, value, dtype=np.int64)
+    got = simulate(netlist, inputs)["out"].reshape(image.shape)
+    impls = {}
+    for op, rec in records.items():
+        impls[op] = (lambda r: lambda a, b: r.circuit.evaluate(a, b))(rec)
+    want = accelerator.compute(image, assignment=impls, extra=extra)
+    assert np.array_equal(got, want)
+
+
+class TestSobelLowering:
+    def test_exact(self):
+        acc = SobelEdgeDetector()
+        check_netlist_matches_sw(acc, exact_records(acc))
+
+    def test_mixed_approximate(self):
+        acc = SobelEdgeDetector()
+        records = exact_records(acc)
+        records["add1"] = record_from_circuit(
+            TruncatedAdder(8, 3, "half"), sample_size=1 << 8
+        )
+        records["add2"] = record_from_circuit(
+            QuAdAdder(9, [4, 5], [0, 2]), sample_size=1 << 8
+        )
+        records["sub"] = record_from_circuit(
+            TruncatedSubtractor(10, 4, "zero"), sample_size=1 << 8
+        )
+        check_netlist_matches_sw(acc, records)
+
+    def test_missing_assignment_rejected(self):
+        acc = SobelEdgeDetector()
+        records = exact_records(acc)
+        del records["sub"]
+        with pytest.raises(AcceleratorError):
+            acc.to_netlist(records)
+
+    def test_wrong_signature_rejected(self):
+        acc = SobelEdgeDetector()
+        records = exact_records(acc)
+        records["sub"] = record_from_circuit(
+            ExactAdder(10), sample_size=1 << 8
+        )
+        with pytest.raises(AcceleratorError):
+            acc.to_netlist(records)
+
+
+class TestFixedGFLowering:
+    def test_exact(self):
+        acc = FixedGaussianFilter()
+        check_netlist_matches_sw(acc, exact_records(acc))
+
+    def test_mixed_approximate(self):
+        acc = FixedGaussianFilter()
+        records = exact_records(acc)
+        records["add_c1"] = record_from_circuit(
+            LowerOrAdder(8, 3), sample_size=1 << 8
+        )
+        records["mcm12"] = record_from_circuit(
+            TruncatedAdder(16, 5, "zero"), sample_size=1 << 8
+        )
+        records["mcm15"] = record_from_circuit(
+            TruncatedSubtractor(16, 4, "zero"), sample_size=1 << 8
+        )
+        check_netlist_matches_sw(acc, records)
+
+
+class TestGenericGFLowering:
+    def test_exact_with_kernel(self):
+        acc = GenericGaussianFilter()
+        extra = acc.kernel_extra(gaussian_kernel_weights(0.5))
+        check_netlist_matches_sw(acc, exact_records(acc), extra=extra)
+
+    def test_approximate_multipliers(self):
+        acc = GenericGaussianFilter()
+        records = exact_records(acc)
+        for k in range(0, 9, 2):
+            records[f"mul{k}"] = record_from_circuit(
+                BrokenArrayMultiplier(8, 6, 4), sample_size=1 << 8
+            )
+        extra = acc.kernel_extra(gaussian_kernel_weights(0.4))
+        check_netlist_matches_sw(acc, records, extra=extra)
+
+
+class TestCrossComponentOptimisation:
+    def test_truncated_sub_shrinks_upstream(self):
+        """The paper's §4.1.2 effect: a high-error final operation lets
+        synthesis strip logic from upstream components."""
+        acc = SobelEdgeDetector()
+        exact = exact_records(acc)
+        nl_exact = acc.to_netlist(exact)
+        optimize(nl_exact)
+
+        truncated = dict(exact)
+        truncated["sub"] = record_from_circuit(
+            TruncatedSubtractor(10, 8, "zero"), sample_size=1 << 8
+        )
+        nl_trunc = acc.to_netlist(truncated)
+        optimize(nl_trunc)
+
+        # area saved exceeds the isolated sub-component area delta
+        isolated_delta = (
+            exact["sub"].hardware.area
+            - truncated["sub"].hardware.area
+        )
+        composed_delta = nl_exact.area() - nl_trunc.area()
+        assert composed_delta > isolated_delta * 1.2

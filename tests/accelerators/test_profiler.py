@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.accelerators.gaussian_generic import GenericGaussianFilter, kernel_sweep
+from repro.accelerators.profiler import profile_accelerator
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.imaging.datasets import benchmark_images
+
+
+class TestProfileSobel:
+    def test_all_slots_profiled(self, sobel, small_images, sobel_profiles):
+        assert set(sobel_profiles) == {
+            s.name for s in sobel.op_slots()
+        }
+
+    def test_dense_pmfs_for_narrow_ops(self, sobel_profiles):
+        for name in ("add1", "add2", "sub"):
+            pmf = sobel_profiles[name].pmf
+            assert pmf is not None
+            assert pmf.sum() == pytest.approx(1.0)
+            assert pmf.min() >= 0
+
+    def test_pmf_2d_shape(self, sobel_profiles):
+        p = sobel_profiles["add1"].pmf_2d()
+        assert p.shape == (256, 256)
+        p = sobel_profiles["sub"].pmf_2d()
+        assert p.shape == (1024, 1024)
+
+    def test_total_count_matches_pixels(self, sobel_profiles, small_images):
+        pixels = sum(img.size for img in small_images)
+        assert sobel_profiles["add1"].total_count == pixels
+
+    def test_samples_bounded(self, sobel, small_images):
+        profiles = profile_accelerator(
+            sobel, small_images, max_samples=500, rng=0
+        )
+        for p in profiles.values():
+            assert p.sample_a.size <= 500
+            assert p.sample_a.shape == p.sample_b.shape
+
+    def test_diagonal_concentration(self, sobel_profiles):
+        """Neighbouring pixels correlate: PMF mass hugs the diagonal
+        (the paper's Fig. 3 observation)."""
+        pmf = sobel_profiles["add1"].pmf_2d()
+        a, b = np.nonzero(pmf)
+        w = pmf[a, b]
+        near = w[np.abs(a - b) <= 32].sum()
+        assert near > 0.6
+
+    def test_deterministic(self, sobel, small_images):
+        p1 = profile_accelerator(sobel, small_images, rng=3)
+        p2 = profile_accelerator(sobel, small_images, rng=3)
+        assert np.array_equal(p1["add1"].sample_a, p2["add1"].sample_a)
+
+    def test_empty_images_rejected(self, sobel):
+        with pytest.raises(ValueError):
+            profile_accelerator(sobel, [])
+
+
+class TestProfileGenericGF:
+    def test_wide_ops_use_samples(self, small_images):
+        acc = GenericGaussianFilter()
+        scenarios = [
+            acc.kernel_extra(w) for w in kernel_sweep(2)
+        ]
+        profiles = profile_accelerator(
+            acc, small_images[:1], scenarios=scenarios, rng=0
+        )
+        wide = profiles["sum1"]
+        assert wide.pmf is None
+        assert wide.sample_a.size > 0
+        with pytest.raises(ValueError):
+            wide.pmf_2d()
+
+    def test_scenarios_multiply_counts(self, small_images):
+        acc = GenericGaussianFilter()
+        scenarios = [acc.kernel_extra(w) for w in kernel_sweep(3)]
+        profiles = profile_accelerator(
+            acc, small_images[:1], scenarios=scenarios, rng=0
+        )
+        assert profiles["mul0"].total_count == 3 * small_images[0].size

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.imaging.datasets import synthetic_image
+
+
+@pytest.fixture(scope="module")
+def sobel_acc():
+    return SobelEdgeDetector()
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthetic_image(0, shape=(48, 64))
+
+
+class TestStructure:
+    def test_table1_inventory(self, sobel_acc):
+        assert sobel_acc.op_inventory() == {
+            ("add", 8): 2,
+            ("add", 9): 2,
+            ("sub", 10): 1,
+        }
+
+    def test_five_slots(self, sobel_acc):
+        assert len(sobel_acc.op_slots()) == 5
+
+
+class TestGolden:
+    def test_matches_scipy_correlate(self, sobel_acc, image):
+        out = sobel_acc.golden(image)
+        kernel = np.array([[1, 0, -1], [2, 0, -2], [1, 0, -1]])
+        # our graph computes right-column minus left-column
+        ref = ndimage.correlate(
+            image.astype(np.int64), -kernel, mode="nearest"
+        )
+        ref = np.clip(np.abs(ref), 0, 255)
+        assert np.array_equal(out, ref)
+
+    def test_flat_image_zero_output(self, sobel_acc):
+        flat = np.full((16, 16), 77, dtype=np.uint8)
+        assert np.all(sobel_acc.golden(flat) == 0)
+
+    def test_vertical_edge_detected(self, sobel_acc):
+        img = np.zeros((16, 16), dtype=np.uint8)
+        img[:, 8:] = 255
+        out = sobel_acc.golden(img)
+        assert out[:, 7:9].max() == 255
+        assert np.all(out[:, :6] == 0)
+
+    def test_horizontal_edge_ignored(self, sobel_acc):
+        img = np.zeros((16, 16), dtype=np.uint8)
+        img[8:, :] = 255
+        out = sobel_acc.golden(img)
+        # a vertical-edge detector sees nothing on a horizontal edge
+        assert np.all(out[:, 2:-2] == 0)
+
+    def test_output_range(self, sobel_acc, image):
+        out = sobel_acc.golden(image)
+        assert out.min() >= 0 and out.max() <= 255
+
+
+class TestApproximateSimulation:
+    def test_exact_assignment_matches_golden(self, sobel_acc, image):
+        impls = {
+            "add1": lambda a, b: a + b,
+            "add2": lambda a, b: a + b,
+        }
+        out = sobel_acc.compute(image, assignment=impls)
+        assert np.array_equal(out, sobel_acc.golden(image))
+
+    def test_lossy_assignment_changes_output(self, sobel_acc, image):
+        impls = {"sub": lambda a, b: ((a >> 6) - (b >> 6)) << 6}
+        out = sobel_acc.compute(image, assignment=impls)
+        assert not np.array_equal(out, sobel_acc.golden(image))
+
+    def test_non_2d_rejected(self, sobel_acc):
+        with pytest.raises(Exception):
+            sobel_acc.golden(np.zeros(16, dtype=np.uint8))

@@ -1,0 +1,181 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import (
+    AlmostCorrectAdder,
+    GeArAdder,
+    LowerOrAdder,
+    QuAdAdder,
+    TruncatedAdder,
+)
+from repro.circuits.characterization import characterize
+from repro.errors import CircuitError
+
+
+def exhaustive_pairs(width):
+    size = 1 << width
+    idx = np.arange(size * size)
+    return idx >> width, idx & (size - 1)
+
+
+class TestTruncatedAdder:
+    def test_zero_truncation_exact(self, rng):
+        c = TruncatedAdder(8, 0)
+        a = rng.integers(0, 256, 200)
+        b = rng.integers(0, 256, 200)
+        assert np.array_equal(c.evaluate(a, b), a + b)
+        assert c.is_exact()
+
+    def test_formula(self):
+        c = TruncatedAdder(8, 3, "zero")
+        a, b = exhaustive_pairs(8)
+        assert np.array_equal(c.evaluate(a, b), ((a >> 3) + (b >> 3)) << 3)
+
+    def test_half_fill_reduces_bias(self):
+        zero = characterize(TruncatedAdder(8, 4, "zero"))
+        half = characterize(TruncatedAdder(8, 4, "half"))
+        assert half.med < zero.med
+
+    def test_copy_fill(self):
+        c = TruncatedAdder(8, 4, "copy")
+        a, b = exhaustive_pairs(8)
+        expected = (((a >> 4) + (b >> 4)) << 4) + (a & 15)
+        assert np.array_equal(c.evaluate(a, b), expected)
+
+    def test_error_monotone_in_truncation(self):
+        meds = [
+            characterize(TruncatedAdder(8, t)).med for t in range(0, 8, 2)
+        ]
+        assert meds == sorted(meds)
+
+    @pytest.mark.parametrize("bad", [-1, 9])
+    def test_invalid_truncation(self, bad):
+        with pytest.raises(CircuitError):
+            TruncatedAdder(8, bad)
+
+    def test_invalid_fill(self):
+        with pytest.raises(CircuitError):
+            TruncatedAdder(8, 2, fill="bogus")
+
+
+class TestLowerOrAdder:
+    def test_exact_when_zero(self, rng):
+        c = LowerOrAdder(8, 0)
+        a = rng.integers(0, 256, 100)
+        b = rng.integers(0, 256, 100)
+        assert np.array_equal(c.evaluate(a, b), a + b)
+
+    def test_or_region(self):
+        c = LowerOrAdder(8, 4)
+        a, b = exhaustive_pairs(8)
+        out = c.evaluate(a, b)
+        assert np.array_equal(out & 15, (a | b) & 15)
+
+    def test_never_underestimates_on_low_part_only(self):
+        # a | b >= max(a, b) on the OR region, so LOA with no carries lost
+        # never yields less than the truncated sum of the high parts
+        c = LowerOrAdder(8, 3)
+        a, b = exhaustive_pairs(8)
+        out = c.evaluate(a, b)
+        high = ((a >> 3) + (b >> 3)) << 3
+        assert np.all(out >= high)
+
+    def test_error_monotone(self):
+        meds = [characterize(LowerOrAdder(8, l)).med for l in (0, 2, 4, 6)]
+        assert meds == sorted(meds)
+
+    def test_invalid_param(self):
+        with pytest.raises(CircuitError):
+            LowerOrAdder(8, 9)
+
+
+class TestAlmostCorrectAdder:
+    def test_full_window_exact(self):
+        c = AlmostCorrectAdder(8, 8)
+        a, b = exhaustive_pairs(8)
+        assert np.array_equal(c.evaluate(a, b), a + b)
+        assert c.is_exact()
+
+    def test_small_window_errs(self):
+        assert characterize(AlmostCorrectAdder(8, 2)).med > 0
+
+    def test_wider_window_no_worse(self):
+        med3 = characterize(AlmostCorrectAdder(8, 3)).med
+        med6 = characterize(AlmostCorrectAdder(8, 6)).med
+        assert med6 <= med3
+
+    def test_result_in_range(self):
+        c = AlmostCorrectAdder(8, 3)
+        a, b = exhaustive_pairs(8)
+        out = c.evaluate(a, b)
+        assert out.min() >= 0
+        assert out.max() < 512
+
+    def test_invalid_window(self):
+        with pytest.raises(CircuitError):
+            AlmostCorrectAdder(8, 0)
+
+
+class TestQuAdAdder:
+    def test_single_block_exact(self):
+        c = QuAdAdder(8, [8])
+        a, b = exhaustive_pairs(8)
+        assert np.array_equal(c.evaluate(a, b), a + b)
+
+    def test_full_prediction_exact(self):
+        # predicting over all lower bits reproduces the exact carry
+        c = QuAdAdder(8, [4, 4], [0, 4])
+        a, b = exhaustive_pairs(8)
+        assert np.array_equal(c.evaluate(a, b), a + b)
+
+    def test_no_prediction_drops_carries(self):
+        c = QuAdAdder(8, [4, 4], [0, 0])
+        # 0x0F + 0x01 carries into the upper block, which is not predicted
+        assert c.evaluate(0x0F, 0x01) == 0x00
+
+    def test_blocks_must_sum_to_width(self):
+        with pytest.raises(CircuitError):
+            QuAdAdder(8, [4, 3])
+
+    def test_prediction_cannot_exceed_offset(self):
+        with pytest.raises(CircuitError):
+            QuAdAdder(8, [4, 4], [0, 5])
+
+    def test_params_roundtrip(self):
+        c = QuAdAdder(8, [2, 3, 3], [0, 1, 2])
+        p = c.params()
+        c2 = QuAdAdder(8, **p)
+        assert c2.name == c.name
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_result_bounded(self, a, b):
+        c = QuAdAdder(8, [3, 5], [0, 2])
+        out = c.evaluate(a, b)
+        assert 0 <= out < 512
+
+
+class TestGeArAdder:
+    def test_gear_is_quad_special_case(self):
+        g = GeArAdder(8, 2, 2)
+        assert g.blocks == (2, 2, 2, 2)
+        assert g.predictions == (0, 2, 2, 2)
+
+    def test_large_r_exact(self):
+        g = GeArAdder(8, 8, 0)
+        a, b = exhaustive_pairs(8)
+        assert np.array_equal(g.evaluate(a, b), a + b)
+
+    def test_more_prediction_no_worse(self):
+        med0 = characterize(GeArAdder(8, 2, 0)).med
+        med2 = characterize(GeArAdder(8, 2, 2)).med
+        assert med2 <= med0
+
+    def test_invalid_params(self):
+        with pytest.raises(CircuitError):
+            GeArAdder(8, 0, 1)
+        with pytest.raises(CircuitError):
+            GeArAdder(8, 2, -1)

@@ -1,0 +1,60 @@
+import numpy as np
+import pytest
+
+from repro.circuits.base import (
+    ExactAdder,
+    ExactMultiplier,
+    ExactSubtractor,
+    Operation,
+)
+from repro.errors import CircuitError
+
+
+class TestExactCircuits:
+    @pytest.mark.parametrize("width", [1, 4, 8, 16])
+    def test_adder(self, width, rng):
+        c = ExactAdder(width)
+        a = rng.integers(0, 1 << width, 100)
+        b = rng.integers(0, 1 << width, 100)
+        assert np.array_equal(c.evaluate(a, b), a + b)
+        assert c.result_width == width + 1
+        assert c.is_exact()
+
+    def test_subtractor_signed_result(self, rng):
+        c = ExactSubtractor(10)
+        a = rng.integers(0, 1024, 100)
+        b = rng.integers(0, 1024, 100)
+        out = c.evaluate(a, b)
+        assert np.array_equal(out, a - b)
+        assert out.min() >= -1023
+
+    def test_multiplier(self, rng):
+        c = ExactMultiplier(8)
+        a = rng.integers(0, 256, 100)
+        b = rng.integers(0, 256, 100)
+        assert np.array_equal(c.evaluate(a, b), a * b)
+        assert c.result_width == 16
+
+    def test_scalar_inputs_return_int(self):
+        assert ExactAdder(8).evaluate(3, 4) == 7
+        assert isinstance(ExactAdder(8).evaluate(3, 4), int)
+
+    def test_inputs_masked_to_width(self):
+        # values wider than the operand width are truncated, as hardware
+        # input ports would do
+        assert ExactAdder(4).evaluate(0x1F, 0) == 0xF
+
+    def test_invalid_width(self):
+        with pytest.raises(CircuitError):
+            ExactAdder(0)
+
+    def test_op_enum(self):
+        assert ExactAdder(8).op is Operation.ADD
+        assert ExactSubtractor(8).op is Operation.SUB
+        assert ExactMultiplier(8).op is Operation.MUL
+
+    def test_exact_matches_evaluate_for_exact_circuits(self, rng):
+        for c in (ExactAdder(8), ExactSubtractor(8), ExactMultiplier(8)):
+            a = rng.integers(0, 256, 50)
+            b = rng.integers(0, 256, 50)
+            assert np.array_equal(c.evaluate(a, b), c.exact(a, b))

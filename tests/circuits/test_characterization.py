@@ -1,0 +1,65 @@
+import numpy as np
+import pytest
+
+from repro.circuits.adders import TruncatedAdder
+from repro.circuits.base import ExactAdder, ExactMultiplier
+from repro.circuits.characterization import (
+    ErrorStats,
+    characterize,
+    sample_operands,
+)
+
+
+class TestErrorStats:
+    def test_exact_detection(self):
+        stats = characterize(ExactAdder(8))
+        assert stats.is_exact()
+        assert stats.med == 0.0
+        assert stats.error_prob == 0.0
+
+    def test_truncated_adder_known_med(self):
+        # truncating t bits of both operands loses E[a%2^t + b%2^t]
+        # = 2 * (2^t - 1) / 2 under uniform inputs
+        t = 3
+        stats = characterize(TruncatedAdder(8, t, "zero"))
+        expected = 2 * ((1 << t) - 1) / 2
+        assert stats.med == pytest.approx(expected, rel=1e-12)
+
+    def test_wce_is_max(self):
+        stats = characterize(TruncatedAdder(8, 3, "zero"))
+        assert stats.wce == 14  # 7 + 7
+
+    def test_error_prob(self):
+        stats = characterize(TruncatedAdder(8, 1, "zero"))
+        # error iff at least one dropped LSB is 1: 3/4 of input pairs
+        assert stats.error_prob == pytest.approx(0.75)
+
+    def test_mse_at_least_squared_med(self):
+        stats = characterize(TruncatedAdder(8, 4, "zero"))
+        assert stats.mse >= stats.med**2
+
+
+class TestSampling:
+    def test_sample_shapes(self):
+        a, b = sample_operands(16, 100, rng=0)
+        assert a.shape == (100,)
+        assert a.max() < 1 << 16
+        assert a.min() >= 0
+
+    def test_sampled_characterization_close_to_exhaustive(self):
+        circ = TruncatedAdder(8, 4, "zero")
+        exact = characterize(circ, exhaustive=True)
+        sampled = characterize(
+            circ, exhaustive=False, sample_size=1 << 14, rng=0
+        )
+        assert sampled.med == pytest.approx(exact.med, rel=0.05)
+
+    def test_sampled_deterministic_with_seed(self):
+        circ = TruncatedAdder(16, 6)
+        s1 = characterize(circ, sample_size=512, rng=3)
+        s2 = characterize(circ, sample_size=512, rng=3)
+        assert s1 == s2
+
+    def test_wide_circuit_uses_sampling(self):
+        stats = characterize(ExactMultiplier(16), sample_size=256)
+        assert stats.is_exact()

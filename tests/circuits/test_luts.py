@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.circuits.adders import TruncatedAdder
+from repro.circuits.base import ExactAdder, ExactMultiplier, ExactSubtractor
+from repro.circuits.luts import build_exact_lut, build_lut, lut_index
+from repro.errors import CircuitError
+
+
+class TestLutIndex:
+    def test_formula(self):
+        assert lut_index(3, 5, 8) == (3 << 8) | 5
+
+    def test_masks_inputs(self):
+        assert lut_index(0x1FF, 0x1FF, 8) == (0xFF << 8) | 0xFF
+
+    def test_vectorised(self):
+        a = np.array([0, 1, 2])
+        b = np.array([3, 4, 5])
+        idx = lut_index(a, b, 4)
+        assert np.array_equal(idx, (a << 4) | b)
+
+
+class TestBuildLut:
+    def test_adder_lut(self):
+        lut = build_lut(ExactAdder(4))
+        assert lut.shape == (256,)
+        assert lut[lut_index(7, 9, 4)] == 16
+
+    def test_subtractor_lut_signed(self):
+        lut = build_lut(ExactSubtractor(4))
+        assert lut[lut_index(0, 15, 4)] == -15
+
+    def test_lut_consistent_with_evaluate(self, rng):
+        circ = TruncatedAdder(8, 3, "half")
+        lut = build_lut(circ)
+        a = rng.integers(0, 256, 500)
+        b = rng.integers(0, 256, 500)
+        assert np.array_equal(
+            lut[lut_index(a, b, 8)], circ.evaluate(a, b)
+        )
+
+    def test_exact_lut(self):
+        lut = build_exact_lut(TruncatedAdder(4, 2))
+        assert lut[lut_index(3, 3, 4)] == 6
+
+    def test_width_limit(self):
+        with pytest.raises(CircuitError):
+            build_lut(ExactMultiplier(16))
+        with pytest.raises(CircuitError):
+            build_exact_lut(ExactMultiplier(16))

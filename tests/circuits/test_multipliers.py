@@ -1,0 +1,219 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.characterization import characterize
+from repro.circuits.multipliers import (
+    BrokenArrayMultiplier,
+    DrumMultiplier,
+    MaskedMultiplier,
+    MitchellMultiplier,
+    PerforatedMultiplier,
+    RecursiveApproxMultiplier,
+    TruncatedMultiplier,
+)
+from repro.errors import CircuitError
+
+
+def exhaustive_pairs(width=8):
+    size = 1 << width
+    idx = np.arange(size * size)
+    return idx >> width, idx & (size - 1)
+
+
+class TestMaskedMultiplier:
+    def test_full_mask_exact(self):
+        c = MaskedMultiplier(8, [255] * 8)
+        a, b = exhaustive_pairs()
+        assert np.array_equal(c.evaluate(a, b), a * b)
+        assert c.is_exact()
+
+    def test_never_overestimates(self):
+        c = MaskedMultiplier(8, [0b11110000] * 8)
+        a, b = exhaustive_pairs()
+        assert np.all(c.evaluate(a, b) <= a * b)
+
+    def test_empty_mask_is_zero(self):
+        c = MaskedMultiplier(8, [0] * 8)
+        a, b = exhaustive_pairs()
+        assert np.all(c.evaluate(a, b) == 0)
+
+    def test_kept_cells(self):
+        c = MaskedMultiplier(8, [0b1, 0b11] + [0] * 6)
+        assert c.kept_cells() == 3
+
+    def test_wrong_mask_count(self):
+        with pytest.raises(CircuitError):
+            MaskedMultiplier(8, [255] * 7)
+
+
+class TestBrokenArrayMultiplier:
+    def test_no_break_exact(self):
+        c = BrokenArrayMultiplier(8, 0, 0)
+        a, b = exhaustive_pairs()
+        assert np.array_equal(c.evaluate(a, b), a * b)
+
+    def test_error_monotone_in_vbl(self):
+        meds = [
+            characterize(BrokenArrayMultiplier(8, v, 8)).med
+            for v in (0, 3, 6, 9)
+        ]
+        assert meds == sorted(meds)
+
+    def test_protected_rows_reduce_error(self):
+        high_hbl = characterize(BrokenArrayMultiplier(8, 8, 8)).med
+        low_hbl = characterize(BrokenArrayMultiplier(8, 8, 2)).med
+        assert low_hbl <= high_hbl
+
+    def test_underestimates_only(self):
+        c = BrokenArrayMultiplier(8, 6, 4)
+        a, b = exhaustive_pairs()
+        assert np.all(c.evaluate(a, b) <= a * b)
+
+    @pytest.mark.parametrize("vbl,hbl", [(-1, 0), (16, 0), (0, 9)])
+    def test_invalid_params(self, vbl, hbl):
+        with pytest.raises(CircuitError):
+            BrokenArrayMultiplier(8, vbl, hbl)
+
+
+class TestPerforatedMultiplier:
+    def test_no_rows_exact(self):
+        c = PerforatedMultiplier(8, [])
+        a, b = exhaustive_pairs()
+        assert np.array_equal(c.evaluate(a, b), a * b)
+
+    def test_omitting_row_drops_contribution(self):
+        c = PerforatedMultiplier(8, [0])
+        # with b = 1 only row 0 contributes, so output is 0
+        a = np.arange(256)
+        assert np.all(c.evaluate(a, np.ones(256, dtype=np.int64)) == 0)
+
+    def test_row_out_of_range(self):
+        with pytest.raises(CircuitError):
+            PerforatedMultiplier(8, [8])
+
+
+class TestTruncatedMultiplier:
+    def test_truncation_formula(self):
+        c = TruncatedMultiplier(8, 2, 3)
+        a, b = exhaustive_pairs()
+        expected = ((a >> 2) << 2) * ((b >> 3) << 3)
+        assert np.array_equal(c.evaluate(a, b), expected)
+
+    def test_zero_truncation_exact(self):
+        assert TruncatedMultiplier(8, 0, 0).is_exact()
+
+
+class TestRecursiveApproxMultiplier:
+    def test_no_approx_leaves_exact(self):
+        c = RecursiveApproxMultiplier(8, [])
+        a, b = exhaustive_pairs()
+        assert np.array_equal(c.evaluate(a, b), a * b)
+
+    def test_2x2_approximation_value(self):
+        c = RecursiveApproxMultiplier(2, [0])
+        assert c.evaluate(3, 3) == 7
+        # all other products stay exact
+        for a in range(4):
+            for b in range(4):
+                if (a, b) != (3, 3):
+                    assert c.evaluate(a, b) == a * b
+
+    def test_more_leaves_more_error(self):
+        one = characterize(RecursiveApproxMultiplier(8, [0])).med
+        all_leaves = characterize(
+            RecursiveApproxMultiplier(8, range(16))
+        ).med
+        assert all_leaves > one
+
+    def test_mre_matches_literature(self):
+        # Kulkarni's design has a known mean relative error around 3.3%
+        stats = characterize(RecursiveApproxMultiplier(8, range(16)))
+        assert 0.02 < stats.mre < 0.045
+
+    def test_underestimates_only(self):
+        c = RecursiveApproxMultiplier(8, range(16))
+        a, b = exhaustive_pairs()
+        assert np.all(c.evaluate(a, b) <= a * b)
+
+    def test_width_must_be_power_of_two(self):
+        with pytest.raises(CircuitError):
+            RecursiveApproxMultiplier(6, [])
+
+    def test_leaf_out_of_range(self):
+        with pytest.raises(CircuitError):
+            RecursiveApproxMultiplier(8, [16])
+
+
+class TestMitchellMultiplier:
+    def test_zero_operand(self):
+        c = MitchellMultiplier(8, 8)
+        assert c.evaluate(0, 37) == 0
+        assert c.evaluate(37, 0) == 0
+
+    def test_powers_of_two_exact(self):
+        c = MitchellMultiplier(8, 8)
+        for i in range(8):
+            for j in range(8):
+                assert c.evaluate(1 << i, 1 << j) == 1 << (i + j)
+
+    def test_underestimates(self):
+        c = MitchellMultiplier(8, 8)
+        a, b = exhaustive_pairs()
+        assert np.all(c.evaluate(a, b) <= a * b)
+
+    def test_mre_matches_literature(self):
+        # Mitchell's approximation has a known mean error around 3.8%
+        stats = characterize(MitchellMultiplier(8, 16))
+        assert 0.025 < stats.mre < 0.05
+
+    def test_fewer_frac_bits_more_error(self):
+        fine = characterize(MitchellMultiplier(8, 12)).med
+        coarse = characterize(MitchellMultiplier(8, 3)).med
+        assert coarse >= fine
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(CircuitError):
+            MitchellMultiplier(8, 0)
+
+
+class TestDrumMultiplier:
+    def test_full_k_exact(self):
+        c = DrumMultiplier(8, 8)
+        a, b = exhaustive_pairs()
+        assert np.array_equal(c.evaluate(a, b), a * b)
+
+    def test_small_operands_exact(self):
+        c = DrumMultiplier(8, 4)
+        a = np.arange(16)
+        b = np.arange(16)
+        assert np.array_equal(c.evaluate(a, b), a * b)
+
+    def test_low_relative_error(self):
+        stats = characterize(DrumMultiplier(8, 5))
+        assert stats.mre < 0.06
+
+    def test_unbiased_sign_mix(self):
+        # the forced-one LSB makes DRUM roughly unbiased: errors occur in
+        # both directions
+        c = DrumMultiplier(8, 4)
+        a, b = exhaustive_pairs()
+        err = c.evaluate(a, b) - a * b
+        assert (err > 0).any() and (err < 0).any()
+
+    def test_invalid_k(self):
+        with pytest.raises(CircuitError):
+            DrumMultiplier(8, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_relative_error_bound(self, a, b):
+        c = DrumMultiplier(8, 4)
+        approx = int(c.evaluate(a, b))
+        exact = a * b
+        if exact:
+            # each DRUM(k) operand errs by at most 2^-(k-1), so the
+            # product errs by at most (1 + 2^-(k-1))^2 - 1 ~ 26.6%
+            assert abs(approx - exact) / exact <= (1 + 2**-3) ** 2 - 1 + 1e-9

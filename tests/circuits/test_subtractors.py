@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.characterization import characterize
+from repro.circuits.subtractors import BlockSubtractor, TruncatedSubtractor
+from repro.errors import CircuitError
+
+
+def exhaustive_pairs(width):
+    size = 1 << width
+    idx = np.arange(size * size)
+    return idx >> width, idx & (size - 1)
+
+
+class TestTruncatedSubtractor:
+    def test_zero_truncation_exact(self, rng):
+        c = TruncatedSubtractor(10, 0)
+        a = rng.integers(0, 1024, 300)
+        b = rng.integers(0, 1024, 300)
+        assert np.array_equal(c.evaluate(a, b), a - b)
+
+    def test_formula(self):
+        c = TruncatedSubtractor(8, 3, "zero")
+        a, b = exhaustive_pairs(8)
+        assert np.array_equal(c.evaluate(a, b), ((a >> 3) - (b >> 3)) << 3)
+
+    def test_copy_fill(self):
+        c = TruncatedSubtractor(8, 3, "copy")
+        a, b = exhaustive_pairs(8)
+        expected = (((a >> 3) - (b >> 3)) << 3) + (a & 7)
+        assert np.array_equal(c.evaluate(a, b), expected)
+
+    def test_error_monotone(self):
+        meds = [
+            characterize(TruncatedSubtractor(10, t)).med
+            for t in (0, 2, 4, 6)
+        ]
+        assert meds == sorted(meds)
+
+    def test_result_range(self):
+        c = TruncatedSubtractor(8, 4)
+        a, b = exhaustive_pairs(8)
+        out = c.evaluate(a, b)
+        assert out.min() >= -255
+        assert out.max() <= 255
+
+    def test_invalid_fill(self):
+        with pytest.raises(CircuitError):
+            TruncatedSubtractor(8, 1, "half")
+
+
+class TestBlockSubtractor:
+    def test_single_block_exact(self):
+        c = BlockSubtractor(10, [10])
+        a, b = exhaustive_pairs(10)
+        assert np.array_equal(c.evaluate(a, b), a - b)
+
+    def test_full_prediction_exact(self):
+        c = BlockSubtractor(8, [4, 4], [0, 4])
+        a, b = exhaustive_pairs(8)
+        assert np.array_equal(c.evaluate(a, b), a - b)
+
+    def test_broken_borrow(self):
+        c = BlockSubtractor(8, [4, 4], [0, 0])
+        # 0x10 - 0x01 needs a borrow crossing the block boundary
+        assert c.evaluate(0x10, 0x01) != 0x0F
+
+    def test_sign_correct_for_clearly_negative(self):
+        c = BlockSubtractor(8, [4, 4], [0, 2])
+        assert c.evaluate(0, 255) < 0
+
+    def test_params_roundtrip(self):
+        c = BlockSubtractor(10, [4, 6], [0, 3])
+        c2 = BlockSubtractor(10, **c.params())
+        assert c2.name == c.name
+
+    def test_invalid_blocks(self):
+        with pytest.raises(CircuitError):
+            BlockSubtractor(10, [4, 4])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=1023),
+           st.integers(min_value=0, max_value=1023))
+    def test_result_in_signed_range(self, a, b):
+        c = BlockSubtractor(10, [3, 3, 4], [0, 2, 1])
+        out = int(c.evaluate(a, b))
+        assert -1024 < out < 1024

@@ -1,0 +1,64 @@
+"""Shared fixtures: a tiny characterised library and small benchmark data.
+
+Session-scoped so the (seconds-long) library characterisation runs once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accelerators import SobelEdgeDetector, profile_accelerator
+from repro.core import AcceleratorEvaluator, reduce_library
+from repro.imaging import benchmark_images
+from repro.library import generate_library
+from repro.library.generation import GenerationPlan
+
+
+@pytest.fixture(scope="session")
+def tiny_library():
+    """A small but complete library covering all six signatures."""
+    plan = GenerationPlan(
+        {
+            ("add", 8): 24,
+            ("add", 9): 16,
+            ("add", 16): 12,
+            ("sub", 10): 16,
+            ("sub", 16): 12,
+            ("mul", 8): 24,
+        },
+        seed=0,
+        sample_size=1 << 12,
+    )
+    return generate_library(plan)
+
+
+@pytest.fixture(scope="session")
+def small_images():
+    """Two small benchmark images (48x64) for fast QoR evaluation."""
+    return benchmark_images(2, shape=(48, 64))
+
+
+@pytest.fixture(scope="session")
+def sobel():
+    return SobelEdgeDetector()
+
+
+@pytest.fixture(scope="session")
+def sobel_profiles(sobel, small_images):
+    return profile_accelerator(sobel, small_images, rng=0)
+
+
+@pytest.fixture(scope="session")
+def sobel_space(sobel, tiny_library, sobel_profiles):
+    return reduce_library(sobel, tiny_library, sobel_profiles)
+
+
+@pytest.fixture(scope="session")
+def sobel_evaluator(sobel, small_images):
+    return AcceleratorEvaluator(sobel, small_images)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,148 @@
+import numpy as np
+import pytest
+
+from repro.core.dse import (
+    exhaustive_search,
+    heuristic_pareto_construction,
+    random_sampling,
+    uniform_selection,
+)
+from repro.core.modeling import build_training_set, fit_engines, select_best_model
+from repro.core.pareto import dominates, pareto_front_indices
+from repro.errors import DSEError
+
+
+@pytest.fixture(scope="module")
+def models(sobel_space, sobel_evaluator):
+    train = build_training_set(sobel_space, sobel_evaluator, 60, rng=0)
+    test = build_training_set(sobel_space, sobel_evaluator, 30, rng=1)
+    qor = select_best_model(
+        fit_engines(sobel_space, train, test, target="qor",
+                    engines=["K-Neighbors"])
+    ).model
+    hw = select_best_model(
+        fit_engines(sobel_space, train, test, target="area",
+                    engines=["K-Neighbors"])
+    ).model
+    return qor, hw
+
+
+class TestHeuristicConstruction:
+    def test_result_structure(self, sobel_space, models):
+        qor, hw = models
+        result = heuristic_pareto_construction(
+            sobel_space, qor, hw, max_evaluations=500, rng=0
+        )
+        assert result.evaluations <= 500
+        assert len(result.configs) == result.points.shape[0]
+        assert result.inserts >= len(result.configs)
+
+    def test_archive_mutually_nondominated(self, sobel_space, models):
+        qor, hw = models
+        result = heuristic_pareto_construction(
+            sobel_space, qor, hw, max_evaluations=600, rng=1
+        )
+        minimised = np.stack(
+            [-result.points[:, 0], result.points[:, 1]], axis=1
+        )
+        for i in range(len(minimised)):
+            for j in range(len(minimised)):
+                assert not dominates(minimised[i], minimised[j])
+
+    def test_deterministic(self, sobel_space, models):
+        qor, hw = models
+        a = heuristic_pareto_construction(
+            sobel_space, qor, hw, max_evaluations=300, rng=9
+        )
+        b = heuristic_pareto_construction(
+            sobel_space, qor, hw, max_evaluations=300, rng=9
+        )
+        assert a.configs == b.configs
+
+    def test_more_evals_no_fewer_points(self, sobel_space, models):
+        qor, hw = models
+        small = heuristic_pareto_construction(
+            sobel_space, qor, hw, max_evaluations=200, rng=2
+        )
+        large = heuristic_pareto_construction(
+            sobel_space, qor, hw, max_evaluations=2000, rng=2
+        )
+        assert len(large) >= len(small) * 0.8
+
+    def test_invalid_params(self, sobel_space, models):
+        qor, hw = models
+        with pytest.raises(DSEError):
+            heuristic_pareto_construction(
+                sobel_space, qor, hw, max_evaluations=0
+            )
+        with pytest.raises(DSEError):
+            heuristic_pareto_construction(
+                sobel_space, qor, hw, stagnation_limit=0
+            )
+
+
+class TestRandomSampling:
+    def test_front_only(self, sobel_space, models):
+        qor, hw = models
+        result = random_sampling(
+            sobel_space, qor, hw, max_evaluations=400, rng=0
+        )
+        assert result.evaluations == 400
+        minimised = np.stack(
+            [-result.points[:, 0], result.points[:, 1]], axis=1
+        )
+        assert len(pareto_front_indices(minimised)) == len(result)
+
+
+class TestUniformSelection:
+    def test_configs_valid_and_unique(self, sobel_space):
+        configs = uniform_selection(sobel_space, 12)
+        assert len(set(configs)) == len(configs)
+        for config in configs:
+            sobel_space.validate_configuration(config)
+
+    def test_level_zero_is_most_accurate(self, sobel_space):
+        configs = uniform_selection(sobel_space, 10)
+        first = sobel_space.qor_features([configs[0]])
+        assert np.allclose(first, 0.0)
+
+    def test_invalid_count(self, sobel_space):
+        with pytest.raises(DSEError):
+            uniform_selection(sobel_space, 0)
+
+
+class TestExhaustive:
+    def test_matches_batch_front(self, sobel_space, models):
+        qor, hw = models
+        space = sobel_space
+        if space.size() > 50_000:
+            pytest.skip("space too large for exhaustive reference")
+        result = exhaustive_search(space, qor, hw, batch_size=7000)
+        assert result.evaluations == space.size()
+        minimised = np.stack(
+            [-result.points[:, 0], result.points[:, 1]], axis=1
+        )
+        assert len(pareto_front_indices(minimised)) == len(result)
+
+    def test_heuristic_front_dominated_by_optimal(
+        self, sobel_space, models
+    ):
+        """No heuristic archive point may dominate the exhaustive front
+        (sanity of 'optimal')."""
+        qor, hw = models
+        space = sobel_space
+        if space.size() > 50_000:
+            pytest.skip("space too large for exhaustive reference")
+        optimal = exhaustive_search(space, qor, hw)
+        heur = heuristic_pareto_construction(
+            space, qor, hw, max_evaluations=300, rng=0
+        )
+        opt_min = np.stack(
+            [-optimal.points[:, 0], optimal.points[:, 1]], axis=1
+        )
+        for point in np.stack(
+            [-heur.points[:, 0], heur.points[:, 1]], axis=1
+        ):
+            assert not any(
+                dominates(point, opt_point) for opt_point in opt_min
+            )

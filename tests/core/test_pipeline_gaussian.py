@@ -1,0 +1,74 @@
+"""End-to-end pipeline runs for the two Gaussian-filter case studies."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators import (
+    FixedGaussianFilter,
+    GenericGaussianFilter,
+    gaussian_kernel_weights,
+)
+from repro.core.pipeline import AutoAx, AutoAxConfig
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return AutoAxConfig(
+        n_train=25, n_test=12, engines=("K-Neighbors",),
+        max_evaluations=400, seed=0,
+    )
+
+
+class TestFixedGFPipeline:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_library, small_images, fast_config):
+        return AutoAx(
+            FixedGaussianFilter(), tiny_library, small_images,
+            config=fast_config,
+        ).run()
+
+    def test_eleven_slots(self, result):
+        assert result.space.n_slots == 11
+
+    def test_space_reduction(self, result):
+        assert result.reduced_space_size < result.initial_space_size
+
+    def test_front_quality_spread(self, result):
+        pts = result.final_points
+        assert pts[:, 0].max() > 0.9  # a near-accurate design exists
+        assert len(result.final_configs) >= 3
+
+    def test_wide_ops_profiled_by_samples(self, result):
+        assert result.profiles["mcm12"].pmf is None
+        assert result.profiles["mcm12"].sample_a.size > 0
+        assert result.profiles["add_c1"].pmf is not None
+
+
+class TestGenericGFPipeline:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_library, small_images, fast_config):
+        acc = GenericGaussianFilter()
+        scenarios = [
+            acc.kernel_extra(gaussian_kernel_weights(s))
+            for s in (0.4, 0.7)
+        ]
+        return AutoAx(
+            acc, tiny_library, small_images[:1], scenarios=scenarios,
+            config=fast_config,
+        ).run()
+
+    def test_seventeen_slots(self, result):
+        assert result.space.n_slots == 17
+
+    def test_scenarios_average_into_qor(self, result):
+        assert np.all(
+            np.asarray([r.qor for r in result.real_evaluations]) <= 1.0
+        )
+
+    def test_huge_space_reduced(self, result):
+        assert result.initial_space_size > 1e20
+        assert result.reduced_space_size < result.initial_space_size
+
+    def test_front_nonempty(self, result):
+        assert len(result.final_configs) >= 3
+        assert result.final_points[:, 0].max() > 0.8

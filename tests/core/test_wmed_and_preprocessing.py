@@ -1,0 +1,114 @@
+import numpy as np
+import pytest
+
+from repro.core.preprocessing import pareto_filter_indices, reduce_library
+from repro.core.wmed import wmed, wmed_table
+from repro.errors import LibraryError
+from repro.library.component import record_from_circuit
+from repro.library.library import ComponentLibrary
+from repro.circuits.adders import TruncatedAdder
+from repro.circuits.base import ExactAdder
+
+
+class TestWMED:
+    def test_exact_circuit_zero(self, sobel_profiles, tiny_library):
+        exact = tiny_library.exact_component(("add", 8))
+        assert wmed(exact, sobel_profiles["add1"]) == 0.0
+
+    def test_positive_for_approximate(self, sobel_profiles):
+        rec = record_from_circuit(TruncatedAdder(8, 4))
+        assert wmed(rec, sobel_profiles["add1"]) > 0.0
+
+    def test_weighted_by_distribution(self, sobel_profiles):
+        """WMED under the application PMF differs from uniform MED: the
+        Sobel operand distribution is not uniform."""
+        rec = record_from_circuit(TruncatedAdder(8, 4, "copy"))
+        application = wmed(rec, sobel_profiles["add1"])
+        uniform = rec.errors.med
+        assert application != pytest.approx(uniform, rel=0.01)
+
+    def test_signature_mismatch(self, sobel_profiles):
+        rec = record_from_circuit(TruncatedAdder(9, 2))
+        with pytest.raises(ValueError):
+            wmed(rec, sobel_profiles["add1"])
+
+    def test_table_shape(self, sobel_profiles):
+        recs = [
+            record_from_circuit(TruncatedAdder(8, t)) for t in (1, 2, 3)
+        ]
+        table = wmed_table(recs, sobel_profiles["add1"])
+        assert table.shape == (3,)
+        assert np.all(np.diff(table) > 0)  # deeper truncation, more error
+
+    def test_sample_based_path(self, small_images):
+        """Wide ops (no dense PMF) estimate WMED from operand samples."""
+        from repro.accelerators import (
+            GenericGaussianFilter,
+            profile_accelerator,
+        )
+
+        acc = GenericGaussianFilter()
+        profiles = profile_accelerator(acc, small_images, rng=0)
+        rec = record_from_circuit(
+            TruncatedAdder(16, 6), sample_size=1 << 10
+        )
+        value = wmed(rec, profiles["sum1"])
+        assert value > 0.0
+
+
+class TestParetoFilter:
+    def test_filters_dominated(self):
+        scores = np.array([0.0, 1.0, 2.0, 1.5])
+        costs = np.array([10.0, 5.0, 1.0, 8.0])
+        keep = pareto_filter_indices(scores, costs)
+        assert sorted(keep.tolist()) == [0, 1, 2]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pareto_filter_indices(np.zeros(3), np.zeros(4))
+
+
+class TestReduceLibrary:
+    def test_space_structure(self, sobel, sobel_space):
+        assert sobel_space.n_slots == 5
+        assert all(size >= 1 for size in sobel_space.slot_sizes())
+
+    def test_candidates_on_front(self, sobel_space):
+        """Within each slot, only the force-kept exact circuit may be
+        dominated in (wmed, area).  (An approximate circuit whose errors
+        never occur under the application PMF can have zero WMED at a
+        lower area than the exact implementation.)"""
+        for wmeds, group in zip(sobel_space.wmeds, sobel_space.choices):
+            areas = np.array([r.hardware.area for r in group])
+            for i in range(len(group)):
+                better_score = wmeds <= wmeds[i]
+                better_area = areas <= areas[i]
+                strictly = (wmeds < wmeds[i]) | (areas < areas[i])
+                dominated = better_score & better_area & strictly
+                if dominated.any():
+                    assert group[i].is_exact()
+
+    def test_exact_reachable(self, sobel_space):
+        config = sobel_space.exact_configuration()
+        for k, idx in enumerate(config):
+            assert sobel_space.choices[k][idx].is_exact()
+
+    def test_per_op_cap(self, sobel, tiny_library, sobel_profiles):
+        space = reduce_library(
+            sobel, tiny_library, sobel_profiles, per_op_cap=3
+        )
+        assert all(s <= 4 for s in space.slot_sizes())  # cap + exact
+
+    def test_reduction_shrinks_space(self, sobel, tiny_library,
+                                     sobel_space):
+        full = 1.0
+        for slot in sobel.op_slots():
+            full *= tiny_library.size(slot.signature)
+        assert sobel_space.size() < full
+
+    def test_missing_profile_rejected(self, sobel, tiny_library,
+                                      sobel_profiles):
+        incomplete = dict(sobel_profiles)
+        del incomplete["sub"]
+        with pytest.raises(LibraryError):
+            reduce_library(sobel, tiny_library, incomplete)

@@ -1,0 +1,88 @@
+"""Tiny-scale runs of the ablation drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_hw_features,
+    ablate_model_selection,
+    ablate_preprocessing,
+    ablate_restarts,
+)
+from repro.experiments.setup import ExperimentSetup
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_library, small_images):
+    return ExperimentSetup(library=tiny_library, images=small_images)
+
+
+def test_ablate_model_selection(setup):
+    result = ablate_model_selection(
+        setup,
+        n_train=30,
+        n_test=20,
+        engines=("K-Neighbors", "Bayesian Ridge"),
+        max_evaluations=300,
+        n_verify=15,
+    )
+    assert result.by_fidelity in ("K-Neighbors", "Bayesian Ridge")
+    assert result.front_hv_fidelity_choice > 0
+    assert result.front_hv_r2_choice > 0
+    assert (
+        result.fidelity_of_fidelity_choice
+        >= result.fidelity_of_r2_choice
+    )
+
+
+def test_ablate_preprocessing(setup):
+    result = ablate_preprocessing(
+        setup, n_train=25, n_test=15, max_evaluations=300, n_verify=15
+    )
+    # the random control mirrors the reduced sizes per op
+    assert result.random_sizes == result.pareto_sizes
+    assert result.pareto_front_hv > 0
+    assert result.random_front_hv > 0
+
+
+def test_ablate_restarts(setup):
+    result = ablate_restarts(
+        setup, n_train=25, n_test=15, max_evaluations=600
+    )
+    assert result.with_restarts_size >= 1
+    assert result.without_restarts_size >= 1
+    assert result.random_sampling_size >= 1
+    assert result.with_restarts_hv > 0
+
+
+def test_ablate_hw_features(setup):
+    result = ablate_hw_features(setup, n_train=40, n_test=25)
+    assert set(result.fidelity_by_feature_set) == {
+        "area", "area+power", "area+power+delay",
+    }
+    for fidelity in result.fidelity_by_feature_set.values():
+        assert 0.0 <= fidelity <= 1.0
+
+
+def test_ablate_qor_features(setup):
+    from repro.experiments.ablations import ablate_qor_features
+
+    result = ablate_qor_features(setup, n_train=40, n_test=25)
+    assert 0.0 <= result.fidelity_wmed_only <= 1.0
+    assert 0.0 <= result.fidelity_wmed_plus_variance <= 1.0
+
+
+def test_error_stat_features(setup):
+    from repro.accelerators import SobelEdgeDetector, profile_accelerator
+    from repro.core import reduce_library
+    from repro.errors import DSEError
+    import pytest as _pytest
+
+    acc = SobelEdgeDetector()
+    profiles = profile_accelerator(acc, setup.images, rng=0)
+    space = reduce_library(acc, setup.library, profiles)
+    configs = space.random_configurations(5, rng=0)
+    X = space.error_stat_features(configs, "error_var")
+    assert X.shape == (5, space.n_slots)
+    assert (X >= 0).all()
+    with _pytest.raises(DSEError):
+        space.error_stat_features(configs, "bogus_stat")

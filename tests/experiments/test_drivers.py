@@ -1,0 +1,130 @@
+"""Tiny-scale smoke runs of every table/figure driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import AutoAxConfig
+from repro.experiments.fig3_pmf import fig3_profiles, render_pmf_ascii
+from repro.experiments.fig4_correlation import fig4_correlation
+from repro.experiments.fig5_fronts import fig5_fronts
+from repro.experiments.setup import ExperimentSetup
+from repro.experiments.speedup import estimation_speedup
+from repro.experiments.table1_operations import PAPER_TABLE1, table1_rows
+from repro.experiments.table2_library import PAPER_TABLE2, table2_counts
+from repro.experiments.table3_fidelity import table3_fidelity
+from repro.experiments.table4_dse import table4_distances
+from repro.experiments.table5_space import default_cases, table5_sizes
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_library, small_images):
+    return ExperimentSetup(library=tiny_library, images=small_images)
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return AutoAxConfig(
+        n_train=30, n_test=15, engines=("K-Neighbors",),
+        max_evaluations=400, seed=0,
+    )
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        assert all(r["matches_paper"] for r in rows)
+        assert [r["total"] for r in rows] == [5, 11, 17]
+
+
+class TestTable2:
+    def test_counts(self, setup):
+        counts = table2_counts(setup.library)
+        assert set(counts) == set(PAPER_TABLE2)
+        for sig, row in counts.items():
+            assert row["generated"] == setup.library.size(sig)
+            assert 0 < row["fraction"] <= 1.0
+
+
+class TestFig3:
+    def test_profiles_and_render(self, setup):
+        profiles = fig3_profiles(setup.images)
+        assert set(profiles) == {"add1", "add2", "sub"}
+        for data in profiles.values():
+            stats = data["stats"]
+            assert stats["operand_correlation"] > 0.5
+            art = render_pmf_ascii(data["pmf"], bins=12)
+            assert len(art.splitlines()) == 12
+
+    def test_render_validates_input(self):
+        with pytest.raises(ValueError):
+            render_pmf_ascii(np.zeros((4, 5)))
+
+
+class TestTable3:
+    def test_rows_sorted_by_test_fidelity(self, setup):
+        rows = table3_fidelity(
+            setup, n_train=30, n_test=30,
+            engines=["K-Neighbors", "Bayesian Ridge"],
+        )
+        names = [r.engine for r in rows]
+        assert "Naive model" in names
+        fids = [r.ssim_test for r in rows]
+        assert fids == sorted(fids, reverse=True)
+
+
+class TestFig4:
+    def test_series(self, setup):
+        series = fig4_correlation(
+            setup, n_train=30, n_test=30, engines=("K-Neighbors",)
+        )
+        names = [s.engine for s in series]
+        assert names == ["K-Neighbors", "Naive model"]
+        for s in series:
+            assert s.real_area.shape == s.estimated_area.shape
+            assert -1.0 <= s.pearson_r <= 1.0
+
+
+class TestTable4:
+    def test_structure(self, setup):
+        result = table4_distances(
+            setup, budgets=(100,), per_op_cap=3, n_train=30, n_test=15,
+            engines=("K-Neighbors",),
+        )
+        assert result.optimal_size >= 1
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.algorithm in ("Proposed", "Random sampling")
+            assert row.to_optimal_avg >= 0.0
+
+
+class TestTable5AndFig5:
+    def test_table5(self, setup, fast_config):
+        cases = default_cases(setup, n_kernels=2, n_gf_images=1)
+        rows = table5_sizes(setup, config=fast_config, cases=cases[:1])
+        assert rows[0].problem == "Sobel ED"
+        assert rows[0].all_possible > rows[0].after_preprocessing
+        assert rows[0].final_pareto <= rows[0].pseudo_pareto
+
+    def test_fig5(self, setup, fast_config):
+        cases = default_cases(setup, n_kernels=2, n_gf_images=1)
+        out = fig5_fronts(
+            setup, config=fast_config, uniform_points=5,
+            cases=cases[:1],
+        )
+        fronts = out[0].fronts
+        assert set(fronts) == {"proposed", "random", "uniform"}
+        for f in fronts.values():
+            assert f.hypervolume >= 0.0
+            assert f.points.shape[1] == 2
+
+
+class TestSpeedup:
+    def test_speedup_measured(self, setup):
+        result = estimation_speedup(
+            setup, n_analysis=2, n_estimates=50, n_train=20,
+            n_kernels=2, n_images=1,
+        )
+        assert result.analysis_seconds_per_config > 0
+        assert result.estimate_seconds_per_config > 0
+        assert result.speedup > 1.0

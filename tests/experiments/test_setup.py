@@ -1,0 +1,36 @@
+import os
+
+import pytest
+
+from repro.experiments.setup import ExperimentSetup, default_setup
+
+
+class TestDefaultSetup:
+    def test_builds_and_caches(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        setup = default_setup(
+            scale=0.002, n_images=2, image_shape=(32, 48), use_cache=True
+        )
+        assert isinstance(setup, ExperimentSetup)
+        assert setup.image_shape == (32, 48)
+        assert len(setup.images) == 2
+        cached = list(tmp_path.glob("library_scale_*.json"))
+        assert len(cached) == 1
+
+    def test_cache_reused(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = default_setup(scale=0.002, n_images=1,
+                              image_shape=(16, 16))
+        mtime = next(tmp_path.glob("*.json")).stat().st_mtime
+        second = default_setup(scale=0.002, n_images=1,
+                               image_shape=(16, 16))
+        assert next(tmp_path.glob("*.json")).stat().st_mtime == mtime
+        assert first.library.summary() == second.library.summary()
+
+    def test_scale_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SCALE", "0.002")
+        setup = default_setup(n_images=1, image_shape=(16, 16),
+                              use_cache=False)
+        # the floor dominates at this scale: every signature present
+        assert len(setup.library.signatures()) == 6

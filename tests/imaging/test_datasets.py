@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+
+from repro.imaging.datasets import DEFAULT_SHAPE, benchmark_images, synthetic_image
+
+
+class TestSyntheticImage:
+    def test_shape_and_dtype(self):
+        img = synthetic_image(0)
+        assert img.shape == DEFAULT_SHAPE
+        assert img.dtype == np.uint8
+
+    def test_deterministic(self):
+        assert np.array_equal(synthetic_image(3), synthetic_image(3))
+
+    def test_indices_differ(self):
+        assert not np.array_equal(synthetic_image(0), synthetic_image(1))
+
+    def test_custom_shape(self):
+        img = synthetic_image(0, shape=(32, 48))
+        assert img.shape == (32, 48)
+
+    def test_uses_full_dynamic_range(self):
+        img = synthetic_image(0)
+        assert img.min() == 0
+        assert img.max() == 255
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_image(-1)
+
+    def test_neighbour_correlation(self):
+        """Natural-image statistics: adjacent pixels are correlated
+        (the property behind the paper's Fig. 3 PMFs)."""
+        img = synthetic_image(0).astype(float)
+        left = img[:, :-1].reshape(-1)
+        right = img[:, 1:].reshape(-1)
+        corr = np.corrcoef(left, right)[0, 1]
+        assert corr > 0.9
+
+
+class TestBenchmarkImages:
+    def test_count(self):
+        imgs = benchmark_images(3, shape=(16, 16))
+        assert len(imgs) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            benchmark_images(0)
+
+    def test_images_are_prefix_stable(self):
+        a = benchmark_images(2, shape=(16, 16))
+        b = benchmark_images(3, shape=(16, 16))
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.circuits.adders import QuAdAdder, TruncatedAdder
+from repro.circuits.base import ExactAdder, ExactMultiplier
+from repro.circuits.multipliers import RecursiveApproxMultiplier
+from repro.errors import LibraryError
+from repro.library.component import (
+    FAMILY_REGISTRY,
+    ComponentRecord,
+    HardwareCost,
+    record_from_circuit,
+)
+
+
+class TestRecordFromCircuit:
+    def test_exact_adder(self):
+        rec = record_from_circuit(ExactAdder(8))
+        assert rec.signature == ("add", 8)
+        assert rec.is_exact()
+        assert rec.errors.med == 0.0
+        assert rec.hardware.area > 0
+        assert rec.hardware.gate_count > 0
+
+    def test_approximate_has_error(self):
+        rec = record_from_circuit(TruncatedAdder(8, 4))
+        assert not rec.is_exact()
+        assert rec.errors.med > 0
+
+    def test_energy_property(self):
+        hw = HardwareCost(area=10, delay=2, power=3, gate_count=4)
+        assert hw.energy == 6
+
+    def test_lut_cached(self):
+        rec = record_from_circuit(TruncatedAdder(8, 2))
+        assert rec.lut() is rec.lut()
+
+    def test_lut_width_limit(self):
+        rec = record_from_circuit(ExactMultiplier(16), sample_size=256)
+        with pytest.raises(LibraryError):
+            rec.lut()
+
+    def test_netlist_fresh_instances(self):
+        rec = record_from_circuit(ExactAdder(8))
+        assert rec.build_netlist() is not rec.build_netlist()
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize(
+        "circuit",
+        [
+            ExactAdder(8),
+            TruncatedAdder(8, 3, "half"),
+            QuAdAdder(9, [4, 5], [0, 3]),
+            RecursiveApproxMultiplier(8, [1, 2, 3]),
+        ],
+        ids=lambda c: c.name,
+    )
+    def test_roundtrip(self, circuit):
+        rec = record_from_circuit(circuit, sample_size=1 << 10)
+        data = rec.to_dict()
+        rec2 = ComponentRecord.from_dict(data)
+        assert rec2.name == rec.name
+        assert rec2.signature == rec.signature
+        assert rec2.errors == rec.errors
+        assert rec2.hardware.area == rec.hardware.area
+        a = np.arange(1 << circuit.width)
+        assert np.array_equal(
+            rec2.circuit.evaluate(a, a[::-1].copy()),
+            rec.circuit.evaluate(a, a[::-1].copy()),
+        )
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(LibraryError):
+            ComponentRecord.from_dict(
+                {"family": "Bogus", "width": 8, "params": {},
+                 "errors": {}, "hardware": {}}
+            )
+
+    def test_registry_covers_all_families(self):
+        assert "ExactAdder" in FAMILY_REGISTRY
+        assert "RecursiveApproxMultiplier" in FAMILY_REGISTRY
+        assert len(FAMILY_REGISTRY) >= 15

@@ -1,0 +1,74 @@
+import pytest
+
+from repro.library.generation import (
+    GenerationPlan,
+    PAPER_COUNTS,
+    generate_adders,
+    generate_library,
+    generate_multipliers,
+    generate_subtractors,
+    paper_scale_plan,
+    scaled_plan,
+)
+
+
+class TestGenerators:
+    def test_adders_count_and_uniqueness(self):
+        records = generate_adders(8, 40, rng=0, sample_size=1 << 10)
+        assert len(records) == 40
+        names = {r.name for r in records}
+        assert len(names) == 40
+        assert records[0].is_exact()
+
+    def test_adders_all_correct_signature(self):
+        for rec in generate_adders(9, 20, rng=0, sample_size=1 << 10):
+            assert rec.signature == ("add", 9)
+
+    def test_subtractors(self):
+        records = generate_subtractors(10, 25, rng=0, sample_size=1 << 10)
+        assert len(records) == 25
+        assert records[0].is_exact()
+        assert all(r.signature == ("sub", 10) for r in records)
+
+    def test_multipliers(self):
+        records = generate_multipliers(8, 30, rng=0, sample_size=1 << 10)
+        assert len(records) == 30
+        assert records[0].is_exact()
+        families = {r.family for r in records}
+        assert len(families) >= 3  # diverse families
+
+    def test_deterministic(self):
+        a = generate_adders(8, 15, rng=5, sample_size=1 << 10)
+        b = generate_adders(8, 15, rng=5, sample_size=1 << 10)
+        assert [r.name for r in a] == [r.name for r in b]
+
+    def test_large_request_exceeds_systematic_families(self):
+        records = generate_adders(8, 120, rng=0, sample_size=1 << 10)
+        assert len(records) == 120  # random QuAds filled the quota
+
+
+class TestPlans:
+    def test_paper_scale_matches_table2(self):
+        plan = paper_scale_plan()
+        assert plan.counts[("mul", 8)] == 29911
+        assert plan.counts[("add", 8)] == 6979
+        assert plan.total() == sum(PAPER_COUNTS.values())
+
+    def test_scaled_plan_floor(self):
+        plan = scaled_plan(0.001, floor=16)
+        assert all(c >= 16 for c in plan.counts.values())
+
+    def test_scaled_plan_proportional(self):
+        plan = scaled_plan(0.01, floor=1)
+        assert plan.counts[("mul", 8)] == pytest.approx(299, abs=1)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_plan(0.0)
+
+    def test_generate_library(self):
+        plan = GenerationPlan(
+            {("add", 8): 10, ("mul", 8): 8}, seed=1, sample_size=1 << 10
+        )
+        lib = generate_library(plan)
+        assert lib.summary() == {("add", 8): 10, ("mul", 8): 8}

@@ -1,0 +1,53 @@
+import json
+
+import pytest
+
+from repro.errors import LibraryError
+from repro.library.generation import GenerationPlan, generate_library
+from repro.library.io import load_library, save_library
+
+
+@pytest.fixture(scope="module")
+def library():
+    plan = GenerationPlan(
+        {("add", 8): 8, ("sub", 10): 6, ("mul", 8): 8},
+        seed=0,
+        sample_size=1 << 10,
+    )
+    return generate_library(plan)
+
+
+class TestRoundTrip:
+    def test_summary_preserved(self, library, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(library, path)
+        loaded = load_library(path)
+        assert loaded.summary() == library.summary()
+
+    def test_characterisation_preserved(self, library, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(library, path)
+        loaded = load_library(path)
+        for rec in library:
+            other = loaded.get(rec.signature, rec.name)
+            assert other.errors == rec.errors
+            assert other.hardware.area == rec.hardware.area
+
+    def test_creates_parent_dirs(self, library, tmp_path):
+        path = tmp_path / "deep" / "nested" / "lib.json"
+        save_library(library, path)
+        assert path.exists()
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99,
+                                    "components": []}))
+        with pytest.raises(LibraryError):
+            load_library(path)
+
+    def test_file_is_plain_json(self, library, tmp_path):
+        path = tmp_path / "lib.json"
+        save_library(library, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert len(payload["components"]) == len(library)

@@ -1,0 +1,70 @@
+import pytest
+
+from repro.circuits.adders import TruncatedAdder
+from repro.circuits.base import ExactAdder, ExactSubtractor
+from repro.errors import LibraryError
+from repro.library.component import record_from_circuit
+from repro.library.library import ComponentLibrary
+
+
+@pytest.fixture()
+def library():
+    return ComponentLibrary(
+        [
+            record_from_circuit(ExactAdder(8)),
+            record_from_circuit(TruncatedAdder(8, 2)),
+            record_from_circuit(TruncatedAdder(8, 4)),
+            record_from_circuit(ExactSubtractor(10)),
+        ]
+    )
+
+
+class TestComponentLibrary:
+    def test_signatures(self, library):
+        assert library.signatures() == [("add", 8), ("sub", 10)]
+
+    def test_size(self, library):
+        assert library.size() == 4
+        assert library.size(("add", 8)) == 3
+        assert len(library) == 4
+
+    def test_components_copy(self, library):
+        group = library.components(("add", 8))
+        group.clear()
+        assert library.size(("add", 8)) == 3
+
+    def test_get_by_name(self, library):
+        rec = library.get(("add", 8), "add8_tra_t2_zero")
+        assert rec.name == "add8_tra_t2_zero"
+
+    def test_get_missing(self, library):
+        with pytest.raises(LibraryError):
+            library.get(("add", 8), "nope")
+
+    def test_exact_component(self, library):
+        assert library.exact_component(("add", 8)).is_exact()
+
+    def test_no_exact_raises(self):
+        lib = ComponentLibrary([record_from_circuit(TruncatedAdder(8, 2))])
+        with pytest.raises(LibraryError):
+            lib.exact_component(("add", 8))
+
+    def test_unknown_signature(self, library):
+        with pytest.raises(LibraryError):
+            library.components(("mul", 8))
+
+    def test_duplicate_rejected(self, library):
+        with pytest.raises(LibraryError):
+            library.add(record_from_circuit(ExactAdder(8)))
+
+    def test_contains(self, library):
+        assert ("add", 8) in library
+        assert ("mul", 8) not in library
+
+    def test_summary(self, library):
+        assert library.summary() == {("add", 8): 3, ("sub", 10): 1}
+
+    def test_iteration(self, library):
+        names = [rec.name for rec in library]
+        assert len(names) == 4
+        assert len(set(names)) == 4

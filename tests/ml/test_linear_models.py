@@ -1,0 +1,138 @@
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.linear import (
+    BayesianRidge,
+    LarsRegressor,
+    LassoRegressor,
+    LinearRegression,
+    SGDRegressor,
+)
+from repro.ml.metrics import r2_score
+from repro.ml.pls import PLSRegression
+
+
+@pytest.fixture(scope="module")
+def linear_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-2, 2, (300, 6))
+    w = np.array([3.0, -1.5, 0.0, 2.0, 0.0, 0.5])
+    y = X @ w + 1.0 + rng.normal(0, 0.05, 300)
+    return X, y, w
+
+
+LINEAR_MODELS = [
+    LinearRegression,
+    lambda: LassoRegressor(alpha=0.001),
+    BayesianRidge,
+    LarsRegressor,
+    lambda: PLSRegression(n_components=6),
+]
+
+
+class TestLinearRecovery:
+    @pytest.mark.parametrize("factory", LINEAR_MODELS)
+    def test_recovers_linear_function(self, factory, linear_data):
+        X, y, _ = linear_data
+        model = factory().fit(X[:200], y[:200])
+        assert r2_score(y[200:], model.predict(X[200:])) > 0.98
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            LinearRegression().predict(np.zeros((2, 3)))
+
+    def test_feature_count_checked(self, linear_data):
+        X, y, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((2, 3)))
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ModelError):
+            LinearRegression().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_nan_rejected(self):
+        X = np.zeros((4, 2))
+        y = np.array([1.0, np.nan, 0.0, 2.0])
+        with pytest.raises(ModelError):
+            LinearRegression().fit(X, y)
+
+
+class TestLasso:
+    def test_sparsity_grows_with_alpha(self, linear_data):
+        X, y, _ = linear_data
+        weak = LassoRegressor(alpha=0.001).fit(X, y)
+        strong = LassoRegressor(alpha=2.0).fit(X, y)
+        nz_weak = np.count_nonzero(np.abs(weak._w) > 1e-9)
+        nz_strong = np.count_nonzero(np.abs(strong._w) > 1e-9)
+        assert nz_strong < nz_weak
+
+    def test_huge_alpha_predicts_mean(self, linear_data):
+        X, y, _ = linear_data
+        model = LassoRegressor(alpha=1e6).fit(X, y)
+        assert np.allclose(model.predict(X), y.mean(), atol=1e-6)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            LassoRegressor(alpha=-1.0)
+
+
+class TestLars:
+    def test_selects_strong_features_first(self, linear_data):
+        X, y, w = linear_data
+        model = LarsRegressor(n_nonzero_coefs=2).fit(X, y)
+        nonzero = set(np.nonzero(np.abs(model._w) > 1e-9)[0])
+        assert nonzero <= {0, 1, 3, 5}
+        assert 0 in nonzero  # strongest coefficient enters
+
+    def test_invalid_coef_count(self):
+        with pytest.raises(ValueError):
+            LarsRegressor(n_nonzero_coefs=0)
+
+
+class TestBayesianRidge:
+    def test_shrinks_with_noise(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        y_noisy = X[:, 0] + rng.normal(0, 5.0, 100)
+        model = BayesianRidge().fit(X, y_noisy)
+        # heavy noise => strong shrinkage toward zero
+        assert np.all(np.abs(model._w) < 1.5)
+
+
+class TestSGD:
+    def test_deterministic_with_seed(self, linear_data):
+        X, y, _ = linear_data
+        m1 = SGDRegressor(max_iter=5, rng=0).fit(X, y)
+        m2 = SGDRegressor(max_iter=5, rng=0).fit(X, y)
+        assert np.array_equal(m1.predict(X), m2.predict(X))
+
+    def test_survives_divergent_scales(self):
+        # large unscaled features blow plain SGD up; predictions must
+        # still be finite (the divergence guard)
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 1000, (100, 4))
+        y = X.sum(axis=1)
+        model = SGDRegressor(max_iter=10, rng=0).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_fits_well_scaled_data(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(0, 0.1, (200, 3))
+        y = X @ np.array([1.0, -2.0, 0.5])
+        model = SGDRegressor(eta0=0.5, max_iter=300, rng=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+
+class TestPLS:
+    def test_fewer_components_than_features(self, linear_data):
+        X, y, _ = linear_data
+        model = PLSRegression(n_components=2).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.7
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            PLSRegression(n_components=0)

@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.kernel_ridge import KernelRidgeRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.mlp import MLPRegressor
+from repro.ml.naive import NaiveAdditiveModel
+from repro.ml.neighbors import KNeighborsRegressor
+
+
+@pytest.fixture(scope="module")
+def smooth_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-3, 3, (300, 2))
+    y = np.sin(X[:, 0]) + 0.5 * X[:, 1] ** 2
+    return X, y
+
+
+class TestKNN:
+    def test_k1_interpolates(self, smooth_data):
+        X, y = smooth_data
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_generalises(self, smooth_data):
+        X, y = smooth_data
+        model = KNeighborsRegressor(n_neighbors=5).fit(X[:250], y[:250])
+        assert r2_score(y[250:], model.predict(X[250:])) > 0.9
+
+    def test_k_larger_than_train(self):
+        X = np.zeros((3, 1))
+        y = np.array([1.0, 2.0, 3.0])
+        model = KNeighborsRegressor(n_neighbors=10).fit(X, y)
+        assert model.predict(np.zeros((1, 1)))[0] == pytest.approx(2.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(n_neighbors=0)
+
+
+class TestMLP:
+    def test_learns_smooth_function(self, smooth_data):
+        X, y = smooth_data
+        model = MLPRegressor(
+            hidden_layer_sizes=(32,), max_iter=300, rng=0
+        ).fit(X[:250], y[:250])
+        assert r2_score(y[250:], model.predict(X[250:])) > 0.8
+
+    def test_deterministic(self, smooth_data):
+        X, y = smooth_data
+        a = MLPRegressor(max_iter=5, rng=3).fit(X, y).predict(X[:10])
+        b = MLPRegressor(max_iter=5, rng=3).fit(X, y).predict(X[:10])
+        assert np.array_equal(a, b)
+
+    def test_two_hidden_layers(self, smooth_data):
+        X, y = smooth_data
+        model = MLPRegressor(
+            hidden_layer_sizes=(16, 16), max_iter=100, rng=0
+        ).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_invalid_layers(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_layer_sizes=(0,))
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_set(self, smooth_data):
+        X, y = smooth_data
+        model = GaussianProcessRegressor().fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.999
+
+    def test_far_points_revert_to_mean(self, smooth_data):
+        X, y = smooth_data
+        model = GaussianProcessRegressor().fit(X, y)
+        far = np.full((1, 2), 1e6)
+        assert model.predict(far)[0] == pytest.approx(y.mean(), rel=1e-6)
+
+    def test_explicit_scale(self, smooth_data):
+        X, y = smooth_data
+        model = GaussianProcessRegressor(length_scale=0.5).fit(X, y)
+        assert np.all(np.isfinite(model.predict(X)))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(length_scale=-1.0)
+
+
+class TestKernelRidge:
+    def test_smooth_fit(self, smooth_data):
+        X, y = smooth_data
+        model = KernelRidgeRegressor(alpha=0.1, gamma=0.5).fit(
+            X[:250], y[:250]
+        )
+        assert r2_score(y[250:], model.predict(X[250:])) > 0.8
+
+    def test_strong_ridge_flattens(self, smooth_data):
+        X, y = smooth_data
+        model = KernelRidgeRegressor(alpha=1e6).fit(X, y)
+        assert np.abs(model.predict(X)).max() < np.abs(y).max()
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            KernelRidgeRegressor(alpha=0.0)
+
+
+class TestNaiveAdditive:
+    def test_sums_all_columns(self):
+        X = np.array([[1.0, 2.0], [3.0, 4.0]])
+        model = NaiveAdditiveModel().fit(X, np.zeros(2))
+        assert np.array_equal(model.predict(X), [3.0, 7.0])
+
+    def test_column_subset_and_sign(self):
+        X = np.array([[1.0, 2.0, 3.0]])
+        model = NaiveAdditiveModel(columns=[0, 2], sign=-1).fit(
+            X, np.zeros(1)
+        )
+        assert model.predict(X)[0] == -4.0
+
+    def test_bad_columns(self):
+        with pytest.raises(ValueError):
+            NaiveAdditiveModel(columns=[5]).fit(
+                np.zeros((2, 2)), np.zeros(2)
+            )
+
+    def test_bad_sign(self):
+        with pytest.raises(ValueError):
+            NaiveAdditiveModel(sign=2.0)

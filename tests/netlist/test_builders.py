@@ -1,0 +1,173 @@
+"""Structural builders must implement exactly their behavioural models.
+
+These are the load-bearing tests of the netlist substrate: for every
+circuit family and several parameterisations, the raw netlist and the
+synthesised netlist are simulated against ``circuit.evaluate``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import (
+    AlmostCorrectAdder,
+    GeArAdder,
+    LowerOrAdder,
+    QuAdAdder,
+    TruncatedAdder,
+)
+from repro.circuits.base import ExactAdder, ExactMultiplier, ExactSubtractor
+from repro.circuits.multipliers import (
+    BrokenArrayMultiplier,
+    DrumMultiplier,
+    MitchellMultiplier,
+    PerforatedMultiplier,
+    RecursiveApproxMultiplier,
+    TruncatedMultiplier,
+)
+from repro.circuits.subtractors import BlockSubtractor, TruncatedSubtractor
+from repro.errors import NetlistError
+from repro.netlist.builders import build_netlist
+from repro.netlist.simulate import simulate
+from repro.synthesis.synthesizer import optimize
+from repro.utils.bitops import bit_mask
+
+
+def assert_equivalent(circuit, n_samples=600, seed=0, optimized=True):
+    netlist = build_netlist(circuit)
+    if optimized:
+        optimize(netlist)
+        netlist.validate()
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << circuit.width, n_samples)
+    b = rng.integers(0, 1 << circuit.width, n_samples)
+    got = simulate(netlist, {"a": a, "b": b})["y"]
+    want = np.asarray(circuit.evaluate(a, b)) & bit_mask(
+        circuit.result_width
+    )
+    assert np.array_equal(got, want), circuit.name
+
+
+CASES = [
+    ExactAdder(4),
+    ExactAdder(8),
+    ExactAdder(16),
+    TruncatedAdder(8, 1, "zero"),
+    TruncatedAdder(8, 5, "half"),
+    TruncatedAdder(8, 8, "copy"),
+    LowerOrAdder(8, 1),
+    LowerOrAdder(8, 8),
+    AlmostCorrectAdder(8, 1),
+    AlmostCorrectAdder(8, 5),
+    AlmostCorrectAdder(9, 4),
+    QuAdAdder(8, [4, 4], [0, 2]),
+    QuAdAdder(9, [3, 3, 3], [0, 3, 2]),
+    QuAdAdder(16, [4, 4, 4, 4], [0, 4, 2, 1]),
+    GeArAdder(8, 2, 2),
+    GeArAdder(16, 4, 4),
+    ExactSubtractor(10),
+    ExactSubtractor(16),
+    TruncatedSubtractor(10, 3, "zero"),
+    TruncatedSubtractor(10, 6, "copy"),
+    TruncatedSubtractor(16, 8, "zero"),
+    BlockSubtractor(10, [5, 5], [0, 3]),
+    BlockSubtractor(16, [4, 6, 6], [0, 2, 4]),
+    ExactMultiplier(4),
+    ExactMultiplier(8),
+    BrokenArrayMultiplier(8, 4, 6),
+    BrokenArrayMultiplier(8, 10, 3),
+    TruncatedMultiplier(8, 3, 2),
+    PerforatedMultiplier(8, [1, 4]),
+    RecursiveApproxMultiplier(4, [0, 3]),
+    RecursiveApproxMultiplier(8, []),
+    RecursiveApproxMultiplier(8, [0, 5, 10, 15]),
+    RecursiveApproxMultiplier(8, list(range(16))),
+]
+
+
+@pytest.mark.parametrize("circuit", CASES, ids=lambda c: c.name)
+def test_netlist_equivalence(circuit):
+    assert_equivalent(circuit)
+
+
+@pytest.mark.parametrize("circuit", CASES[:8], ids=lambda c: c.name)
+def test_unoptimised_netlist_equivalence(circuit):
+    assert_equivalent(circuit, optimized=False)
+
+
+class TestMacroBuilders:
+    @pytest.mark.parametrize(
+        "circuit",
+        [MitchellMultiplier(8, 6), DrumMultiplier(8, 4)],
+        ids=lambda c: c.name,
+    )
+    def test_macro_structure(self, circuit):
+        netlist = build_netlist(circuit)
+        netlist.validate()
+        assert netlist.gate_count() == 1
+        gate = next(netlist.live_gates())
+        assert gate.cell.is_macro
+        assert gate.cell.area > 0
+
+    def test_mitchell_cheaper_than_exact_array(self):
+        exact = build_netlist(ExactMultiplier(8))
+        optimize(exact)
+        mitchell = build_netlist(MitchellMultiplier(8, 6))
+        assert mitchell.area() < exact.area()
+
+    def test_drum_smaller_for_smaller_k(self):
+        a4 = build_netlist(DrumMultiplier(8, 4)).area()
+        a6 = build_netlist(DrumMultiplier(8, 6)).area()
+        assert a4 < a6
+
+
+class TestBuilderDispatch:
+    def test_unknown_family_rejected(self):
+        class Fake:
+            pass
+
+        with pytest.raises(NetlistError):
+            build_netlist(Fake())
+
+
+class TestHardwareTrends:
+    def test_truncation_shrinks_adders(self):
+        areas = []
+        for t in (0, 3, 6):
+            nl = build_netlist(TruncatedAdder(8, t, "zero"))
+            optimize(nl)
+            areas.append(nl.area())
+        assert areas[0] > areas[1] > areas[2]
+
+    def test_speculation_shortens_critical_path(self):
+        from repro.synthesis.timing import critical_path_delay
+
+        exact = build_netlist(ExactAdder(16))
+        optimize(exact)
+        aca = build_netlist(AlmostCorrectAdder(16, 4))
+        optimize(aca)
+        assert critical_path_delay(aca) < critical_path_delay(exact)
+
+    def test_bam_cheaper_than_exact(self):
+        exact = build_netlist(ExactMultiplier(8))
+        optimize(exact)
+        bam = build_netlist(BrokenArrayMultiplier(8, 8, 4))
+        optimize(bam)
+        assert bam.area() < exact.area()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    blocks=st.lists(
+        st.integers(min_value=1, max_value=5), min_size=1, max_size=4
+    ).filter(lambda b: sum(b) <= 10),
+)
+def test_random_quad_netlists_equivalent(blocks):
+    """Property: any valid QuAd partition lowers to an equivalent netlist."""
+    width = sum(blocks)
+    predictions = [0] + [
+        min(2, sum(blocks[:k])) for k in range(1, len(blocks))
+    ]
+    circuit = QuAdAdder(width, blocks, predictions)
+    assert_equivalent(circuit, n_samples=200)

@@ -1,0 +1,132 @@
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CELLS, macro_cell
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+
+
+class TestConstruction:
+    def test_new_nets_unique(self):
+        nl = Netlist()
+        nets = nl.new_nets(5)
+        assert len(set(nets)) == 5
+        assert CONST0 not in nets and CONST1 not in nets
+
+    def test_add_input_output(self):
+        nl = Netlist()
+        a = nl.add_input("a", 4)
+        assert len(a) == 4
+        nl.add_output("y", a)
+        assert nl.outputs["y"] == a
+
+    def test_duplicate_port_rejected(self):
+        nl = Netlist()
+        nl.add_input("a", 2)
+        with pytest.raises(NetlistError):
+            nl.add_input("a", 2)
+        nl.add_output("y", [CONST0])
+        with pytest.raises(NetlistError):
+            nl.add_output("y", [CONST0])
+
+    def test_gate_pin_counts_checked(self):
+        nl = Netlist()
+        a = nl.add_input("a", 2)
+        with pytest.raises(NetlistError):
+            nl.add_gate(CELLS["AND2"], [a[0]])
+        with pytest.raises(NetlistError):
+            nl.add_gate(CELLS["AND2"], a, outputs=[1, 2])
+
+    def test_area_power_counts(self):
+        nl = Netlist()
+        a = nl.add_input("a", 2)
+        nl.add_gate(CELLS["AND2"], a)
+        nl.add_gate(CELLS["XOR2"], a)
+        assert nl.gate_count() == 2
+        assert nl.area() == pytest.approx(
+            CELLS["AND2"].area + CELLS["XOR2"].area
+        )
+        assert nl.cell_histogram() == {"AND2": 1, "XOR2": 1}
+
+
+class TestValidation:
+    def test_cycle_detected(self):
+        nl = Netlist()
+        a = nl.add_input("a", 1)
+        n1 = nl.new_net()
+        n2 = nl.new_net()
+        nl.add_gate(CELLS["AND2"], [a[0], n2], outputs=[n1])
+        nl.add_gate(CELLS["AND2"], [a[0], n1], outputs=[n2])
+        nl.add_output("y", [n1])
+        with pytest.raises(NetlistError, match="cycle"):
+            nl.validate()
+
+    def test_multiple_drivers_detected(self):
+        nl = Netlist()
+        a = nl.add_input("a", 2)
+        n = nl.new_net()
+        nl.add_gate(CELLS["AND2"], a, outputs=[n])
+        nl.add_gate(CELLS["OR2"], a, outputs=[n])
+        nl.add_output("y", [n])
+        with pytest.raises(NetlistError, match="drivers"):
+            nl.validate()
+
+    def test_undriven_output_detected(self):
+        nl = Netlist()
+        nl.add_input("a", 1)
+        nl.add_output("y", [99])
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_valid_netlist_passes(self):
+        nl = Netlist()
+        a = nl.add_input("a", 2)
+        (out,) = nl.add_gate(CELLS["AND2"], a)
+        nl.add_output("y", [out])
+        nl.validate()
+
+
+class TestInstantiate:
+    def _and_block(self):
+        inner = Netlist("inner")
+        a = inner.add_input("a", 2)
+        (out,) = inner.add_gate(CELLS["AND2"], a)
+        inner.add_output("y", [out])
+        return inner
+
+    def test_copies_gates(self):
+        outer = Netlist("outer")
+        x = outer.add_input("x", 2)
+        result = outer.instantiate(self._and_block(), {"a": x})
+        assert outer.gate_count() == 1
+        assert "y" in result and len(result["y"]) == 1
+
+    def test_width_mismatch(self):
+        outer = Netlist()
+        x = outer.add_input("x", 3)
+        with pytest.raises(NetlistError):
+            outer.instantiate(self._and_block(), {"a": x})
+
+    def test_missing_port(self):
+        outer = Netlist()
+        with pytest.raises(NetlistError):
+            outer.instantiate(self._and_block(), {})
+
+    def test_constants_map_through(self):
+        inner = Netlist("inner")
+        inner.add_input("a", 1)
+        inner.add_output("y", [CONST1])
+        outer = Netlist()
+        x = outer.add_input("x", 1)
+        result = outer.instantiate(inner, {"a": x})
+        assert result["y"] == [CONST1]
+
+
+class TestMacroCell:
+    def test_macro_flag(self):
+        m = macro_cell("M", 10.0, 0.1, 2.0, 4, 4)
+        assert m.is_macro
+        assert not CELLS["FA"].is_macro
+
+    def test_invalid_costs(self):
+        with pytest.raises(ValueError):
+            macro_cell("M", -1.0, 0.1, 2.0, 4, 4)

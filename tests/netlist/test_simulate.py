@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CELLS, macro_cell
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.netlist.simulate import simulate
+
+
+def single_gate(cell_name, n_inputs):
+    nl = Netlist()
+    ins = [nl.add_input(f"i{k}", 1)[0] for k in range(n_inputs)]
+    outs = nl.add_gate(CELLS[cell_name], ins)
+    for k, net in enumerate(outs):
+        nl.add_output(f"o{k}", [net])
+    return nl, ins
+
+
+TRUTH = {
+    "INV": (1, [(0, 1), (1, 0)]),
+    "AND2": (2, [(0, 0, 0), (0, 1, 0), (1, 0, 0), (1, 1, 1)]),
+    "NAND2": (2, [(0, 0, 1), (1, 1, 0), (1, 0, 1)]),
+    "OR2": (2, [(0, 0, 0), (0, 1, 1), (1, 1, 1)]),
+    "NOR2": (2, [(0, 0, 1), (1, 0, 0)]),
+    "XOR2": (2, [(0, 1, 1), (1, 1, 0)]),
+    "XNOR2": (2, [(0, 1, 0), (1, 1, 1)]),
+    "MAJ3": (3, [(0, 0, 1, 0), (0, 1, 1, 1), (1, 1, 1, 1), (1, 0, 0, 0)]),
+    "XOR3": (3, [(1, 1, 1, 1), (1, 1, 0, 0), (1, 0, 0, 1)]),
+}
+
+
+class TestGateSemantics:
+    @pytest.mark.parametrize("cell", sorted(TRUTH))
+    def test_truth_tables(self, cell):
+        n, rows = TRUTH[cell]
+        nl, _ = single_gate(cell, n)
+        for row in rows:
+            inputs = {f"i{k}": row[k] for k in range(n)}
+            assert simulate(nl, inputs)["o0"] == row[-1], (cell, row)
+
+    def test_mux(self):
+        nl, _ = single_gate("MUX2", 3)
+        # inputs: (d0, d1, sel)
+        assert simulate(nl, {"i0": 1, "i1": 0, "i2": 0})["o0"] == 1
+        assert simulate(nl, {"i0": 1, "i1": 0, "i2": 1})["o0"] == 0
+
+    def test_full_adder(self):
+        nl, _ = single_gate("FA", 3)
+        for a in (0, 1):
+            for b in (0, 1):
+                for c in (0, 1):
+                    out = simulate(nl, {"i0": a, "i1": b, "i2": c})
+                    total = a + b + c
+                    assert out["o0"] == total & 1
+                    assert out["o1"] == total >> 1
+
+    def test_half_adder(self):
+        nl, _ = single_gate("HA", 2)
+        out = simulate(nl, {"i0": 1, "i1": 1})
+        assert out["o0"] == 0 and out["o1"] == 1
+
+
+class TestVectorised:
+    def test_array_inputs(self):
+        nl, _ = single_gate("AND2", 2)
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        out = simulate(nl, {"i0": a, "i1": b})["o0"]
+        assert np.array_equal(out, [0, 0, 0, 1])
+
+    def test_word_output_packing(self):
+        nl = Netlist()
+        a = nl.add_input("a", 3)
+        nl.add_output("y", list(a))
+        vals = np.array([0, 3, 5, 7])
+        assert np.array_equal(simulate(nl, {"a": vals})["y"], vals)
+
+    def test_constants(self):
+        nl = Netlist()
+        nl.add_input("a", 1)
+        nl.add_output("y", [CONST1, CONST0, CONST1])
+        assert simulate(nl, {"a": 0})["y"] == 0b101
+
+
+class TestErrors:
+    def test_missing_input(self):
+        nl, _ = single_gate("AND2", 2)
+        with pytest.raises(NetlistError, match="missing"):
+            simulate(nl, {"i0": 1})
+
+    def test_macro_not_simulatable(self):
+        nl = Netlist()
+        a = nl.add_input("a", 2)
+        cell = macro_cell("M", 1.0, 0.1, 1.0, 2, 1)
+        outs = nl.add_gate(cell, a)
+        nl.add_output("y", outs)
+        with pytest.raises(NetlistError, match="macro"):
+            simulate(nl, {"a": 3})

@@ -1,0 +1,92 @@
+import re
+
+import pytest
+
+from repro.circuits.adders import QuAdAdder, TruncatedAdder
+from repro.circuits.base import ExactAdder, ExactSubtractor
+from repro.circuits.multipliers import (
+    BrokenArrayMultiplier,
+    MitchellMultiplier,
+)
+from repro.library.component import record_from_circuit
+from repro.netlist.builders import build_netlist
+from repro.netlist.verilog import _sanitize, to_verilog
+from repro.synthesis.synthesizer import optimize
+
+
+class TestSanitize:
+    def test_plain_name_unchanged(self):
+        assert _sanitize("add8_exact") == "add8_exact"
+
+    def test_illegal_chars_replaced(self):
+        assert _sanitize("a-b.c") == "a_b_c"
+
+    def test_leading_digit_prefixed(self):
+        assert _sanitize("8bit").startswith("m_")
+
+
+class TestToVerilog:
+    def test_module_structure(self):
+        text = to_verilog(build_netlist(ExactAdder(8)))
+        assert text.startswith("module add8_exact")
+        assert "input  [7:0] a;" in text
+        assert "input  [7:0] b;" in text
+        assert "output [8:0] y;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_one_assign_per_fa(self):
+        nl = build_netlist(ExactAdder(4))
+        text = to_verilog(nl)
+        # each FA contributes a sum and a carry assign
+        assert text.count("assign") >= 2 * 4
+
+    def test_balanced_module_endmodule(self):
+        for circuit in (
+            TruncatedAdder(8, 3, "half"),
+            QuAdAdder(8, [4, 4], [0, 2]),
+            ExactSubtractor(10),
+            BrokenArrayMultiplier(8, 5, 4),
+        ):
+            text = to_verilog(build_netlist(circuit))
+            assert len(re.findall(r"^module ", text, re.M)) == len(
+                re.findall(r"^endmodule", text, re.M)
+            )
+
+    def test_constants_rendered(self):
+        text = to_verilog(build_netlist(TruncatedAdder(8, 4, "zero")))
+        assert "1'b0" in text
+
+    def test_macro_black_box(self):
+        text = to_verilog(build_netlist(MitchellMultiplier(8, 6)))
+        assert "// black box" in text
+        assert "MITCHELL_8_6" in text
+
+    def test_optimised_netlist_exports(self):
+        nl = build_netlist(QuAdAdder(16, [8, 8], [0, 4]))
+        optimize(nl)
+        text = to_verilog(nl)
+        assert "module" in text
+
+    def test_composed_accelerator_exports(self):
+        from repro.accelerators.sobel import SobelEdgeDetector
+        from repro.circuits.base import ExactAdder as EA
+
+        acc = SobelEdgeDetector()
+        records = {}
+        for slot in acc.op_slots():
+            kind, width = slot.signature
+            circuit = (
+                EA(width) if kind == "add" else ExactSubtractor(width)
+            )
+            records[slot.name] = record_from_circuit(
+                circuit, sample_size=1 << 8
+            )
+        text = to_verilog(acc.to_netlist(records), module_name="sobel")
+        assert text.startswith("module sobel")
+        for k in range(9):
+            assert f"input  [7:0] x{k};" in text
+        assert "output [7:0] out;" in text
+
+    def test_custom_module_name(self):
+        text = to_verilog(build_netlist(ExactAdder(4)), "my-adder")
+        assert text.startswith("module my_adder")

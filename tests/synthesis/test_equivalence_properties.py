@@ -1,0 +1,121 @@
+"""Property-based equivalence checks of the synthesis substitute.
+
+The optimiser may rewrite anything as long as the observable function is
+preserved.  These tests tie random subsets of inputs to constants, run
+the full optimisation pipeline, and check the optimised netlist against
+the unoptimised one on random stimulus — across circuit families and
+random parameterisations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import LowerOrAdder, QuAdAdder, TruncatedAdder
+from repro.circuits.base import ExactAdder, ExactMultiplier, ExactSubtractor
+from repro.circuits.multipliers import BrokenArrayMultiplier
+from repro.circuits.subtractors import BlockSubtractor
+from repro.netlist.builders import build_netlist
+from repro.netlist.netlist import CONST0, CONST1, Netlist
+from repro.netlist.simulate import simulate
+from repro.synthesis.synthesizer import optimize
+
+
+def tie_input_bits(netlist: Netlist, port: str, tie_mask: int,
+                   tie_values: int) -> None:
+    """Tie selected bits of an input port to constants (rewires gates)."""
+    nets = netlist.inputs[port]
+    mapping = {}
+    for position, net in enumerate(nets):
+        if (tie_mask >> position) & 1:
+            mapping[net] = (
+                CONST1 if (tie_values >> position) & 1 else CONST0
+            )
+    for idx, gate in enumerate(netlist.gates):
+        if gate is None:
+            continue
+        if any(n in mapping for n in gate.inputs):
+            new_inputs = tuple(mapping.get(n, n) for n in gate.inputs)
+            netlist.gates[idx] = type(gate)(
+                gate.cell, new_inputs, gate.outputs
+            )
+    for name, outs in netlist.outputs.items():
+        netlist.outputs[name] = [mapping.get(n, n) for n in outs]
+
+
+CIRCUITS = [
+    lambda: ExactAdder(8),
+    lambda: TruncatedAdder(8, 3, "half"),
+    lambda: LowerOrAdder(8, 4),
+    lambda: QuAdAdder(8, [3, 5], [0, 2]),
+    lambda: ExactSubtractor(10),
+    lambda: BlockSubtractor(10, [4, 6], [0, 3]),
+    lambda: ExactMultiplier(4),
+    lambda: BrokenArrayMultiplier(8, 5, 4),
+]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    circuit_index=st.integers(min_value=0, max_value=len(CIRCUITS) - 1),
+    tie_mask=st.integers(min_value=0, max_value=255),
+    tie_values=st.integers(min_value=0, max_value=255),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_optimizer_preserves_function_under_constant_ties(
+    circuit_index, tie_mask, tie_values, seed
+):
+    """Tying operand-a bits to constants then optimising must not change
+    the output for any stimulus consistent with the ties."""
+    circuit = CIRCUITS[circuit_index]()
+    reference = build_netlist(circuit)
+    tie_input_bits(reference, "a", tie_mask, tie_values)
+
+    optimised = build_netlist(circuit)
+    tie_input_bits(optimised, "a", tie_mask, tie_values)
+    optimize(optimised)
+
+    rng = np.random.default_rng(seed)
+    width = circuit.width
+    a = rng.integers(0, 1 << width, 64)
+    b = rng.integers(0, 1 << width, 64)
+    # force the tied bits of the stimulus to the tied values so both
+    # netlists see consistent inputs on the untied paths
+    mask = tie_mask & ((1 << width) - 1)
+    a = (a & ~mask) | (tie_values & mask)
+
+    want = simulate(reference, {"a": a, "b": b})["y"]
+    got = simulate(optimised, {"a": a, "b": b})["y"]
+    assert np.array_equal(got, want)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    blocks=st.lists(st.integers(min_value=1, max_value=4),
+                    min_size=2, max_size=4).filter(
+        lambda b: 4 <= sum(b) <= 10
+    ),
+    observe_from=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_optimizer_preserves_observed_bits(blocks, observe_from, seed):
+    """Observing only the top result bits (dead-pin territory) must not
+    corrupt those bits."""
+    width = sum(blocks)
+    observe_from = min(observe_from, width - 1)
+    circuit = QuAdAdder(width, blocks)
+    reference = build_netlist(circuit)
+    reference.outputs["y"] = reference.outputs["y"][observe_from:]
+
+    optimised = build_netlist(circuit)
+    optimised.outputs["y"] = optimised.outputs["y"][observe_from:]
+    optimize(optimised)
+    assert optimised.area() <= reference.area()
+
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 1 << width, 64)
+    b = rng.integers(0, 1 << width, 64)
+    want = simulate(reference, {"a": a, "b": b})["y"]
+    got = simulate(optimised, {"a": a, "b": b})["y"]
+    assert np.array_equal(got, want)

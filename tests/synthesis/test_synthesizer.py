@@ -1,0 +1,66 @@
+import pytest
+
+from repro.circuits.adders import TruncatedAdder
+from repro.circuits.base import ExactAdder, ExactMultiplier
+from repro.netlist.builders import build_netlist
+from repro.netlist.cells import CELLS
+from repro.netlist.netlist import CONST0, Netlist
+from repro.synthesis.synthesizer import SynthesisReport, optimize, report, synthesize
+from repro.synthesis.timing import critical_path_delay
+
+
+class TestOptimize:
+    def test_idempotent(self):
+        nl = build_netlist(ExactAdder(8))
+        optimize(nl)
+        area_once = nl.area()
+        optimize(nl)
+        assert nl.area() == area_once
+
+    def test_reduces_area(self):
+        nl = build_netlist(TruncatedAdder(8, 4, "zero"))
+        raw_area = nl.area()
+        optimize(nl)
+        assert nl.area() <= raw_area
+
+
+class TestReport:
+    def test_fields(self):
+        rep = synthesize(build_netlist(ExactAdder(8)))
+        assert isinstance(rep, SynthesisReport)
+        assert rep.area > 0
+        assert rep.delay > 0
+        assert rep.power > 0
+        assert rep.gate_count > 0
+        assert rep.energy == pytest.approx(rep.power * rep.delay)
+        assert sum(rep.cells.values()) == rep.gate_count
+
+    def test_multiplier_bigger_than_adder(self):
+        add = synthesize(build_netlist(ExactAdder(8)))
+        mul = synthesize(build_netlist(ExactMultiplier(8)))
+        assert mul.area > 3 * add.area
+        assert mul.delay > add.delay
+
+
+class TestTiming:
+    def test_constant_only_netlist(self):
+        nl = Netlist()
+        nl.add_input("a", 1)
+        nl.add_output("y", [CONST0])
+        assert critical_path_delay(nl) == 0.0
+
+    def test_chain_depth(self):
+        nl = Netlist()
+        a = nl.add_input("a", 1)
+        net = a[0]
+        for _ in range(5):
+            (net,) = nl.add_gate(CELLS["INV"], [net])
+        nl.add_output("y", [net])
+        assert critical_path_delay(nl) == pytest.approx(
+            5 * CELLS["INV"].delay
+        )
+
+    def test_ripple_delay_linear_in_width(self):
+        d8 = critical_path_delay(build_netlist(ExactAdder(8)))
+        d16 = critical_path_delay(build_netlist(ExactAdder(16)))
+        assert d16 > 1.7 * d8

@@ -1,0 +1,71 @@
+"""CLI surface tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_accelerator_choices(self):
+        args = build_parser().parse_args(
+            ["profile", "--accelerator", "fixed_gf"]
+        )
+        assert args.accelerator == "fixed_gf"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["profile", "--accelerator", "bogus"]
+            )
+
+
+class TestCommands:
+    def test_inventory(self, capsys):
+        assert main(["inventory"]) == 0
+        out = capsys.readouterr().out
+        assert "Sobel ED" in out
+        assert "Generic GF" in out
+
+    def test_generate_library_and_run(self, tmp_path, capsys):
+        lib_path = tmp_path / "lib.json"
+        assert main(
+            ["generate-library", "--scale", "0.001", "--out",
+             str(lib_path)]
+        ) == 0
+        assert lib_path.exists()
+
+        front_path = tmp_path / "front.csv"
+        assert main(
+            ["run", "--library", str(lib_path), "--images", "1",
+             "--train", "12", "--evals", "150", "--out",
+             str(front_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "models:" in out
+        lines = front_path.read_text().splitlines()
+        assert lines[0] == "ssim,area"
+        assert len(lines) >= 2
+
+    def test_profile(self, capsys):
+        assert main(["profile", "--images", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "add1" in out and "sub" in out
+
+    def test_export_verilog_stdout(self, capsys):
+        assert main(["export-verilog", "--accelerator", "sobel"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("module sobel")
+
+    def test_export_verilog_file(self, tmp_path, capsys):
+        path = tmp_path / "sobel.v"
+        assert main(
+            ["export-verilog", "--accelerator", "sobel", "--optimize",
+             "--out", str(path)]
+        ) == 0
+        assert path.read_text().startswith("module sobel")

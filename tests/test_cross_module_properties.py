@@ -1,0 +1,89 @@
+"""Cross-module property tests on the library's core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import QuAdAdder, TruncatedAdder
+from repro.circuits.base import ExactAdder
+from repro.circuits.characterization import characterize
+from repro.library.component import record_from_circuit
+from repro.ml.fidelity import fidelity
+from repro.netlist.builders import build_netlist
+from repro.synthesis.synthesizer import optimize, report
+
+
+class TestFidelityProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_negation_invariance(self, seed):
+        """Negating both vectors flips every pairwise relation in sync,
+        so fidelity is invariant."""
+        rng = np.random.default_rng(seed)
+        y = rng.normal(size=25)
+        pred = rng.normal(size=25)
+        assert fidelity(y, pred) == pytest.approx(fidelity(-y, -pred))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000),
+           st.floats(min_value=0.1, max_value=10.0),
+           st.floats(min_value=-5.0, max_value=5.0))
+    def test_affine_invariance_of_predictions(self, seed, scale, shift):
+        """Fidelity only sees the order: positive affine maps of the
+        predictions change nothing."""
+        rng = np.random.default_rng(seed)
+        y = rng.normal(size=25)
+        pred = rng.normal(size=25)
+        assert fidelity(y, pred) == pytest.approx(
+            fidelity(y, scale * pred + shift)
+        )
+
+
+class TestCharacterisationVsSynthesis:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=7))
+    def test_truncation_trades_error_for_area(self, t):
+        """More truncation can only decrease area and increase MED —
+        the monotone trade-off the library generation relies on."""
+        base = record_from_circuit(
+            TruncatedAdder(8, t, "zero"), sample_size=1 << 10
+        )
+        more = record_from_circuit(
+            TruncatedAdder(8, min(t + 1, 8), "zero"),
+            sample_size=1 << 10,
+        )
+        assert more.hardware.area <= base.hardware.area
+        assert more.errors.med >= base.errors.med
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        blocks=st.lists(st.integers(min_value=1, max_value=4),
+                        min_size=2, max_size=3).filter(
+            lambda b: sum(b) == 8
+        )
+    )
+    def test_synthesised_area_at_most_raw(self, blocks):
+        circuit = QuAdAdder(8, blocks)
+        netlist = build_netlist(circuit)
+        raw = netlist.area()
+        optimize(netlist)
+        assert netlist.area() <= raw
+
+    def test_report_consistent_with_netlist(self):
+        netlist = build_netlist(ExactAdder(8))
+        optimize(netlist)
+        rep = report(netlist)
+        assert rep.area == pytest.approx(netlist.area())
+        assert rep.power == pytest.approx(netlist.power())
+        assert rep.gate_count == netlist.gate_count()
+
+
+class TestCharacterisationScaling:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=7))
+    def test_exhaustive_med_formula(self, t):
+        """Exhaustive MED of operand truncation has a closed form under
+        uniform inputs: E[a mod 2^t] + E[b mod 2^t] = 2^t - 1."""
+        stats = characterize(TruncatedAdder(8, t, "zero"))
+        assert stats.med == pytest.approx((1 << t) - 1)

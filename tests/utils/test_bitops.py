@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_mask,
+    extract_bit,
+    min_bits_unsigned,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestBitMask:
+    def test_zero_width(self):
+        assert bit_mask(0) == 0
+
+    @pytest.mark.parametrize("width,expected", [(1, 1), (4, 15), (8, 255),
+                                                (16, 65535)])
+    def test_values(self, width, expected):
+        assert bit_mask(width) == expected
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bit_mask(-1)
+
+
+class TestExtractBit:
+    def test_scalar(self):
+        assert extract_bit(0b1010, 1) == 1
+        assert extract_bit(0b1010, 0) == 0
+
+    def test_array(self):
+        x = np.array([0b01, 0b10, 0b11])
+        assert np.array_equal(extract_bit(x, 0), [1, 0, 1])
+        assert np.array_equal(extract_bit(x, 1), [0, 1, 1])
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            extract_bit(3, -1)
+
+
+class TestMinBits:
+    @pytest.mark.parametrize("value,bits", [(0, 1), (1, 1), (2, 2),
+                                            (255, 8), (256, 9)])
+    def test_values(self, value, bits):
+        assert min_bits_unsigned(value) == bits
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            min_bits_unsigned(-5)
+
+
+class TestSignedConversion:
+    def test_scalar_roundtrip(self):
+        assert to_signed(0xFF, 8) == -1
+        assert to_signed(0x7F, 8) == 127
+        assert to_unsigned(-1, 8) == 0xFF
+
+    def test_array(self):
+        x = np.array([0, 127, 128, 255])
+        signed = to_signed(x, 8)
+        assert np.array_equal(signed, [0, 127, -128, -1])
+
+    @given(st.integers(min_value=-128, max_value=127))
+    def test_roundtrip_property(self, value):
+        assert to_signed(to_unsigned(value, 8), 8) == value

@@ -1,0 +1,24 @@
+import pytest
+
+from repro.utils.tabulate import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title(self):
+        out = format_table(["c"], [[1]], title="My table")
+        assert out.splitlines()[0] == "My table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out

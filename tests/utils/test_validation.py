@@ -1,0 +1,51 @@
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_range,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive(0.1, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            check_positive(value, "x")
+
+
+class TestCheckInRange:
+    def test_within(self):
+        check_in_range(5, "x", low=0, high=10)
+
+    def test_below(self):
+        with pytest.raises(ValueError):
+            check_in_range(-1, "x", low=0)
+
+    def test_above(self):
+        with pytest.raises(ValueError):
+            check_in_range(11, "x", high=10)
+
+    def test_unbounded(self):
+        check_in_range(1e12, "x")
+
+
+class TestProbabilityVector:
+    def test_valid(self):
+        check_probability_vector(np.array([0.25, 0.75]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([-0.1, 1.1]))
+
+    def test_sum_not_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.array([0.5, 0.4]))
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            check_probability_vector(np.asarray(1.0))
