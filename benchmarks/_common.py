@@ -13,20 +13,34 @@ Environment knobs:
                           (1500/1500 training configurations, 10**6 DSE
                           evaluations, 384x256 images).  Expect hours.
 * ``REPRO_CACHE_DIR``   — library cache directory (default ``.cache``).
+* ``REPRO_WORKERS``     — worker processes for real evaluation (default:
+                          in-process; picked up by the evaluation engine).
 """
 
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.experiments.setup import (
     DEFAULT_SHAPE,
     PAPER_SHAPE,
     ExperimentSetup,
+    build_engine,
     default_setup,
 )
+
+__all__ = [
+    "RESULTS_DIR",
+    "paper_scale",
+    "shared_setup",
+    "sized",
+    "write_result",
+    "build_engine",
+    "throughput",
+]
 
 RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
 
@@ -62,3 +76,13 @@ def write_result(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====")
     print(text)
+
+
+def throughput(fn: Callable[[object], object], items) -> float:
+    """Apply ``fn`` to every item and return items/second."""
+    items = list(items)
+    start = time.perf_counter()
+    for item in items:
+        fn(item)
+    elapsed = time.perf_counter() - start
+    return len(items) / elapsed if elapsed > 0 else float("inf")

@@ -34,6 +34,7 @@ from repro.core import (
     AutoAxResult,
     ConfigurationSpace,
     DSEResult,
+    EvaluationEngine,
     ParetoArchive,
     build_training_set,
     exhaustive_search,
@@ -48,7 +49,7 @@ from repro.core import (
     uniform_selection,
     wmed,
 )
-from repro.imaging import benchmark_images, psnr, ssim
+from repro.imaging import benchmark_images, psnr, ssim, ssim_batch
 from repro.library import (
     ComponentLibrary,
     ComponentRecord,
@@ -73,6 +74,7 @@ __all__ = [
     "AutoAxConfig",
     "AutoAxResult",
     "AcceleratorEvaluator",
+    "EvaluationEngine",
     "ConfigurationSpace",
     "DSEResult",
     "ParetoArchive",
@@ -90,6 +92,7 @@ __all__ = [
     "hypervolume_2d",
     "benchmark_images",
     "ssim",
+    "ssim_batch",
     "psnr",
     "ComponentLibrary",
     "ComponentRecord",

@@ -173,6 +173,48 @@ class ImageAccelerator:
             (over,) = nl.add_gate(CELLS["OR2"], [over, bit])
         return [nl.add_gate(CELLS["OR2"], [b, over])[0] for b in keep]
 
+    def scenario_extras(
+        self, scenarios: Sequence[Optional[Dict[str, int]]]
+    ) -> List[Dict[str, int]]:
+        """Merged non-pixel inputs of every scenario (defaults + extra)."""
+        merged_list = []
+        for extra in scenarios:
+            merged = self.extra_inputs()
+            if extra:
+                merged.update(extra)
+            merged_list.append(merged)
+        return merged_list
+
+    def stack_runs(
+        self,
+        images: Sequence[np.ndarray],
+        scenarios: Sequence[Optional[Dict[str, int]]],
+    ) -> Dict[str, np.ndarray]:
+        """All (image x scenario) runs as one broadcastable 3-D batch.
+
+        Pixel inputs are emitted as ``(images, 1, pixels)`` arrays and
+        non-pixel inputs as ``(1, scenarios, 1)`` columns, so elementwise
+        graph execution broadcasts them to ``(images, scenarios,
+        pixels)`` without ever materialising the scenario-duplicated
+        pixel rows.  Run order is the canonical image-major,
+        scenario-minor one: reshaping an output to ``(images *
+        scenarios, pixels)`` yields run ``i * len(scenarios) + s``.
+        """
+        pixel_rows: Dict[str, List[np.ndarray]] = {}
+        for image in images:
+            for name, flat in self.window_inputs(image).items():
+                pixel_rows.setdefault(name, []).append(flat)
+        stacked = {
+            name: np.stack(rows, axis=0)[:, None, :]
+            for name, rows in pixel_rows.items()
+        }
+        extras = self.scenario_extras(scenarios)
+        for name in extras[0].keys():
+            stacked[name] = np.asarray(
+                [int(e[name]) for e in extras], dtype=np.int64
+            )[None, :, None]
+        return stacked
+
     def to_netlist(
         self, records: Optional[Dict[str, ComponentRecord]] = None
     ) -> Netlist:

@@ -10,6 +10,20 @@ evaluator takes an *assignment* mapping op-node names to implementation
 callables ``f(a, b) -> array`` (an exact op, or an approximate component's
 LUT/evaluate).  Nodes not present in the assignment use the exact
 operation.
+
+Two evaluation paths exist:
+
+* :meth:`DataflowGraph.evaluate` — compiles the node dict once (cached)
+  into a :class:`GraphProgram` and executes it.  The program is a flat
+  instruction list with resolved register indices and precomputed bit
+  masks, so repeated evaluation skips all per-node name lookups; the
+  instructions are plain tuples, which keeps programs picklable for the
+  multiprocessing evaluation engine.  Input arrays may have any shape —
+  in particular a stacked batch of all (image x scenario) runs — since
+  every operation is elementwise.
+* :meth:`DataflowGraph.evaluate_interpreted` — the original dict-walking
+  interpreter, kept as the reference for differential tests and the
+  throughput benchmarks.
 """
 
 from __future__ import annotations
@@ -53,6 +67,182 @@ class Node:
     attrs: Dict[str, int] = field(default_factory=dict)
 
 
+#: GraphProgram step opcodes (plain ints: cheap to compare, picklable).
+_OP = 0    # approximable arithmetic (add/sub/mul, possibly reassigned)
+_SHL = 1
+_SHR = 2
+_ABS = 3
+_CLIP = 4
+
+#: Exact-semantics codes of the approximable kinds inside an ``_OP`` step.
+_EXACT_ADD = 0
+_EXACT_SUB = 1
+_EXACT_MUL = 2
+
+_EXACT_CODES = {
+    NodeKind.ADD: _EXACT_ADD,
+    NodeKind.SUB: _EXACT_SUB,
+    NodeKind.MUL: _EXACT_MUL,
+}
+
+
+class GraphProgram:
+    """A :class:`DataflowGraph` lowered to a flat register program.
+
+    The program holds only plain tuples and numpy scalars, so it pickles
+    cleanly into multiprocessing workers.  ``execute`` is semantically
+    identical (bit-identical outputs) to the dict interpreter, but skips
+    per-node name resolution, enum dispatch and ``bit_mask`` calls.
+    """
+
+    def __init__(self, graph: "DataflowGraph"):
+        order = graph.nodes()
+        index = {node.name: i for i, node in enumerate(order)}
+        self.name = graph.name
+        self.n_regs = len(order)
+        self.out_reg = index[graph.output]
+        inputs: List[Tuple[str, int, int]] = []
+        consts: List[Tuple[int, np.int64]] = []
+        steps: List[Tuple[int, ...]] = []
+        op_names: List[str] = []
+        for node in order:
+            reg = index[node.name]
+            if node.kind is NodeKind.INPUT:
+                inputs.append((node.name, reg, bit_mask(node.width)))
+            elif node.kind is NodeKind.CONST:
+                consts.append(
+                    (reg,
+                     np.int64(node.attrs["value"] & bit_mask(node.width)))
+                )
+            elif node.kind in APPROXIMABLE:
+                steps.append(
+                    (
+                        _OP,
+                        reg,
+                        index[node.operands[0]],
+                        index[node.operands[1]],
+                        bit_mask(node.width),
+                        _EXACT_CODES[node.kind],
+                        len(op_names),
+                    )
+                )
+                op_names.append(node.name)
+            elif node.kind is NodeKind.SHL:
+                steps.append(
+                    (_SHL, reg, index[node.operands[0]],
+                     node.attrs["amount"])
+                )
+            elif node.kind is NodeKind.SHR:
+                steps.append(
+                    (_SHR, reg, index[node.operands[0]],
+                     node.attrs["amount"])
+                )
+            elif node.kind is NodeKind.ABS:
+                steps.append((_ABS, reg, index[node.operands[0]]))
+            elif node.kind is NodeKind.CLIP:
+                steps.append(
+                    (
+                        _CLIP,
+                        reg,
+                        index[node.operands[0]],
+                        node.attrs["low"],
+                        node.attrs["high"],
+                    )
+                )
+            else:  # pragma: no cover - exhaustive
+                raise AcceleratorError(f"unhandled node kind {node.kind}")
+        self.inputs: Tuple[Tuple[str, int, int], ...] = tuple(inputs)
+        self.consts: Tuple[Tuple[int, np.int64], ...] = tuple(consts)
+        self.steps: Tuple[Tuple[int, ...], ...] = tuple(steps)
+        self.op_names: Tuple[str, ...] = tuple(op_names)
+        self._no_impls: Tuple[None, ...] = (None,) * len(op_names)
+        # Register liveness: after a step, drop registers whose last
+        # consumer it was, so batch execution keeps only live values
+        # instead of every node's full-width array.
+        last_use: Dict[int, int] = {}
+        for i, step in enumerate(steps):
+            if step[0] == _OP:
+                last_use[step[2]] = i
+                last_use[step[3]] = i
+            else:
+                last_use[step[2]] = i
+        out = self.out_reg
+        self.releases: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(
+                reg
+                for reg, last in last_use.items()
+                if last == i and reg != out
+            )
+            for i in range(len(steps))
+        )
+
+    def execute(
+        self,
+        input_values: Dict[str, np.ndarray],
+        assignment: Optional[Dict[str, OpImpl]] = None,
+        capture: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None,
+        assume_masked: bool = False,
+    ) -> np.ndarray:
+        """Run the program on vector (or stacked batch) inputs.
+
+        Accepts arrays of any shape — including a stacked batch of all
+        (image x scenario) runs — because every step is elementwise;
+        broadcasting-compatible shapes (e.g. per-run ``(R, 1)`` scenario
+        inputs against ``(R, P)`` pixel inputs) combine as usual.
+
+        ``assume_masked=True`` skips the defensive input masking; only
+        callers that keep pre-masked int64 input batches around (the
+        evaluation engine) may set it.
+        """
+        regs: List[Optional[np.ndarray]] = [None] * self.n_regs
+        for name, reg, mask in self.inputs:
+            if name not in input_values:
+                raise AcceleratorError(
+                    f"missing value for input {name!r}"
+                )
+            if assume_masked:
+                regs[reg] = input_values[name]
+            else:
+                regs[reg] = (
+                    np.asarray(input_values[name], dtype=np.int64) & mask
+                )
+        for reg, value in self.consts:
+            regs[reg] = value
+        if assignment:
+            impls = tuple(assignment.get(n) for n in self.op_names)
+        else:
+            impls = self._no_impls
+        op_names = self.op_names
+        for step, dead in zip(self.steps, self.releases):
+            code = step[0]
+            if code == _OP:
+                _, dest, a, b, mask, exact, opi = step
+                av = regs[a]
+                bv = regs[b]
+                if capture is not None:
+                    capture[op_names[opi]] = (av & mask, bv & mask)
+                impl = impls[opi]
+                if impl is not None:
+                    regs[dest] = impl(av, bv)
+                elif exact == _EXACT_ADD:
+                    regs[dest] = (av & mask) + (bv & mask)
+                elif exact == _EXACT_SUB:
+                    regs[dest] = (av & mask) - (bv & mask)
+                else:
+                    regs[dest] = (av & mask) * (bv & mask)
+            elif code == _SHL:
+                regs[step[1]] = regs[step[2]] << step[3]
+            elif code == _SHR:
+                regs[step[1]] = regs[step[2]] >> step[3]
+            elif code == _ABS:
+                regs[step[1]] = np.abs(regs[step[2]])
+            else:  # _CLIP
+                regs[step[1]] = np.clip(regs[step[2]], step[3], step[4])
+            for reg in dead:
+                regs[reg] = None
+        return regs[self.out_reg]
+
+
 class DataflowGraph:
     """A DAG of named nodes with a single output."""
 
@@ -61,6 +251,7 @@ class DataflowGraph:
         self._nodes: Dict[str, Node] = {}
         self._order: List[str] = []
         self._output: Optional[str] = None
+        self._program: Optional[GraphProgram] = None
 
     # -- construction -----------------------------------------------------
 
@@ -74,6 +265,7 @@ class DataflowGraph:
                 )
         self._nodes[node.name] = node
         self._order.append(node.name)
+        self._program = None
         return node.name
 
     def add_input(self, name: str, width: int) -> str:
@@ -112,6 +304,7 @@ class DataflowGraph:
         if name not in self._nodes:
             raise AcceleratorError(f"unknown output node {name!r}")
         self._output = name
+        self._program = None
 
     # -- queries ------------------------------------------------------------
 
@@ -137,6 +330,16 @@ class DataflowGraph:
 
     # -- evaluation ----------------------------------------------------------
 
+    def compile(self) -> GraphProgram:
+        """Lower the graph to a flat :class:`GraphProgram` (cached).
+
+        The cache is invalidated whenever a node is added or the output
+        changes, so accelerators can keep calling ``compile()`` freely.
+        """
+        if self._program is None:
+            self._program = GraphProgram(self)
+        return self._program
+
     def evaluate(
         self,
         input_values: Dict[str, np.ndarray],
@@ -148,7 +351,22 @@ class DataflowGraph:
         ``assignment`` overrides the implementation of arithmetic op nodes
         by name; omitted ops are exact.  If ``capture`` is a dict, it is
         filled with the operand pair of every arithmetic op (used by the
-        profiler).
+        profiler).  Thin wrapper over the compiled program; results are
+        bit-identical to :meth:`evaluate_interpreted`.
+        """
+        return self.compile().execute(input_values, assignment, capture)
+
+    def evaluate_interpreted(
+        self,
+        input_values: Dict[str, np.ndarray],
+        assignment: Optional[Dict[str, OpImpl]] = None,
+        capture: Optional[Dict[str, Tuple[np.ndarray, np.ndarray]]] = None,
+    ) -> np.ndarray:
+        """The original per-node dict interpreter.
+
+        Kept as the differential-testing reference and the baseline of
+        ``benchmarks/bench_engine_throughput.py``; prefer
+        :meth:`evaluate`, which compiles once and runs much faster.
         """
         assignment = assignment or {}
         values: Dict[str, np.ndarray] = {}
@@ -163,7 +381,9 @@ class DataflowGraph:
                     & bit_mask(node.width)
                 )
             elif node.kind is NodeKind.CONST:
-                values[node.name] = np.int64(node.attrs["value"])
+                values[node.name] = np.int64(
+                    node.attrs["value"] & bit_mask(node.width)
+                )
             elif node.kind in APPROXIMABLE:
                 a = values[node.operands[0]]
                 b = values[node.operands[1]]

@@ -5,6 +5,13 @@ replaceable operation, the empirical joint distribution of its operand
 pair: a dense probability mass function for narrow operands (the paper's
 Fig. 3) and a subsampled list of raw operand pairs for wide ones (used to
 estimate WMED by empirical expectation).
+
+Like the evaluation engine, profiling runs on the compiled graph program:
+when all benchmark images share a shape, every (image x scenario) run is
+stacked into one batch and captured in a single vectorised pass.  The
+captured stack is then consumed run-major in the same order as the old
+per-run loop, so subsampling draws the identical RNG stream and profiles
+are bit-for-bit reproducible across both paths.
 """
 
 from __future__ import annotations
@@ -47,6 +54,16 @@ class OperandProfile:
         return self.pmf.reshape(size, size)
 
 
+#: Memory bound of batched profiling: elements per captured operand
+#: array per chunk (runs-per-chunk = this // pixels, at least 1 run).
+PROFILE_CHUNK_ELEMS = 1 << 20
+
+
+def _operand_row(value: np.ndarray, row: int) -> np.ndarray:
+    """Row ``row`` of a captured operand (scalars broadcast to all rows)."""
+    return value if np.ndim(value) == 0 else value[row]
+
+
 def profile_accelerator(
     accelerator: ImageAccelerator,
     images: Sequence[np.ndarray],
@@ -80,29 +97,100 @@ def profile_accelerator(
             )
 
     per_run_quota = max(1, max_samples // (len(images) * len(runs)))
-    for image in images:
-        for extra in runs:
+
+    def _consume_run(
+        capture: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    ) -> None:
+        """Fold one run's captured operand pairs into the accumulators."""
+        for name, (a, b) in capture.items():
+            if name not in counts:
+                continue
+            if np.shape(a) != np.shape(b):
+                # e.g. a CONST operand: one scalar against pixels
+                a, b = np.broadcast_arrays(a, b)
+            a = np.asarray(a).reshape(-1)
+            b = np.asarray(b).reshape(-1)
+            counts[name] += a.size
+            if name in hists:
+                w = widths[name]
+                flat = (a << w) | b
+                hists[name] += np.bincount(
+                    flat, minlength=1 << (2 * w)
+                ).astype(np.float64)
+            take = min(per_run_quota, a.size)
+            if take < a.size:
+                idx = gen.choice(a.size, size=take, replace=False)
+                samples[name].append((a[idx], b[idx]))
+            else:
+                samples[name].append((a, b))
+
+    if len({np.asarray(img).shape for img in images}) == 1:
+        # Uniform geometry: capture runs in compiled batch passes.  The
+        # run list is streamed in chunks of at most ``rows_per_chunk``
+        # consecutive (image, scenario) runs, so stacked inputs *and*
+        # capture arrays stay bounded by PROFILE_CHUNK_ELEMS elements
+        # per operand array regardless of the image/scenario counts.
+        # Runs are consumed image-major, scenario-minor — the per-run
+        # reference order, so the subsampling RNG stream is unchanged.
+        program = accelerator.graph.compile()
+        pixels = int(np.asarray(images[0]).size)
+        rows_per_chunk = max(1, PROFILE_CHUNK_ELEMS // pixels)
+        scen_extras = accelerator.scenario_extras(runs)
+        extra_names = list(scen_extras[0].keys())
+        run_list = [
+            (i, s)
+            for i in range(len(images))
+            for s in range(len(runs))
+        ]
+        for start in range(0, len(run_list), rows_per_chunk):
+            chunk_runs = run_list[start : start + rows_per_chunk]
+            # Windows of the distinct images in this chunk; an image
+            # straddling a chunk boundary is re-windowed once — cheap
+            # next to executing the graph over the chunk.
+            windows = {
+                i: accelerator.window_inputs(images[i])
+                for i in {i for i, _ in chunk_runs}
+            }
+            first = next(iter(windows.values()))
+            chunk_inputs: Dict[str, np.ndarray] = {
+                name: np.stack(
+                    [windows[i][name] for i, _ in chunk_runs]
+                )
+                for name in first
+            }
+            for name in extra_names:
+                column = np.asarray(
+                    [
+                        int(scen_extras[s][name])
+                        for _, s in chunk_runs
+                    ],
+                    dtype=np.int64,
+                )[:, None]
+                # full batch width: captured operand pairs must line
+                # up with the per-run reference path, where extras
+                # arrive as np.full(pixels, value) arrays
+                chunk_inputs[name] = np.broadcast_to(
+                    column, (len(chunk_runs), pixels)
+                )
             capture: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
-            accelerator.compute(image, assignment=None, extra=extra,
-                                capture=capture)
-            for name, (a, b) in capture.items():
-                if name not in counts:
-                    continue
-                a = a.reshape(-1)
-                b = b.reshape(-1)
-                counts[name] += a.size
-                if name in hists:
-                    w = widths[name]
-                    flat = (a << w) | b
-                    hists[name] += np.bincount(
-                        flat, minlength=1 << (2 * w)
-                    ).astype(np.float64)
-                take = min(per_run_quota, a.size)
-                if take < a.size:
-                    idx = gen.choice(a.size, size=take, replace=False)
-                    samples[name].append((a[idx], b[idx]))
-                else:
-                    samples[name].append((a, b))
+            program.execute(chunk_inputs, capture=capture)
+            for r in range(len(chunk_runs)):
+                _consume_run(
+                    {
+                        name: (
+                            _operand_row(a, r),
+                            _operand_row(b, r),
+                        )
+                        for name, (a, b) in capture.items()
+                    }
+                )
+    else:
+        for image in images:
+            for extra in runs:
+                capture = {}
+                accelerator.compute(image, assignment=None, extra=extra,
+                                    capture=capture)
+                _consume_run(capture)
 
     profiles: Dict[str, OperandProfile] = {}
     for slot in slots:

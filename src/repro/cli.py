@@ -117,6 +117,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_test=max(2, args.train // 2),
         max_evaluations=args.evals,
         seed=args.seed,
+        workers=args.workers,
     )
     result = AutoAx(accelerator, library, images, config=config).run()
 
@@ -212,6 +213,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--train", type=int, default=150)
     run.add_argument("--evals", type=int, default=10_000)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for real evaluation "
+             "(default: REPRO_WORKERS env or in-process)",
+    )
     run.add_argument("--out", help="CSV file for the final front")
 
     export = sub.add_parser("export-verilog",

@@ -20,6 +20,7 @@ from repro.core.pareto import (
     hypervolume_2d,
     pareto_front_indices,
 )
+from repro.core.engine import EvaluationEngine
 from repro.core.evaluation import AcceleratorEvaluator, EvaluationResult
 from repro.core.modeling import (
     EstimationModel,
@@ -50,6 +51,7 @@ __all__ = [
     "hypervolume_2d",
     "pareto_front_indices",
     "AcceleratorEvaluator",
+    "EvaluationEngine",
     "EvaluationResult",
     "EstimationModel",
     "TrainingSet",

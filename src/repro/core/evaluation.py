@@ -4,115 +4,26 @@ This is the expensive path the estimation models replace during search:
 QoR is measured by running the accelerator's software model over benchmark
 images and averaging SSIM against the accurate output, and hardware cost
 by composing the component netlists and synthesising the result.
+
+The implementation lives in :mod:`repro.core.engine`:
+:class:`AcceleratorEvaluator` is the historical name of (and a drop-in
+alias for) :class:`~repro.core.engine.EvaluationEngine`, which compiles
+the accelerator graph, batches all (image x scenario) runs into one
+vectorised pass, memoises synthesis and can fan ``evaluate_many`` out to
+worker processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from repro.core.engine import EvaluationEngine, EvaluationResult
 
-import numpy as np
-
-from repro.accelerators.base import ImageAccelerator
-from repro.core.configuration import Configuration, ConfigurationSpace
-from repro.imaging.metrics import ssim
-from repro.synthesis.synthesizer import SynthesisReport, synthesize
+__all__ = ["AcceleratorEvaluator", "EvaluationResult"]
 
 
-@dataclass(frozen=True)
-class EvaluationResult:
-    """Real QoR and hardware parameters of one configuration."""
+class AcceleratorEvaluator(EvaluationEngine):
+    """Backward-compatible alias of :class:`EvaluationEngine`.
 
-    qor: float
-    area: float
-    delay: float
-    power: float
-
-    @property
-    def energy(self) -> float:
-        return self.power * self.delay
-
-
-class AcceleratorEvaluator:
-    """Caches benchmark inputs and golden outputs; evaluates configurations.
-
-    ``scenarios`` lists ``extra``-input dicts (kernel coefficient sets for
-    the generic Gaussian filter); each image is simulated under every
-    scenario and the QoR is the mean SSIM over all runs, following the
-    paper's protocol (§3).
+    Kept so existing imports, fixtures and pickles keep working; new code
+    should construct :class:`EvaluationEngine` directly (e.g. via
+    :func:`repro.experiments.setup.build_engine`).
     """
-
-    def __init__(
-        self,
-        accelerator: ImageAccelerator,
-        images: Sequence[np.ndarray],
-        scenarios: Optional[Sequence[Dict[str, int]]] = None,
-    ):
-        if not images:
-            raise ValueError("need at least one benchmark image")
-        self.accelerator = accelerator
-        self.images = [np.asarray(img) for img in images]
-        self.scenarios: List[Optional[Dict[str, int]]] = (
-            list(scenarios) if scenarios else [None]
-        )
-        self._runs: List[Tuple[Dict[str, np.ndarray], np.ndarray]] = []
-        for image in self.images:
-            window = accelerator.window_inputs(image)
-            for extra in self.scenarios:
-                inputs = dict(window)
-                merged = accelerator.extra_inputs()
-                if extra:
-                    merged.update(extra)
-                for name, value in merged.items():
-                    inputs[name] = np.int64(value)
-                golden = accelerator.graph.evaluate(inputs).reshape(
-                    image.shape
-                )
-                self._runs.append((inputs, golden))
-
-    @property
-    def run_count(self) -> int:
-        """Number of (image, scenario) simulation runs per evaluation."""
-        return len(self._runs)
-
-    # -- QoR ------------------------------------------------------------------
-
-    def qor(self, assignment: Dict[str, object]) -> float:
-        """Mean SSIM of the approximate output against the golden output."""
-        total = 0.0
-        for inputs, golden in self._runs:
-            out = self.accelerator.graph.evaluate(
-                inputs, assignment
-            ).reshape(golden.shape)
-            total += ssim(golden.astype(float), out.astype(float))
-        return total / len(self._runs)
-
-    # -- hardware ------------------------------------------------------------
-
-    def hardware(
-        self, records: Dict[str, object]
-    ) -> SynthesisReport:
-        """Compose and synthesise the accelerator with ``records``."""
-        netlist = self.accelerator.to_netlist(records)
-        return synthesize(netlist)
-
-    # -- combined ------------------------------------------------------------
-
-    def evaluate(
-        self, space: ConfigurationSpace, config: Configuration
-    ) -> EvaluationResult:
-        """Full analysis of one configuration (simulation + synthesis)."""
-        impls = space.assignment_callables(config)
-        quality = self.qor(impls)
-        rep = self.hardware(space.records(config))
-        return EvaluationResult(
-            qor=quality, area=rep.area, delay=rep.delay, power=rep.power
-        )
-
-    def evaluate_many(
-        self,
-        space: ConfigurationSpace,
-        configs: Sequence[Configuration],
-    ) -> List[EvaluationResult]:
-        """Full analysis of a batch of configurations."""
-        return [self.evaluate(space, c) for c in configs]

@@ -69,13 +69,20 @@ def build_training_set(
     evaluator: AcceleratorEvaluator,
     count: int,
     rng: RngLike = 0,
+    workers: Optional[int] = None,
 ) -> TrainingSet:
-    """Draw ``count`` random configurations and analyse them fully."""
+    """Draw ``count`` random configurations and analyse them fully.
+
+    ``workers`` is forwarded to the evaluation engine's ``evaluate_many``
+    (process-parallel real evaluation); ``None`` keeps the evaluator's
+    own default.
+    """
     if count < 1:
         raise ModelError("training set needs at least one configuration")
     gen = ensure_rng(rng)
     configs = space.random_configurations(count, gen)
-    results = evaluator.evaluate_many(space, configs)
+    # workers=None defers to the evaluator's own default.
+    results = evaluator.evaluate_many(space, configs, workers=workers)
     return TrainingSet(
         configs=configs,
         qor=np.asarray([r.qor for r in results]),

@@ -24,7 +24,7 @@ from repro.core.configuration import (
     ConfigurationSpace,
 )
 from repro.core.dse import DSEResult, heuristic_pareto_construction
-from repro.core.evaluation import AcceleratorEvaluator, EvaluationResult
+from repro.core.engine import EvaluationEngine, EvaluationResult
 from repro.core.modeling import (
     EngineReport,
     build_training_set,
@@ -51,6 +51,8 @@ class AutoAxConfig:
     per_op_cap: Optional[int] = None
     max_samples: int = 1 << 16
     seed: int = 0
+    #: worker processes for real evaluation (None: REPRO_WORKERS / serial)
+    workers: Optional[int] = None
 
     def __post_init__(self):
         if self.n_train < 2 or self.n_test < 2:
@@ -148,8 +150,9 @@ class AutoAx:
         space = self.reduce(profiles)
         timings["preprocessing"] = time.perf_counter() - start
 
-        evaluator = AcceleratorEvaluator(
-            self.accelerator, self.images, self.scenarios
+        evaluator = EvaluationEngine(
+            self.accelerator, self.images, self.scenarios,
+            workers=cfg.workers,
         )
 
         start = time.perf_counter()

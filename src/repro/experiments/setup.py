@@ -12,10 +12,12 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.accelerators.base import ImageAccelerator
+from repro.core.engine import EvaluationEngine
 from repro.imaging.datasets import benchmark_images
 from repro.library.generation import generate_library, scaled_plan
 from repro.library.io import load_library, save_library
@@ -46,6 +48,23 @@ class ExperimentSetup:
 
 def _cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".cache"))
+
+
+def build_engine(
+    accelerator: ImageAccelerator,
+    images: Sequence[np.ndarray],
+    scenarios: Optional[Sequence[Dict[str, int]]] = None,
+    workers: Optional[int] = None,
+) -> EvaluationEngine:
+    """The experiment drivers' evaluation engine.
+
+    One shared constructor so every driver (and benchmark) picks up the
+    compiled/batched real-evaluation path and the ``REPRO_WORKERS``
+    parallelism knob uniformly.
+    """
+    return EvaluationEngine(
+        accelerator, images, scenarios=scenarios, workers=workers
+    )
 
 
 def default_setup(

@@ -14,14 +14,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.accelerators.profiler import profile_accelerator
 from repro.accelerators.sobel import SobelEdgeDetector
-from repro.core.evaluation import AcceleratorEvaluator
 from repro.core.modeling import (
     TrainingSet,
     build_training_set,
     fit_engines,
 )
 from repro.core.preprocessing import reduce_library
-from repro.experiments.setup import ExperimentSetup
+from repro.experiments.setup import ExperimentSetup, build_engine
 
 
 @dataclass
@@ -48,7 +47,7 @@ def table3_fidelity(
         accelerator, setup.images, rng=setup.seed
     )
     space = reduce_library(accelerator, setup.library, profiles)
-    evaluator = AcceleratorEvaluator(accelerator, setup.images)
+    evaluator = build_engine(accelerator, setup.images)
     train = build_training_set(space, evaluator, n_train, rng=setup.seed)
     test = build_training_set(
         space, evaluator, n_test, rng=setup.seed + 1

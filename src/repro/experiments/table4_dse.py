@@ -24,11 +24,10 @@ from repro.core.dse import (
     heuristic_pareto_construction,
     random_sampling,
 )
-from repro.core.evaluation import AcceleratorEvaluator
 from repro.core.modeling import build_training_set, fit_engines, select_best_model
 from repro.core.pareto import front_distances
 from repro.core.preprocessing import reduce_library
-from repro.experiments.setup import ExperimentSetup
+from repro.experiments.setup import ExperimentSetup, build_engine
 
 
 @dataclass
@@ -85,7 +84,7 @@ def table4_distances(
         space = reduce_library(
             accelerator, setup.library, profiles, per_op_cap=per_op_cap
         )
-    evaluator = AcceleratorEvaluator(accelerator, setup.images)
+    evaluator = build_engine(accelerator, setup.images)
     train = build_training_set(space, evaluator, n_train, rng=setup.seed)
     test = build_training_set(
         space, evaluator, n_test, rng=setup.seed + 1

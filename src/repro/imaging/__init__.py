@@ -7,6 +7,14 @@ with the same resolution and bit depth (see DESIGN.md, substitutions).
 """
 
 from repro.imaging.datasets import benchmark_images, synthetic_image
-from repro.imaging.metrics import mse, psnr, ssim
+from repro.imaging.metrics import BatchedSsim, mse, psnr, ssim, ssim_batch
 
-__all__ = ["benchmark_images", "synthetic_image", "mse", "psnr", "ssim"]
+__all__ = [
+    "benchmark_images",
+    "synthetic_image",
+    "mse",
+    "psnr",
+    "ssim",
+    "ssim_batch",
+    "BatchedSsim",
+]

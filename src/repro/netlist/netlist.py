@@ -92,6 +92,24 @@ class Netlist:
         self.gates.append(Gate(cell, tuple(inputs), tuple(outputs)))
         return list(outputs)
 
+    def copy(self) -> "Netlist":
+        """Structural copy sharing only the immutable cell types.
+
+        Gates are re-instantiated so in-place optimisation of the copy
+        (or the original) cannot leak into the other.
+        """
+        clone = Netlist(self.name)
+        clone._next_net = self._next_net
+        clone.gates = [
+            Gate(g.cell, tuple(g.inputs), tuple(g.outputs))
+            if g is not None
+            else None
+            for g in self.gates
+        ]
+        clone.inputs = {k: list(v) for k, v in self.inputs.items()}
+        clone.outputs = {k: list(v) for k, v in self.outputs.items()}
+        return clone
+
     # -- queries ------------------------------------------------------------
 
     def live_gates(self) -> Iterable[Gate]:

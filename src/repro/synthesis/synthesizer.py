@@ -59,7 +59,16 @@ def report(netlist: Netlist) -> SynthesisReport:
     )
 
 
-def synthesize(netlist: Netlist) -> SynthesisReport:
-    """Optimise ``netlist`` in place and return its report."""
-    optimize(netlist)
-    return report(netlist)
+def synthesize(netlist: Netlist, in_place: bool = False) -> SynthesisReport:
+    """Optimise ``netlist`` and return its report.
+
+    By default the optimisation passes run on a structural copy, so the
+    caller's netlist is left untouched — composed netlists are often
+    reused (e.g. as keys of the evaluation engine's synthesis memo) and a
+    silent in-place dead-gate sweep is a trap.  Pass ``in_place=True`` to
+    skip the copy on hot paths where the netlist is freshly built and
+    immediately discarded.
+    """
+    target = netlist if in_place else netlist.copy()
+    optimize(target)
+    return report(target)

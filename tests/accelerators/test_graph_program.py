@@ -1,0 +1,187 @@
+"""Compiled GraphProgram vs the dict interpreter: bit-identical, cached."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.gaussian_fixed import FixedGaussianFilter
+from repro.accelerators.gaussian_generic import GenericGaussianFilter
+from repro.accelerators.graph import DataflowGraph, GraphProgram, NodeKind
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.errors import AcceleratorError
+
+
+def random_inputs(graph, rng, size=333, overshoot=2):
+    """Random input arrays, deliberately wider than the declared width."""
+    return {
+        node.name: rng.integers(
+            0, 1 << (overshoot * node.width), size=size
+        )
+        for node in graph.inputs()
+    }
+
+
+@pytest.mark.parametrize(
+    "accelerator_cls",
+    [SobelEdgeDetector, FixedGaussianFilter, GenericGaussianFilter],
+)
+class TestBitIdentical:
+    def test_exact_evaluation(self, accelerator_cls):
+        graph = accelerator_cls().graph
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            inputs = random_inputs(graph, rng)
+            expected = graph.evaluate_interpreted(inputs)
+            assert np.array_equal(
+                expected, graph.compile().execute(inputs)
+            )
+            # the public evaluate() wrapper runs the compiled program
+            assert np.array_equal(expected, graph.evaluate(inputs))
+
+    def test_randomized_assignments(self, accelerator_cls):
+        graph = accelerator_cls().graph
+        rng = np.random.default_rng(2)
+        ops = [node.name for node in graph.approximable_ops()]
+        for _ in range(5):
+            inputs = random_inputs(graph, rng)
+            chosen = rng.choice(
+                ops, size=rng.integers(1, len(ops) + 1), replace=False
+            )
+            assignment = {}
+            for name in chosen:
+                shift = int(rng.integers(0, 3))
+                assignment[name] = (
+                    lambda a, b, s=shift: (a + b) >> s
+                )
+            expected = graph.evaluate_interpreted(inputs, assignment)
+            assert np.array_equal(
+                expected, graph.compile().execute(inputs, assignment)
+            )
+
+    def test_capture_identical(self, accelerator_cls):
+        graph = accelerator_cls().graph
+        rng = np.random.default_rng(3)
+        inputs = random_inputs(graph, rng)
+        interpreted, compiled = {}, {}
+        graph.evaluate_interpreted(inputs, capture=interpreted)
+        graph.compile().execute(inputs, capture=compiled)
+        assert list(interpreted) == list(compiled)
+        for name in interpreted:
+            for ref, got in zip(interpreted[name], compiled[name]):
+                assert np.array_equal(ref, got)
+
+
+class TestBatchedExecution:
+    def test_stacked_rows_match_per_run(self):
+        graph = SobelEdgeDetector().graph
+        rng = np.random.default_rng(4)
+        stacked = {
+            node.name: rng.integers(0, 256, size=(6, 50))
+            for node in graph.inputs()
+        }
+        out = graph.compile().execute(stacked)
+        assert out.shape == (6, 50)
+        for r in range(6):
+            row = graph.evaluate(
+                {name: value[r] for name, value in stacked.items()}
+            )
+            assert np.array_equal(out[r], row)
+
+    def test_broadcast_scalar_rows(self):
+        """(R, 1) inputs broadcast against (R, P) inputs."""
+        graph = GenericGaussianFilter().graph
+        rng = np.random.default_rng(5)
+        inputs = {
+            f"x{k}": rng.integers(0, 256, size=(3, 40))
+            for k in range(9)
+        }
+        weights = rng.integers(0, 256, size=(3, 9))
+        inputs.update(
+            {f"w{k}": weights[:, k : k + 1] for k in range(9)}
+        )
+        out = graph.compile().execute(inputs)
+        for r in range(3):
+            row_inputs = {
+                f"x{k}": inputs[f"x{k}"][r] for k in range(9)
+            }
+            row_inputs.update(
+                {f"w{k}": np.int64(weights[r, k]) for k in range(9)}
+            )
+            assert np.array_equal(out[r], graph.evaluate(row_inputs))
+
+    def test_assume_masked_skips_input_masking(self):
+        graph = SobelEdgeDetector().graph
+        rng = np.random.default_rng(6)
+        masked = {
+            node.name: rng.integers(0, 256, size=20)
+            for node in graph.inputs()
+        }
+        expected = graph.evaluate(masked)
+        assert np.array_equal(
+            expected,
+            graph.compile().execute(masked, assume_masked=True),
+        )
+
+
+class TestProgramLifecycle:
+    def test_compile_is_cached(self):
+        graph = SobelEdgeDetector().graph
+        assert graph.compile() is graph.compile()
+
+    def test_cache_invalidated_by_mutation(self):
+        g = DataflowGraph("g")
+        g.add_input("a", 8)
+        g.set_output("a")
+        first = g.compile()
+        g.add_shl("up", "a", 1)
+        g.set_output("up")
+        second = g.compile()
+        assert first is not second
+        out = g.evaluate({"a": np.array([3])})
+        assert out[0] == 6
+
+    def test_missing_input_rejected(self):
+        g = SobelEdgeDetector().graph
+        with pytest.raises(AcceleratorError):
+            g.compile().execute({"x0": np.array([1])})
+
+    def test_program_is_picklable(self):
+        import pickle
+
+        program = SobelEdgeDetector().graph.compile()
+        clone = pickle.loads(pickle.dumps(program))
+        rng = np.random.default_rng(7)
+        inputs = {
+            node.name: rng.integers(0, 256, size=11)
+            for node in SobelEdgeDetector().graph.inputs()
+        }
+        assert np.array_equal(
+            program.execute(inputs), clone.execute(inputs)
+        )
+
+
+class TestConstWidth:
+    def _graph(self, value, width):
+        g = DataflowGraph("g")
+        g.add_input("a", 8)
+        g.add_const("c", value, width)
+        g.add_op("s", NodeKind.ADD, 8, "a", "c")
+        g.set_output("s")
+        return g
+
+    def test_const_masked_to_declared_width(self):
+        # 0x1FF at width 8 must behave as 0xFF, like INPUT nodes do.
+        g = self._graph(0x1FF, 8)
+        out = g.evaluate({"a": np.array([0])})
+        assert out[0] == 0xFF
+
+    def test_const_masking_matches_interpreter(self):
+        g = self._graph(0x1FF, 8)
+        inputs = {"a": np.array([0, 5, 250])}
+        assert np.array_equal(
+            g.evaluate(inputs), g.evaluate_interpreted(inputs)
+        )
+
+    def test_in_range_const_unchanged(self):
+        g = self._graph(42, 8)
+        out = g.evaluate({"a": np.array([1])})
+        assert out[0] == 43

@@ -57,6 +57,138 @@ class TestProfileSobel:
             profile_accelerator(sobel, [])
 
 
+class TestStackedProfiling:
+    def _reference_profiles(self, accelerator, images, scenarios,
+                            max_samples, seed):
+        """The seed semantics: per-run compute + capture + subsample."""
+        from repro.utils.rng import ensure_rng
+
+        gen = ensure_rng(seed)
+        runs = scenarios if scenarios else [None]
+        slots = accelerator.op_slots()
+        samples = {s.name: [] for s in slots}
+        counts = {s.name: 0 for s in slots}
+        per_run_quota = max(
+            1, max_samples // (len(images) * len(runs))
+        )
+        for image in images:
+            for extra in runs:
+                capture = {}
+                accelerator.compute(
+                    image, assignment=None, extra=extra,
+                    capture=capture,
+                )
+                for name, (a, b) in capture.items():
+                    a = a.reshape(-1)
+                    b = b.reshape(-1)
+                    counts[name] += a.size
+                    take = min(per_run_quota, a.size)
+                    if take < a.size:
+                        idx = gen.choice(
+                            a.size, size=take, replace=False
+                        )
+                        samples[name].append((a[idx], b[idx]))
+                    else:
+                        samples[name].append((a, b))
+        return counts, {
+            name: (
+                np.concatenate([a for a, _ in pairs]),
+                np.concatenate([b for _, b in pairs]),
+            )
+            for name, pairs in samples.items()
+        }
+
+    def test_stacked_path_matches_per_run_semantics(self, sobel,
+                                                    small_images):
+        profiles = profile_accelerator(
+            sobel, small_images, max_samples=1000, rng=21
+        )
+        counts, samples = self._reference_profiles(
+            sobel, small_images, None, 1000, 21
+        )
+        for name, profile in profiles.items():
+            assert profile.total_count == counts[name]
+            ref_a, ref_b = samples[name]
+            assert np.array_equal(profile.sample_a, ref_a)
+            assert np.array_equal(profile.sample_b, ref_b)
+
+    def test_stacked_path_with_scenarios(self, small_images):
+        acc = GenericGaussianFilter()
+        scenarios = [acc.kernel_extra(w) for w in kernel_sweep(2)]
+        profiles = profile_accelerator(
+            acc, small_images, scenarios=scenarios, max_samples=800,
+            rng=5,
+        )
+        counts, samples = self._reference_profiles(
+            acc, small_images, scenarios, 800, 5
+        )
+        for name, profile in profiles.items():
+            assert profile.total_count == counts[name]
+            assert np.array_equal(profile.sample_a, samples[name][0])
+
+    def test_mixed_shapes_fall_back(self, sobel):
+        images = [
+            benchmark_images(1, shape=(24, 32))[0],
+            benchmark_images(1, shape=(32, 24))[0],
+        ]
+        profiles = profile_accelerator(sobel, images, rng=0)
+        pixels = sum(img.size for img in images)
+        assert profiles["add1"].total_count == pixels
+
+    def test_chunked_batches_match_unchunked(self, sobel, small_images,
+                                             monkeypatch):
+        import repro.accelerators.profiler as profiler_module
+
+        baseline = profile_accelerator(
+            sobel, small_images, max_samples=900, rng=13
+        )
+        # Force many tiny chunks (and image groups of one).
+        monkeypatch.setattr(
+            profiler_module, "PROFILE_CHUNK_ELEMS", 64
+        )
+        chunked = profile_accelerator(
+            sobel, small_images, max_samples=900, rng=13
+        )
+        for name, profile in baseline.items():
+            other = chunked[name]
+            assert other.total_count == profile.total_count
+            assert np.array_equal(other.sample_a, profile.sample_a)
+            assert np.array_equal(other.sample_b, profile.sample_b)
+            if profile.pmf is not None:
+                assert np.array_equal(other.pmf, profile.pmf)
+
+    def test_const_operand_op_profiles(self, small_images):
+        """Ops with a CONST operand capture a scalar; the stacked path
+        must broadcast it per run instead of indexing into it."""
+        from repro.accelerators.base import ImageAccelerator
+        from repro.accelerators.graph import DataflowGraph, NodeKind
+
+        class ConstBias(ImageAccelerator):
+            name = "const_bias"
+
+            def _build_graph(self):
+                g = DataflowGraph(self.name)
+                for k in range(9):
+                    g.add_input(f"x{k}", 8)
+                g.add_const("bias", 7, 8)
+                g.add_op("add_b", NodeKind.ADD, 8, "x4", "bias")
+                g.add_clip("out", "add_b", 0, 255)
+                g.set_output("out")
+                return g
+
+        acc = ConstBias()
+        profiles = profile_accelerator(acc, small_images, rng=0)
+        profile = profiles["add_b"]
+        # the scalar operand broadcasts against the pixel operand:
+        # aligned (a, b) pairs, one per pixel per run
+        pixels = sum(img.size for img in small_images)
+        assert profile.total_count == pixels
+        assert profile.sample_a.shape == profile.sample_b.shape
+        assert np.all(profile.sample_b == 7)
+        assert profile.pmf is not None
+        assert profile.pmf.sum() == pytest.approx(1.0)
+
+
 class TestProfileGenericGF:
     def test_wide_ops_use_samples(self, small_images):
         acc = GenericGaussianFilter()

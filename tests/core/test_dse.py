@@ -50,6 +50,7 @@ class TestHeuristicConstruction:
                 assert not dominates(minimised[i], minimised[j])
 
     def test_deterministic(self, sobel_space, models):
+        """Same seed => identical DSEResult: configs, points, counters."""
         qor, hw = models
         a = heuristic_pareto_construction(
             sobel_space, qor, hw, max_evaluations=300, rng=9
@@ -58,6 +59,23 @@ class TestHeuristicConstruction:
             sobel_space, qor, hw, max_evaluations=300, rng=9
         )
         assert a.configs == b.configs
+        assert np.array_equal(a.points, b.points)
+        assert (a.evaluations, a.inserts, a.restarts) == (
+            b.evaluations, b.inserts, b.restarts
+        )
+
+    def test_deterministic_from_integer_seed_object(self, sobel_space,
+                                                    models):
+        """Passing the seed as an int must not share hidden RNG state."""
+        qor, hw = models
+        runs = [
+            heuristic_pareto_construction(
+                sobel_space, qor, hw, max_evaluations=250, rng=1234
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].configs == runs[1].configs
+        assert np.array_equal(runs[0].points, runs[1].points)
 
     def test_more_evals_no_fewer_points(self, sobel_space, models):
         qor, hw = models

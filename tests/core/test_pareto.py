@@ -100,6 +100,26 @@ class TestParetoArchive:
         with pytest.raises(ValueError):
             archive.insert([1, 2, 3], "a")
 
+    def test_points_returns_independent_copy(self):
+        archive = ParetoArchive(2)
+        archive.insert([2, 2], "a")
+        archive.insert([1, 3], "b")
+        view = archive.points
+        view[:] = -99.0
+        # the archive's internal state must be unaffected ...
+        assert np.array_equal(
+            archive.points, np.array([[2.0, 2.0], [1.0, 3.0]])
+        )
+        # ... and domination tests still behave as before the mutation
+        assert not archive.insert([3, 3], "c")
+
+    def test_payloads_returns_independent_list(self):
+        archive = ParetoArchive(2)
+        archive.insert([1, 1], "a")
+        listing = archive.payloads
+        listing.append("intruder")
+        assert archive.payloads == ["a"]
+
     @settings(max_examples=25, deadline=None)
     @given(st.integers(min_value=0, max_value=500))
     def test_archive_invariant_mutually_nondominated(self, seed):

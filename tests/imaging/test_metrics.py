@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.imaging.datasets import synthetic_image
-from repro.imaging.metrics import mse, psnr, ssim
+from repro.imaging.metrics import BatchedSsim, mse, psnr, ssim, ssim_batch
 
 
 @pytest.fixture(scope="module")
@@ -86,3 +86,51 @@ class TestSSIM:
             0, 255,
         )
         assert ssim(img, noisy) <= 1.0 + 1e-9
+
+
+class TestBatchedSsim:
+    @pytest.fixture(scope="class")
+    def stacks(self):
+        rng = np.random.default_rng(3)
+        reference = np.stack(
+            [
+                synthetic_image(k, shape=(48, 64)).astype(float)
+                for k in range(4)
+            ]
+        )
+        test = np.clip(
+            reference + rng.normal(0, 15, reference.shape), 0, 255
+        )
+        return reference, test
+
+    def test_matches_scalar_ssim(self, stacks):
+        reference, test = stacks
+        batch = ssim_batch(reference, test)
+        scalar = np.array(
+            [ssim(reference[k], test[k]) for k in range(4)]
+        )
+        assert np.allclose(batch, scalar, atol=1e-12)
+
+    def test_identity_stack(self, stacks):
+        reference, _ = stacks
+        assert np.allclose(ssim_batch(reference, reference), 1.0)
+
+    def test_reference_reuse(self, stacks):
+        """One precomputed reference scores many test stacks."""
+        reference, test = stacks
+        scorer = BatchedSsim(reference)
+        assert np.allclose(scorer(test), ssim_batch(reference, test))
+        assert np.allclose(scorer(reference), 1.0)
+
+    def test_shape_validation(self, stacks):
+        reference, _ = stacks
+        with pytest.raises(ValueError):
+            BatchedSsim(reference[0])  # 2-D, not a stack
+        scorer = BatchedSsim(reference)
+        with pytest.raises(ValueError):
+            scorer(reference[:, :24, :])
+
+    def test_invalid_data_range(self, stacks):
+        reference, _ = stacks
+        with pytest.raises(ValueError):
+            BatchedSsim(reference, data_range=0.0)

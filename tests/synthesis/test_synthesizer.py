@@ -24,6 +24,40 @@ class TestOptimize:
         assert nl.area() <= raw_area
 
 
+class TestSynthesizeMutation:
+    def test_default_leaves_netlist_untouched(self):
+        nl = build_netlist(TruncatedAdder(8, 4, "zero"))
+        gates_before = nl.gate_count()
+        area_before = nl.area()
+        rep = synthesize(nl)
+        assert nl.gate_count() == gates_before
+        assert nl.area() == area_before
+        assert rep.area <= area_before
+
+    def test_in_place_optimises_original(self):
+        nl = build_netlist(TruncatedAdder(8, 4, "zero"))
+        rep = synthesize(nl, in_place=True)
+        assert nl.gate_count() == rep.gate_count
+        assert nl.area() == rep.area
+
+    def test_both_modes_agree(self):
+        copied = synthesize(build_netlist(TruncatedAdder(8, 2, "half")))
+        in_place = synthesize(
+            build_netlist(TruncatedAdder(8, 2, "half")), in_place=True
+        )
+        assert copied == in_place
+
+    def test_netlist_copy_is_independent(self):
+        nl = build_netlist(TruncatedAdder(8, 4, "zero"))
+        gates_before = nl.gate_count()
+        clone = nl.copy()
+        assert clone.inputs == nl.inputs
+        assert clone.outputs == nl.outputs
+        optimize(clone)
+        assert clone.gate_count() <= gates_before
+        assert nl.gate_count() == gates_before
+
+
 class TestReport:
     def test_fields(self):
         rep = synthesize(build_netlist(ExactAdder(8)))
