@@ -24,8 +24,11 @@ from repro.accelerators import (
     GenericGaussianFilter,
     ImageAccelerator,
     SobelEdgeDetector,
+    WindowAccelerator,
+    WindowSpec,
     gaussian_kernel_weights,
     profile_accelerator,
+    quantize_kernel,
 )
 from repro.core import (
     AcceleratorEvaluator,
@@ -60,6 +63,7 @@ from repro.library import (
     save_library,
     scaled_plan,
 )
+from repro.workloads import WORKLOADS, Workload, build_bundle
 
 __version__ = "1.0.0"
 
@@ -68,7 +72,13 @@ __all__ = [
     "SobelEdgeDetector",
     "FixedGaussianFilter",
     "GenericGaussianFilter",
+    "WindowAccelerator",
+    "WindowSpec",
+    "WORKLOADS",
+    "Workload",
+    "build_bundle",
     "gaussian_kernel_weights",
+    "quantize_kernel",
     "profile_accelerator",
     "AutoAx",
     "AutoAxConfig",

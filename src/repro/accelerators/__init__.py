@@ -15,6 +15,12 @@ from repro.accelerators.gaussian_generic import (
     GenericGaussianFilter,
     gaussian_kernel_weights,
 )
+from repro.accelerators.window import (
+    WindowAccelerator,
+    WindowSpec,
+    gaussian_window,
+    quantize_kernel,
+)
 
 __all__ = [
     "DataflowGraph",
@@ -28,4 +34,8 @@ __all__ = [
     "FixedGaussianFilter",
     "GenericGaussianFilter",
     "gaussian_kernel_weights",
+    "WindowAccelerator",
+    "WindowSpec",
+    "gaussian_window",
+    "quantize_kernel",
 ]

@@ -1,7 +1,8 @@
 """Shared machinery of the image-processing accelerators.
 
-An :class:`ImageAccelerator` owns a dataflow graph over a 3x3 pixel window
-(inputs ``x0..x8``, row-major).  It provides:
+An :class:`ImageAccelerator` owns a dataflow graph over an odd N x N pixel
+window (inputs ``x0..x{N*N-1}``, row-major; ``window`` defaults to the
+paper's 3).  It provides:
 
 * vectorised software simulation over whole images, with pluggable
   approximate implementations per arithmetic op (the paper's C++ model);
@@ -39,12 +40,19 @@ class OpSlot:
 
 
 class ImageAccelerator:
-    """Base class of the three case-study accelerators."""
+    """Base class of the case-study and window-family accelerators."""
 
     #: subclasses set a human-readable name
     name: str = "accelerator"
 
+    #: pixel-window side length (odd); ``x`` inputs are row-major
+    window: int = 3
+
     def __init__(self):
+        if self.window < 1 or self.window % 2 == 0:
+            raise AcceleratorError(
+                f"window side must be odd and positive, got {self.window}"
+            )
         self.graph = self._build_graph()
         self._slots = [
             OpSlot(node.name, (node.kind.value, node.width))
@@ -70,16 +78,17 @@ class ImageAccelerator:
     # -- software model -------------------------------------------------------
 
     def window_inputs(self, image: np.ndarray) -> Dict[str, np.ndarray]:
-        """Flattened 3x3 neighbourhoods of ``image`` (edge replication)."""
+        """Flattened N x N neighbourhoods of ``image`` (edge replication)."""
         image = np.asarray(image)
         if image.ndim != 2:
             raise AcceleratorError("expected a 2-D gray-scale image")
-        padded = np.pad(image.astype(np.int64), 1, mode="edge")
+        side = self.window
+        padded = np.pad(image.astype(np.int64), side // 2, mode="edge")
         rows, cols = image.shape
         inputs: Dict[str, np.ndarray] = {}
         k = 0
-        for dr in range(3):
-            for dc in range(3):
+        for dr in range(side):
+            for dc in range(side):
                 inputs[f"x{k}"] = padded[
                     dr : dr + rows, dc : dc + cols
                 ].reshape(-1)
@@ -159,7 +168,7 @@ class ImageAccelerator:
     def _lower_clip(
         self, nl: Netlist, bits: List[int], low: int, high: int, width: int
     ) -> List[int]:
-        """Saturating clip to [0, high] where high = 2**k - 1."""
+        """Saturating clip of a non-negative value to [0, 2**k - 1]."""
         if low != 0 or (high + 1) & high:
             raise AcceleratorError(
                 "netlist lowering supports clip to [0, 2**k - 1] only"
@@ -172,6 +181,35 @@ class ImageAccelerator:
         for bit in overflow_bits[1:]:
             (over,) = nl.add_gate(CELLS["OR2"], [over, bit])
         return [nl.add_gate(CELLS["OR2"], [b, over])[0] for b in keep]
+
+    def _lower_clip_signed(
+        self, nl: Netlist, bits: List[int], low: int, high: int, width: int
+    ) -> List[int]:
+        """Clip of a two's-complement value to [0, 2**k - 1].
+
+        Negative inputs clamp to 0 (matching ``np.clip`` on the signed
+        software value), positive overflow saturates to ``high``: each
+        output bit is ``(keep | overflow) & ~sign``.
+        """
+        if low != 0 or (high + 1) & high:
+            raise AcceleratorError(
+                "netlist lowering supports clip to [0, 2**k - 1] only"
+            )
+        sign = bits[-1]
+        body = bits[:-1]
+        keep = self._adjust(nl, body, width)
+        overflow_bits = body[width:]
+        if overflow_bits:
+            over = overflow_bits[0]
+            for bit in overflow_bits[1:]:
+                (over,) = nl.add_gate(CELLS["OR2"], [over, bit])
+            keep = [
+                nl.add_gate(CELLS["OR2"], [b, over])[0] for b in keep
+            ]
+        (not_sign,) = nl.add_gate(CELLS["INV"], [sign])
+        return [
+            nl.add_gate(CELLS["AND2"], [b, not_sign])[0] for b in keep
+        ]
 
     def scenario_extras(
         self, scenarios: Sequence[Optional[Dict[str, int]]]
@@ -228,9 +266,22 @@ class ImageAccelerator:
         nl = Netlist(self.name)
         widths: Dict[str, int] = {}
         bits: Dict[str, List[int]] = {}
+        # Which nodes carry two's-complement (possibly negative) values:
+        # subtraction introduces a sign, magnitude removes it, wiring
+        # operators propagate it.  Clipping a signed value needs the
+        # sign-aware lowering to match ``np.clip`` on the software side.
+        signed: Dict[str, bool] = {}
         for node in self.graph.nodes():
             width = self._node_width(node, widths)
             widths[node.name] = width
+            signed[node.name] = (
+                node.kind is NodeKind.SUB
+                or (
+                    node.kind
+                    in (NodeKind.SHL, NodeKind.SHR, NodeKind.CLIP)
+                    and signed.get(node.operands[0], False)
+                )
+            )
             if node.kind is NodeKind.INPUT:
                 bits[node.name] = nl.add_input(node.name, node.width)
             elif node.kind is NodeKind.CONST:
@@ -268,13 +319,19 @@ class ImageAccelerator:
                     nl, bits[node.operands[0]]
                 )
             elif node.kind is NodeKind.CLIP:
-                bits[node.name] = self._lower_clip(
+                lower = (
+                    self._lower_clip_signed
+                    if signed[node.operands[0]]
+                    else self._lower_clip
+                )
+                bits[node.name] = lower(
                     nl,
                     bits[node.operands[0]],
                     node.attrs["low"],
                     node.attrs["high"],
                     width,
                 )
+                signed[node.name] = False
             else:  # pragma: no cover - exhaustive
                 raise AcceleratorError(f"unhandled node kind {node.kind}")
         nl.add_output("out", bits[self.graph.output])

@@ -1,0 +1,446 @@
+"""Parameterized N x N window-convolution accelerator family.
+
+The three case-study accelerators of the paper are hand-built 3x3 graphs.
+:class:`WindowAccelerator` generalises them into a declarative family: a
+:class:`WindowSpec` names an odd window side, a coefficient *mode* and the
+arithmetic parameters, and the graph — multiplier bank, balanced adder
+trees, signed-weight subtraction, magnitude/normalisation/clipping tail —
+is derived from it.  Three modes exist:
+
+* ``"fixed"``   — compile-time signed integer weights.  Weight magnitudes
+  of 1 are free wires, powers of two are free shifts, everything else is
+  a CONST x pixel multiplier; positive and negative taps accumulate in
+  separate trees joined by one subtractor (the Sobel pattern).
+* ``"general"`` — runtime non-negative coefficient inputs ``w0..w{N*N-1}``
+  (the generic-Gaussian pattern): one multiplier per tap and a balanced
+  adder tree, with per-scenario coefficient sets fed through ``extra``
+  inputs.
+* ``"separable"`` — runtime row/column coefficient vectors ``h0..h{N-1}``
+  and ``v0..v{N-1}``: per-row horizontal dot products followed by a
+  vertical combination, the windowed form of a separable convolution
+  (2N coefficients instead of N^2).
+
+Operand bit-widths are not declared but *derived*: the builder tracks the
+worst-case magnitude of every intermediate value (weights are bounded by
+the spec) and sizes each add/sub/mul to the smallest width that keeps its
+operands unmasked, so the family is exact-by-construction at any window
+size and the operation signatures follow the arithmetic instead of being
+hard-coded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerators.base import ImageAccelerator
+from repro.accelerators.graph import DataflowGraph, NodeKind
+from repro.errors import AcceleratorError
+
+#: Coefficient modes of the family.
+MODES = ("fixed", "general", "separable")
+
+
+def _bitlen(value: int) -> int:
+    """Bits needed to represent the non-negative magnitude ``value``."""
+    return max(1, int(value).bit_length())
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Declarative description of one window-convolution accelerator.
+
+    ``weights`` (fixed mode) are signed integers, row-major, ``size`` x
+    ``size``.  ``weight_sum`` bounds the sum of runtime coefficients in
+    general mode (and of each of the row/column vectors in separable
+    mode); it sizes the adder tree and is therefore a hard contract —
+    scenarios whose coefficients exceed it would overflow the derived
+    widths.  ``shift`` is the normalisation right-shift applied before
+    clipping, and ``absolute`` inserts a magnitude stage (edge-detector
+    tail) between accumulation and normalisation.
+    """
+
+    name: str
+    size: int
+    mode: str = "general"
+    weights: Optional[Tuple[int, ...]] = None
+    shift: int = 0
+    absolute: bool = False
+    pixel_bits: int = 8
+    coeff_bits: int = 8
+    weight_sum: Optional[int] = None
+    description: str = ""
+
+    def __post_init__(self):
+        if self.size < 1 or self.size % 2 == 0:
+            raise AcceleratorError(
+                f"{self.name}: window side must be odd, got {self.size}"
+            )
+        if self.mode not in MODES:
+            raise AcceleratorError(
+                f"{self.name}: unknown mode {self.mode!r} "
+                f"(expected one of {MODES})"
+            )
+        if self.pixel_bits < 1 or self.coeff_bits < 1:
+            raise AcceleratorError(
+                f"{self.name}: bit depths must be positive"
+            )
+        if self.shift < 0:
+            raise AcceleratorError(f"{self.name}: shift must be >= 0")
+        taps = self.size * self.size
+        if self.mode == "fixed":
+            if self.weights is None or len(self.weights) != taps:
+                raise AcceleratorError(
+                    f"{self.name}: fixed mode needs {taps} weights"
+                )
+            if not any(self.weights):
+                raise AcceleratorError(
+                    f"{self.name}: all-zero kernels are not supported"
+                )
+        else:
+            if self.weights is not None:
+                raise AcceleratorError(
+                    f"{self.name}: {self.mode} mode takes runtime "
+                    "coefficients, not fixed weights"
+                )
+            if self.weight_sum is None or self.weight_sum < 1:
+                raise AcceleratorError(
+                    f"{self.name}: {self.mode} mode needs a positive "
+                    "weight_sum bound"
+                )
+
+    # -- derived bounds ----------------------------------------------------
+
+    @property
+    def pixel_max(self) -> int:
+        return (1 << self.pixel_bits) - 1
+
+    @property
+    def coeff_max(self) -> int:
+        """Largest single runtime coefficient the derived widths admit."""
+        bound = (1 << self.coeff_bits) - 1
+        if self.weight_sum is not None:
+            bound = min(bound, self.weight_sum)
+        return bound
+
+    def weights_2d(self) -> Tuple[Tuple[int, ...], ...]:
+        """Fixed weights as ``size`` rows (fixed mode only)."""
+        if self.weights is None:
+            raise AcceleratorError(f"{self.name}: no fixed weights")
+        n = self.size
+        return tuple(
+            tuple(self.weights[r * n : (r + 1) * n]) for r in range(n)
+        )
+
+
+class WindowAccelerator(ImageAccelerator):
+    """An :class:`ImageAccelerator` generated from a :class:`WindowSpec`."""
+
+    def __init__(self, spec: WindowSpec):
+        self.spec = spec
+        self.name = spec.name
+        self.window = spec.size
+        super().__init__()
+
+    # -- graph construction ------------------------------------------------
+
+    def _build_graph(self) -> DataflowGraph:
+        builder = {
+            "fixed": self._build_fixed,
+            "general": self._build_general,
+            "separable": self._build_separable,
+        }[self.spec.mode]
+        g = DataflowGraph(self.name)
+        for k in range(self.spec.size * self.spec.size):
+            g.add_input(f"x{k}", self.spec.pixel_bits)
+        acc, bound, signed = builder(g)
+        self._finish(g, acc, bound, signed)
+        return g
+
+    def _op_width(self, *operand_bounds: int) -> int:
+        """Smallest op width whose mask keeps every operand intact."""
+        return _bitlen(max(operand_bounds))
+
+    def _reduce_sum(
+        self,
+        g: DataflowGraph,
+        prefix: str,
+        terms: List[str],
+        bounds: List[int],
+        cap: Optional[int] = None,
+    ) -> Tuple[str, int]:
+        """Balanced pairwise adder tree over ``terms``.
+
+        ``cap`` bounds every partial sum from above (general/separable
+        mode: coefficient *sums* are bounded even though per-term bounds
+        are not additive-tight), keeping tree widths at the true worst
+        case instead of the per-term pessimum.
+        """
+        level = 0
+        while len(terms) > 1:
+            next_terms: List[str] = []
+            next_bounds: List[int] = []
+            for i in range(0, len(terms) - 1, 2):
+                width = self._op_width(bounds[i], bounds[i + 1])
+                name = g.add_op(
+                    f"{prefix}_l{level}n{i // 2}",
+                    NodeKind.ADD,
+                    width,
+                    terms[i],
+                    terms[i + 1],
+                )
+                total = bounds[i] + bounds[i + 1]
+                if cap is not None:
+                    total = min(total, cap)
+                next_terms.append(name)
+                next_bounds.append(total)
+            if len(terms) % 2:
+                next_terms.append(terms[-1])
+                next_bounds.append(bounds[-1])
+            terms, bounds = next_terms, next_bounds
+            level += 1
+        return terms[0], bounds[0]
+
+    def _fixed_term(
+        self, g: DataflowGraph, k: int, magnitude: int
+    ) -> Tuple[str, int]:
+        """|w| * x_k as a wire, a free shift, or a CONST multiplier."""
+        bound = magnitude * self.spec.pixel_max
+        if magnitude == 1:
+            return f"x{k}", bound
+        if magnitude & (magnitude - 1) == 0:
+            return (
+                g.add_shl(f"t{k}", f"x{k}", magnitude.bit_length() - 1),
+                bound,
+            )
+        width = self._op_width(magnitude, self.spec.pixel_max)
+        g.add_const(f"c{k}", magnitude, _bitlen(magnitude))
+        return (
+            g.add_op(f"t{k}", NodeKind.MUL, width, f"c{k}", f"x{k}"),
+            bound,
+        )
+
+    def _build_fixed(self, g: DataflowGraph) -> Tuple[str, int, bool]:
+        pos: List[Tuple[str, int]] = []
+        neg: List[Tuple[str, int]] = []
+        for k, weight in enumerate(self.spec.weights):
+            if weight == 0:
+                continue
+            term = self._fixed_term(g, k, abs(int(weight)))
+            (pos if weight > 0 else neg).append(term)
+        if not pos:
+            # All-negative kernels: accumulate and subtract from zero so
+            # the magnitude tail still sees the right value.
+            g.add_const("zero", 0, 1)
+            pos = [("zero", 0)]
+        acc_p, bound_p = self._reduce_sum(
+            g, "pos", [t for t, _ in pos], [b for _, b in pos]
+        )
+        if not neg:
+            return acc_p, bound_p, False
+        acc_n, bound_n = self._reduce_sum(
+            g, "neg", [t for t, _ in neg], [b for _, b in neg]
+        )
+        width = self._op_width(bound_p, bound_n)
+        acc = g.add_op("diff", NodeKind.SUB, width, acc_p, acc_n)
+        return acc, max(bound_p, bound_n), True
+
+    def _build_general(self, g: DataflowGraph) -> Tuple[str, int, bool]:
+        spec = self.spec
+        taps = spec.size * spec.size
+        mul_width = self._op_width(spec.coeff_max, spec.pixel_max)
+        terms: List[str] = []
+        bounds: List[int] = []
+        for k in range(taps):
+            g.add_input(f"w{k}", spec.coeff_bits)
+            terms.append(
+                g.add_op(f"mul{k}", NodeKind.MUL, mul_width,
+                         f"w{k}", f"x{k}")
+            )
+            bounds.append(spec.coeff_max * spec.pixel_max)
+        acc, bound = self._reduce_sum(
+            g, "sum", terms, bounds,
+            cap=spec.weight_sum * spec.pixel_max,
+        )
+        return acc, bound, False
+
+    def _build_separable(self, g: DataflowGraph) -> Tuple[str, int, bool]:
+        spec = self.spec
+        n = spec.size
+        for c in range(n):
+            g.add_input(f"h{c}", spec.coeff_bits)
+        for r in range(n):
+            g.add_input(f"v{r}", spec.coeff_bits)
+        row_cap = spec.weight_sum * spec.pixel_max
+        mul_width = self._op_width(spec.coeff_max, spec.pixel_max)
+        row_accs: List[str] = []
+        for r in range(n):
+            terms = [
+                g.add_op(
+                    f"hmul{r}_{c}", NodeKind.MUL, mul_width,
+                    f"h{c}", f"x{r * n + c}",
+                )
+                for c in range(n)
+            ]
+            bounds = [spec.coeff_max * spec.pixel_max] * n
+            acc, _ = self._reduce_sum(
+                g, f"row{r}", terms, bounds, cap=row_cap
+            )
+            row_accs.append(acc)
+        v_width = self._op_width(spec.coeff_max, row_cap)
+        terms = [
+            g.add_op(f"vmul{r}", NodeKind.MUL, v_width,
+                     f"v{r}", row_accs[r])
+            for r in range(n)
+        ]
+        bounds = [spec.coeff_max * row_cap] * n
+        acc, bound = self._reduce_sum(
+            g, "col", terms, bounds, cap=spec.weight_sum * row_cap
+        )
+        return acc, bound, False
+
+    def _finish(
+        self, g: DataflowGraph, acc: str, bound: int, signed: bool
+    ) -> None:
+        """Magnitude / normalisation / clip tail shared by all modes."""
+        spec = self.spec
+        if spec.absolute:
+            if not signed:
+                raise AcceleratorError(
+                    f"{spec.name}: absolute output needs a signed "
+                    "accumulator (a kernel with negative taps)"
+                )
+            acc = g.add_abs("mag", acc)
+        if spec.shift:
+            acc = g.add_shr("norm", acc, spec.shift)
+        g.add_clip("out", acc, 0, spec.pixel_max)
+        g.set_output("out")
+
+    # -- runtime coefficients ----------------------------------------------
+
+    def coefficient_names(self) -> List[str]:
+        """Runtime coefficient input names, in declaration order."""
+        spec = self.spec
+        if spec.mode == "general":
+            return [f"w{k}" for k in range(spec.size * spec.size)]
+        if spec.mode == "separable":
+            return [f"h{c}" for c in range(spec.size)] + [
+                f"v{r}" for r in range(spec.size)
+            ]
+        return []
+
+    def kernel_extra(self, coefficients: Sequence[int]) -> Dict[str, int]:
+        """``extra``-input dict for one runtime coefficient set.
+
+        General mode takes ``size**2`` row-major weights; separable mode
+        takes the ``2 * size`` concatenated (horizontal, vertical)
+        vector.  Values are validated against the spec's bounds — the
+        derived widths are only exact within them.
+        """
+        names = self.coefficient_names()
+        if not names:
+            raise AcceleratorError(
+                f"{self.name}: fixed-mode accelerators take no runtime "
+                "coefficients"
+            )
+        if len(coefficients) != len(names):
+            raise AcceleratorError(
+                f"{self.name}: expected {len(names)} coefficients, "
+                f"got {len(coefficients)}"
+            )
+        values = [int(c) for c in coefficients]
+        for value in values:
+            if not 0 <= value <= self.spec.coeff_max:
+                raise AcceleratorError(
+                    f"{self.name}: coefficient {value} outside "
+                    f"[0, {self.spec.coeff_max}]"
+                )
+        cap = self.spec.weight_sum
+        if self.spec.mode == "general":
+            groups = [values]
+        else:
+            groups = [values[: self.spec.size], values[self.spec.size:]]
+        for group in groups:
+            if sum(group) > cap:
+                raise AcceleratorError(
+                    f"{self.name}: coefficients sum to {sum(group)}, "
+                    f"spec bounds {cap}"
+                )
+        return dict(zip(names, values))
+
+    def default_coefficients(self) -> List[int]:
+        """A box kernel filling the spec's weight budget (runtime modes)."""
+        spec = self.spec
+        if spec.mode == "general":
+            count = spec.size * spec.size
+            vectors = [self._flat_box(count, spec.weight_sum)]
+        elif spec.mode == "separable":
+            vectors = [self._flat_box(spec.size, spec.weight_sum)] * 2
+        else:
+            return []
+        return [v for vector in vectors for v in vector]
+
+    def _flat_box(self, count: int, total: int) -> List[int]:
+        """``count`` near-equal non-negative ints summing to ``total``."""
+        base = total // count
+        if base > self.spec.coeff_max:
+            base = self.spec.coeff_max
+        values = [base] * count
+        remainder = total - base * count
+        centre = count // 2
+        values[centre] = min(
+            self.spec.coeff_max, values[centre] + max(0, remainder)
+        )
+        return values
+
+    def extra_inputs(self) -> Dict[str, int]:
+        if self.spec.mode == "fixed":
+            return {}
+        return self.kernel_extra(self.default_coefficients())
+
+
+def quantize_kernel(
+    values: Sequence[float], total: int, coeff_max: int = 255
+) -> Tuple[int, ...]:
+    """Quantise non-negative reals to integers summing exactly to ``total``.
+
+    Proportional rounding with the drift folded into the largest tap (the
+    N x N generalisation of ``gaussian_kernel_weights``).  Raises when a
+    tap would exceed ``coeff_max``.
+    """
+    values = [float(v) for v in values]
+    if not values or any(v < 0 for v in values):
+        raise ValueError("kernel values must be non-negative")
+    norm = sum(values)
+    if norm <= 0:
+        raise ValueError("kernel values must not all be zero")
+    weights = [int(round(v / norm * total)) for v in values]
+    # Drift lands on the largest tap; ties prefer the middle of the
+    # kernel so flat (box) kernels stay centre-symmetric-ish.
+    middle = len(values) // 2
+    centre = max(
+        range(len(values)),
+        key=lambda i: (values[i], -abs(i - middle)),
+    )
+    weights[centre] += total - sum(weights)
+    if weights[centre] < 0 or any(w > coeff_max for w in weights):
+        raise ValueError(
+            f"total {total} is not representable with coeff_max "
+            f"{coeff_max} for this kernel"
+        )
+    return tuple(weights)
+
+
+def gaussian_window(size: int, sigma: float) -> List[float]:
+    """Unnormalised ``size`` x ``size`` Gaussian samples, row-major."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if size < 1 or size % 2 == 0:
+        raise ValueError("size must be odd and positive")
+    half = size // 2
+    return [
+        math.exp(-(dr * dr + dc * dc) / (2.0 * sigma * sigma))
+        for dr in range(-half, half + 1)
+        for dc in range(-half, half + 1)
+    ]

@@ -10,6 +10,9 @@ Commands
   print per-operation operand statistics (Fig. 3 numbers).
 * ``run`` — execute the full autoAx pipeline and print (optionally save)
   the final Pareto front.
+* ``workloads`` — ``list`` the registered workloads or ``run <name>``:
+  the full pipeline on any registry entry, with a library generated (and
+  cached) to cover exactly that workload's operation signatures.
 * ``export-verilog`` — lower an accelerator with exact components and
   write structural Verilog.
 """
@@ -30,6 +33,31 @@ ACCELERATORS = {
     "fixed_gf": FixedGaussianFilter,
     "generic_gf": GenericGaussianFilter,
 }
+
+
+def _workers_arg(text: str) -> int:
+    """argparse type for ``--workers``: clear error on bad values.
+
+    The validated value is passed through verbatim — an explicit
+    ``--workers 1`` must reach the engine as 1 (forcing in-process
+    evaluation) rather than collapsing to the ``REPRO_WORKERS``
+    fallback.
+    """
+    from repro.core.engine import validate_workers
+
+    try:
+        validate_workers(text, source="--workers")
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return int(text)
+
+
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_workers_arg, default=None,
+        help="worker processes for real evaluation "
+             "(default: REPRO_WORKERS env or in-process)",
+    )
 
 
 def _add_accelerator_arg(parser: argparse.ArgumentParser) -> None:
@@ -99,6 +127,35 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_pipeline_result(result, out: Optional[str]) -> None:
+    """Shared result reporting of the ``run`` commands."""
+    sizes = result.summary_row()
+    print(
+        f"space: {sizes['all_possible']:.3g} -> "
+        f"{sizes['after_preprocessing']:.3g} -> "
+        f"{int(sizes['pseudo_pareto'])} pseudo -> "
+        f"{int(sizes['final_pareto'])} final"
+    )
+    print(
+        f"models: QoR={result.qor_model.name} "
+        f"({result.qor_model.fidelity_test:.1%}), "
+        f"HW={result.hw_model.name} "
+        f"({result.hw_model.fidelity_test:.1%})"
+    )
+    order = result.final_points[:, 1].argsort()
+    print(format_table(
+        ["SSIM", "area (um^2)"],
+        [[f"{s:.4f}", f"{a:.1f}"]
+         for s, a in result.final_points[order]],
+    ))
+    if out:
+        with open(out, "w") as handle:
+            handle.write("ssim,area\n")
+            for s, a in result.final_points[order]:
+                handle.write(f"{s},{a}\n")
+        print(f"front written to {out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.pipeline import AutoAx, AutoAxConfig
     from repro.imaging.datasets import benchmark_images
@@ -120,32 +177,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     result = AutoAx(accelerator, library, images, config=config).run()
+    _print_pipeline_result(result, args.out)
+    return 0
 
-    sizes = result.summary_row()
-    print(
-        f"space: {sizes['all_possible']:.3g} -> "
-        f"{sizes['after_preprocessing']:.3g} -> "
-        f"{int(sizes['pseudo_pareto'])} pseudo -> "
-        f"{int(sizes['final_pareto'])} final"
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import WORKLOADS
+
+    if args.workloads_command == "list":
+        rows = []
+        for workload in WORKLOADS:
+            accelerator = workload.build_accelerator()
+            scenarios = workload.build_scenarios()
+            rows.append(
+                [
+                    workload.name,
+                    f"{accelerator.window}x{accelerator.window}",
+                    len(accelerator.op_slots()),
+                    len(scenarios) if scenarios else 1,
+                    ",".join(workload.tags),
+                    workload.description,
+                ]
+            )
+        print(
+            format_table(
+                ["workload", "window", "op slots", "scenarios",
+                 "tags", "description"],
+                rows,
+            )
+        )
+        return 0
+
+    # workloads run <name>
+    from repro.core.pipeline import AutoAx, AutoAxConfig
+    from repro.experiments.setup import workload_setup
+
+    setup = workload_setup(
+        args.name,
+        scale=args.scale,
+        n_images=args.images,
+        seed=args.seed,
     )
-    print(
-        f"models: QoR={result.qor_model.name} "
-        f"({result.qor_model.fidelity_test:.1%}), "
-        f"HW={result.hw_model.name} "
-        f"({result.hw_model.fidelity_test:.1%})"
+    config = AutoAxConfig(
+        n_train=args.train,
+        n_test=max(2, args.train // 2),
+        max_evaluations=args.evals,
+        seed=args.seed,
+        workers=args.workers,
     )
-    order = result.final_points[:, 1].argsort()
-    print(format_table(
-        ["SSIM", "area (um^2)"],
-        [[f"{s:.4f}", f"{a:.1f}"]
-         for s, a in result.final_points[order]],
-    ))
-    if args.out:
-        with open(args.out, "w") as handle:
-            handle.write("ssim,area\n")
-            for s, a in result.final_points[order]:
-                handle.write(f"{s},{a}\n")
-        print(f"front written to {args.out}")
+    pipeline = AutoAx(
+        setup.accelerator,
+        setup.library,
+        setup.images,
+        scenarios=setup.scenarios,
+        config=config,
+    )
+    result = pipeline.run()
+    print(
+        f"workload {args.name}: {setup.bundle.run_count} runs/config "
+        f"({len(setup.images)} images x "
+        f"{len(setup.scenarios or [None])} scenarios)"
+    )
+    _print_pipeline_result(result, args.out)
     return 0
 
 
@@ -213,12 +306,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--train", type=int, default=150)
     run.add_argument("--evals", type=int, default=10_000)
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument(
-        "--workers", type=int, default=None,
-        help="worker processes for real evaluation "
-             "(default: REPRO_WORKERS env or in-process)",
-    )
+    _add_workers_arg(run)
     run.add_argument("--out", help="CSV file for the final front")
+
+    workloads = sub.add_parser("workloads",
+                               help="workload registry operations")
+    wl_sub = workloads.add_subparsers(dest="workloads_command",
+                                      required=True)
+    wl_sub.add_parser("list", help="print the registered workloads")
+    wl_run = wl_sub.add_parser(
+        "run", help="full autoAx pipeline on a registered workload"
+    )
+    wl_run.add_argument("name", help="workload name (see 'list')")
+    wl_run.add_argument("--scale", type=float, default=None,
+                        help="library scale (default: REPRO_SCALE)")
+    wl_run.add_argument("--images", type=int, default=4)
+    wl_run.add_argument("--train", type=int, default=150)
+    wl_run.add_argument("--evals", type=int, default=10_000)
+    wl_run.add_argument("--seed", type=int, default=0)
+    _add_workers_arg(wl_run)
+    wl_run.add_argument("--out", help="CSV file for the final front")
 
     export = sub.add_parser("export-verilog",
                             help="structural Verilog of an accelerator")
@@ -235,6 +342,7 @@ _COMMANDS = {
     "generate-library": _cmd_generate_library,
     "profile": _cmd_profile,
     "run": _cmd_run,
+    "workloads": _cmd_workloads,
     "export-verilog": _cmd_export_verilog,
 }
 

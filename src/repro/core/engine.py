@@ -59,24 +59,41 @@ class EvaluationResult:
         return self.power * self.delay
 
 
-def default_workers() -> Optional[int]:
-    """Worker count from ``REPRO_WORKERS`` (values <= 1 mean in-process).
+def validate_workers(value, source: str = "workers") -> Optional[int]:
+    """Normalise a worker-count setting to ``None`` (serial) or ``>= 2``.
 
-    Raises ``ValueError`` on an unparseable value — silently falling
-    back to serial evaluation would hide the misconfiguration for the
-    entire (expensive) run.
+    Accepts ``None``, integers and integer-valued strings; 0 and 1 mean
+    in-process evaluation.  Non-integer or negative values raise a
+    ``ValueError`` naming ``source`` (the knob the value came from) —
+    silently falling back to serial evaluation would hide the
+    misconfiguration for the entire (expensive) run.
     """
+    if value is None:
+        return None
+    if isinstance(value, bool) or isinstance(value, float):
+        raise ValueError(
+            f"{source} must be an integer worker count, got {value!r}"
+        )
+    try:
+        count = int(str(value).strip())
+    except ValueError:
+        raise ValueError(
+            f"{source} must be an integer worker count, got {value!r}"
+        ) from None
+    if count < 0:
+        raise ValueError(
+            f"{source} must be >= 0 (0 or 1 run in-process), "
+            f"got {count}"
+        )
+    return count if count > 1 else None
+
+
+def default_workers() -> Optional[int]:
+    """Worker count from ``REPRO_WORKERS`` (values <= 1 mean in-process)."""
     raw = os.environ.get(WORKERS_ENV, "").strip()
     if not raw:
         return None
-    try:
-        count = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"{WORKERS_ENV} must be an integer worker count, "
-            f"got {raw!r}"
-        ) from None
-    return count if count > 1 else None
+    return validate_workers(raw, source=WORKERS_ENV)
 
 
 class EvaluationEngine:
@@ -106,7 +123,11 @@ class EvaluationEngine:
         self.scenarios: List[Optional[Dict[str, int]]] = (
             list(scenarios) if scenarios else [None]
         )
-        self.workers = workers if workers is not None else default_workers()
+        self.workers = (
+            validate_workers(workers)
+            if workers is not None
+            else default_workers()
+        )
         self._program = accelerator.graph.compile()
         self._synth_memo: Dict[Tuple[Tuple[str, str], ...],
                                SynthesisReport] = {}
@@ -265,6 +286,8 @@ class EvaluationEngine:
 
         if workers is None:
             workers = self.workers
+        else:
+            workers = validate_workers(workers)
         if workers is None or workers <= 1 or len(ordered) < 2:
             results = [self.evaluate(space, c) for c in ordered]
         else:

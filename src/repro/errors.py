@@ -37,3 +37,7 @@ class ModelError(ReproError):
 
 class DSEError(ReproError):
     """Raised for design-space-exploration misconfiguration."""
+
+
+class WorkloadError(ReproError):
+    """Raised for unknown or misdeclared workload-registry entries."""

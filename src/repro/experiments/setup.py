@@ -19,9 +19,15 @@ import numpy as np
 from repro.accelerators.base import ImageAccelerator
 from repro.core.engine import EvaluationEngine
 from repro.imaging.datasets import benchmark_images
-from repro.library.generation import generate_library, scaled_plan
+from repro.library.generation import (
+    PAPER_COUNTS,
+    GenerationPlan,
+    generate_library,
+    scaled_plan,
+)
 from repro.library.io import load_library, save_library
 from repro.library.library import ComponentLibrary
+from repro.workloads import WorkloadBundle, WorkloadRegistry, build_bundle
 
 #: Default library scale relative to Table 2 (0.02 => ~800 components).
 DEFAULT_SCALE = 0.02
@@ -46,8 +52,113 @@ class ExperimentSetup:
         return tuple(self.images[0].shape)
 
 
+#: Per-kind Table 2 reference counts used to scale workload libraries
+#: (the largest paper count of each kind, so e.g. any adder signature
+#: scales like the 8-bit adder pool).
+KIND_REFERENCE = {
+    kind: max(
+        count for (k, _), count in PAPER_COUNTS.items() if k == kind
+    )
+    for kind in ("add", "sub", "mul")
+}
+
+
 def _cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", ".cache"))
+
+
+def workload_plan(
+    accelerator: ImageAccelerator,
+    scale: float,
+    seed: int = 0,
+    floor: int = 64,
+) -> GenerationPlan:
+    """A generation plan covering exactly ``accelerator``'s signatures.
+
+    The window family derives operand widths from the arithmetic, so a
+    workload may need signatures outside the paper's Table 2 set (e.g.
+    14-bit adders); this sizes each one from the per-kind Table 2
+    reference count at ``scale``, floored so small signatures stay
+    populated enough for per-op Pareto filtering.
+    """
+    counts = {
+        (kind, width): max(floor, int(round(KIND_REFERENCE[kind] * scale)))
+        for kind, width in accelerator.op_inventory()
+    }
+    return GenerationPlan(counts, seed=seed)
+
+
+@dataclass
+class WorkloadSetup:
+    """A materialised workload plus the library covering its signatures."""
+
+    bundle: WorkloadBundle
+    library: ComponentLibrary
+    seed: int = 0
+
+    @property
+    def accelerator(self) -> ImageAccelerator:
+        return self.bundle.accelerator
+
+    @property
+    def images(self) -> List[np.ndarray]:
+        return self.bundle.images
+
+    @property
+    def scenarios(self):
+        return self.bundle.scenarios
+
+
+def workload_setup(
+    name: str,
+    scale: Optional[float] = None,
+    n_images: int = 4,
+    image_shape: Optional[Tuple[int, int]] = None,
+    seed: int = 0,
+    use_cache: bool = True,
+    registry: Optional[WorkloadRegistry] = None,
+) -> WorkloadSetup:
+    """Build (or load from cache) everything a workload DSE run needs.
+
+    The library is cached per *signature set*, so workloads sharing
+    operation signatures (e.g. ``gaussian5`` and ``box5``) share one
+    characterised library on disk.
+    """
+    if scale is None:
+        scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+    if image_shape is None:
+        image_shape = DEFAULT_SHAPE
+    bundle = build_bundle(
+        name, n_images=n_images, image_shape=image_shape,
+        registry=registry,
+    )
+    plan = workload_plan(bundle.accelerator, scale, seed=seed)
+    tag = "-".join(
+        f"{kind}{width}" for kind, width in sorted(plan.counts)
+    )
+    cache = _cache_dir() / (
+        f"library_wl_{tag}_scale_{scale:g}_seed_{seed}.json"
+    )
+    library = None
+    if use_cache and cache.exists():
+        library = load_library(cache)
+    if library is None:
+        library = generate_library(plan)
+        if use_cache:
+            save_library(library, cache)
+    return WorkloadSetup(bundle=bundle, library=library, seed=seed)
+
+
+def build_workload_engine(
+    setup: WorkloadSetup, workers: Optional[int] = None
+) -> EvaluationEngine:
+    """The evaluation engine of a materialised workload setup."""
+    return build_engine(
+        setup.accelerator,
+        setup.images,
+        scenarios=setup.scenarios,
+        workers=workers,
+    )
 
 
 def build_engine(

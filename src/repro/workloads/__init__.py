@@ -1,0 +1,35 @@
+"""Workload registry: named accelerator + images + scenarios bundles.
+
+Importing this package populates the default registry with the built-in
+catalog (the three paper case studies and the N x N window family)::
+
+    from repro.workloads import WORKLOADS, build_bundle
+
+    bundle = build_bundle("gaussian5")
+    engine = EvaluationEngine(
+        bundle.accelerator, bundle.images, bundle.scenarios
+    )
+"""
+
+from repro.workloads.registry import (
+    DEFAULT_IMAGE_SHAPE,
+    DEFAULT_IMAGES,
+    WORKLOADS,
+    Workload,
+    WorkloadBundle,
+    WorkloadRegistry,
+    build_bundle,
+)
+from repro.workloads import catalog as _catalog  # registers built-ins
+from repro.workloads.catalog import register_catalog
+
+__all__ = [
+    "DEFAULT_IMAGE_SHAPE",
+    "DEFAULT_IMAGES",
+    "WORKLOADS",
+    "Workload",
+    "WorkloadBundle",
+    "WorkloadRegistry",
+    "build_bundle",
+    "register_catalog",
+]

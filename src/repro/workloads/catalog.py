@@ -1,0 +1,223 @@
+"""The built-in workload catalog.
+
+Registers the paper's three case studies plus a family of parameterized
+N x N window convolutions built on
+:class:`~repro.accelerators.window.WindowAccelerator`:
+
+* 5x5 Gaussian smoothing (runtime coefficients, sigma-sweep scenarios),
+* 5x5 and 3x3 box/tent blurs (runtime coefficients; the 3x3 variant at a
+  reduced 6-bit coefficient depth),
+* 3x3 Laplacian sharpen and unsharp masks (fixed signed kernels),
+* 5x5 Laplacian-of-Gaussian edge enhancement (fixed, multiplier-less),
+* separable 5x5 Gaussian (row/column coefficient vectors).
+
+Every entry is declared through the same :class:`Workload` record, so DSE
+drivers, the CLI, benchmarks and examples pick up new scenarios by name.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.accelerators.gaussian_fixed import FixedGaussianFilter
+from repro.accelerators.gaussian_generic import (
+    GenericGaussianFilter,
+    kernel_sweep,
+)
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.accelerators.window import (
+    WindowAccelerator,
+    WindowSpec,
+    gaussian_window,
+    quantize_kernel,
+)
+from repro.workloads.registry import WORKLOADS, WorkloadRegistry
+
+#: Sigma sweep of the 5x5 Gaussian scenarios.
+GAUSSIAN5_SIGMAS = (0.8, 1.1, 1.4, 1.7, 2.0)
+
+
+def _gaussian_1d(size: int, sigma: float) -> List[float]:
+    half = size // 2
+    return [
+        math.exp(-(d * d) / (2.0 * sigma * sigma))
+        for d in range(-half, half + 1)
+    ]
+
+
+def _outer(vector: Tuple[int, ...]) -> List[float]:
+    return [float(a * b) for a in vector for b in vector]
+
+
+# -- window specs ----------------------------------------------------------
+
+GAUSSIAN5_SPEC = WindowSpec(
+    name="gaussian5",
+    size=5,
+    mode="general",
+    shift=8,
+    weight_sum=256,
+    description="5x5 Gaussian smoothing, runtime 8-bit coefficients",
+)
+
+BOX5_SPEC = WindowSpec(
+    name="box5",
+    size=5,
+    mode="general",
+    shift=8,
+    weight_sum=256,
+    description="5x5 box/tent blur, runtime 8-bit coefficients",
+)
+
+BOX3_6B_SPEC = WindowSpec(
+    name="box3_6b",
+    size=3,
+    mode="general",
+    shift=6,
+    coeff_bits=6,
+    weight_sum=64,
+    description="3x3 blur at reduced 6-bit coefficient depth",
+)
+
+SHARPEN3_SPEC = WindowSpec(
+    name="sharpen3",
+    size=3,
+    mode="fixed",
+    weights=(0, -1, 0, -1, 5, -1, 0, -1, 0),
+    shift=0,
+    description="3x3 Laplacian sharpen, fixed signed kernel",
+)
+
+UNSHARP3_SPEC = WindowSpec(
+    name="unsharp3",
+    size=3,
+    mode="fixed",
+    weights=(-1, -1, -1, -1, 12, -1, -1, -1, -1),
+    shift=2,
+    description="3x3 unsharp mask (sum 4, shift 2), fixed signed kernel",
+)
+
+LOG5_SPEC = WindowSpec(
+    name="log5",
+    size=5,
+    mode="fixed",
+    weights=(
+        0, 0, -1, 0, 0,
+        0, -1, -2, -1, 0,
+        -1, -2, 16, -2, -1,
+        0, -1, -2, -1, 0,
+        0, 0, -1, 0, 0,
+    ),
+    absolute=True,
+    description="5x5 Laplacian-of-Gaussian edge enhance, multiplier-less",
+)
+
+GAUSSIAN5_SEP_SPEC = WindowSpec(
+    name="gaussian5_sep",
+    size=5,
+    mode="separable",
+    shift=8,
+    coeff_bits=5,
+    weight_sum=16,
+    description="separable 5x5 Gaussian, 2x5 runtime coefficient vectors",
+)
+
+
+# -- scenario factories -----------------------------------------------------
+
+def gaussian5_scenarios() -> List[Dict[str, int]]:
+    """Quantised 5x5 Gaussian kernels over the sigma sweep."""
+    accelerator = WindowAccelerator(GAUSSIAN5_SPEC)
+    return [
+        accelerator.kernel_extra(
+            quantize_kernel(gaussian_window(5, sigma), 256)
+        )
+        for sigma in GAUSSIAN5_SIGMAS
+    ]
+
+
+def box5_scenarios() -> List[Dict[str, int]]:
+    """Box, tent and soft-box 5x5 kernels, all summing to 256."""
+    accelerator = WindowAccelerator(BOX5_SPEC)
+    shapes = (
+        [1.0] * 25,
+        _outer((1, 2, 3, 2, 1)),
+        _outer((2, 3, 3, 3, 2)),
+    )
+    return [
+        accelerator.kernel_extra(quantize_kernel(shape, 256))
+        for shape in shapes
+    ]
+
+
+def box3_6b_scenarios() -> List[Dict[str, int]]:
+    """Box and tent 3x3 kernels quantised to the 6-bit budget (sum 64)."""
+    accelerator = WindowAccelerator(BOX3_6B_SPEC)
+    shapes = ([1.0] * 9, _outer((1, 2, 1)))
+    return [
+        accelerator.kernel_extra(
+            quantize_kernel(shape, 64, coeff_max=63)
+        )
+        for shape in shapes
+    ]
+
+
+def gaussian5_sep_scenarios() -> List[Dict[str, int]]:
+    """Separable sigma sweep: 1-D kernels quantised to sum 16 per axis."""
+    accelerator = WindowAccelerator(GAUSSIAN5_SEP_SPEC)
+    scenarios = []
+    for sigma in GAUSSIAN5_SIGMAS:
+        axis = quantize_kernel(_gaussian_1d(5, sigma), 16, coeff_max=16)
+        scenarios.append(accelerator.kernel_extra(axis + axis))
+    return scenarios
+
+
+def generic_gf_scenarios() -> List[Dict[str, int]]:
+    """The paper's sigma sweep of the generic 3x3 Gaussian filter."""
+    return [
+        GenericGaussianFilter.kernel_extra(w) for w in kernel_sweep(5)
+    ]
+
+
+def register_catalog(registry: WorkloadRegistry) -> None:
+    """Register every built-in workload into ``registry``."""
+    registry.add(
+        "sobel",
+        "3x3 Sobel vertical-edge detector (paper Fig. 2a)",
+        SobelEdgeDetector,
+        tags=("seed", "edge"),
+    )
+    registry.add(
+        "fixed_gf",
+        "3x3 Gaussian filter, constant MCM coefficients (paper Fig. 2b)",
+        FixedGaussianFilter,
+        tags=("seed", "blur"),
+    )
+    registry.add(
+        "generic_gf",
+        "3x3 Gaussian filter, runtime coefficients (paper Fig. 2c)",
+        GenericGaussianFilter,
+        scenario_factory=generic_gf_scenarios,
+        tags=("seed", "blur"),
+    )
+    for spec, scenarios, tags in (
+        (GAUSSIAN5_SPEC, gaussian5_scenarios, ("family", "blur")),
+        (BOX5_SPEC, box5_scenarios, ("family", "blur")),
+        (BOX3_6B_SPEC, box3_6b_scenarios, ("family", "blur")),
+        (SHARPEN3_SPEC, None, ("family", "sharpen")),
+        (UNSHARP3_SPEC, None, ("family", "sharpen")),
+        (LOG5_SPEC, None, ("family", "edge")),
+        (GAUSSIAN5_SEP_SPEC, gaussian5_sep_scenarios,
+         ("family", "blur", "separable")),
+    ):
+        registry.add(
+            spec.name,
+            spec.description,
+            (lambda s=spec: WindowAccelerator(s)),
+            scenario_factory=scenarios,
+            tags=tags,
+        )
+
+
+register_catalog(WORKLOADS)

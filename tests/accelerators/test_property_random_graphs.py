@@ -1,0 +1,178 @@
+"""Property layer: compiled execution == interpreter on random graphs.
+
+The PR-1 engine rests on one invariant: ``DataflowGraph.compile().execute``
+is bit-identical to ``evaluate_interpreted`` for *every* well-formed graph,
+input batch and assignment — not just the hand-built accelerators.  This
+module generates hundreds of random dataflow DAGs (all node kinds, random
+widths, CONST values wider than their declared width, negative and huge
+int64 inputs, scalar / vector / broadcast-batch shapes, partial
+assignments) and checks the two paths agree exactly, including the
+profiler's ``capture`` side channel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.graph import APPROXIMABLE, DataflowGraph, NodeKind
+from repro.utils.bitops import bit_mask
+
+#: Number of random graphs per shape regime (3 regimes => 201 graphs).
+GRAPHS_PER_REGIME = 67
+
+#: Input-batch shape regimes: scalar runs, flat vectors, and stacked
+#: broadcastable batches (pixel rows against scenario columns).
+SHAPE_REGIMES = ("scalar", "vector", "batch")
+
+_OP_KINDS = (
+    NodeKind.ADD,
+    NodeKind.SUB,
+    NodeKind.MUL,
+    NodeKind.SHL,
+    NodeKind.SHR,
+    NodeKind.ABS,
+    NodeKind.CLIP,
+)
+
+
+def random_graph(rng: np.random.Generator) -> DataflowGraph:
+    """A random well-formed single-output dataflow DAG."""
+    g = DataflowGraph(f"rand{rng.integers(1 << 30)}")
+    names = []
+    for i in range(int(rng.integers(1, 5))):
+        names.append(g.add_input(f"in{i}", int(rng.integers(1, 13))))
+    for i in range(int(rng.integers(0, 4))):
+        # values deliberately overflow the declared width sometimes,
+        # exercising CONST masking in both paths
+        names.append(
+            g.add_const(
+                f"c{i}",
+                int(rng.integers(0, 1 << 16)),
+                int(rng.integers(1, 11)),
+            )
+        )
+    for i in range(int(rng.integers(3, 13))):
+        kind = _OP_KINDS[rng.integers(len(_OP_KINDS))]
+        name = f"n{i}"
+        a = names[rng.integers(len(names))]
+        if kind in APPROXIMABLE:
+            b = names[rng.integers(len(names))]
+            g.add_op(name, kind, int(rng.integers(1, 13)), a, b)
+        elif kind is NodeKind.SHL:
+            g.add_shl(name, a, int(rng.integers(0, 7)))
+        elif kind is NodeKind.SHR:
+            g.add_shr(name, a, int(rng.integers(0, 7)))
+        elif kind is NodeKind.ABS:
+            g.add_abs(name, a)
+        else:
+            low = int(rng.integers(-64, 64))
+            high = low + int(rng.integers(0, 1 << 12))
+            g.add_clip(name, a, low, high)
+        names.append(name)
+    g.set_output(names[-1])
+    return g
+
+
+def random_inputs(rng, g: DataflowGraph, regime: str):
+    """Random int64 input values for ``g`` in one shape regime."""
+    def draw(shape):
+        # span negatives and values far beyond any declared width
+        return rng.integers(
+            -(1 << 40), 1 << 40, size=shape, dtype=np.int64
+        )
+
+    inputs = {}
+    if regime == "scalar":
+        for node in g.inputs():
+            inputs[node.name] = draw(())
+    elif regime == "vector":
+        n = int(rng.integers(1, 64))
+        for node in g.inputs():
+            inputs[node.name] = draw(n)
+    else:
+        runs, scen, pixels = (
+            int(rng.integers(1, 4)),
+            int(rng.integers(1, 4)),
+            int(rng.integers(1, 16)),
+        )
+        for node in g.inputs():
+            if rng.random() < 0.5:
+                inputs[node.name] = draw((runs, 1, pixels))
+            else:
+                inputs[node.name] = draw((1, scen, 1))
+    return inputs
+
+
+def random_assignment(rng, g: DataflowGraph):
+    """A partial assignment of deterministic fake 'approximate' impls."""
+    assignment = {}
+    for node in g.approximable_ops():
+        if rng.random() < 0.5:
+            continue
+        mask = bit_mask(node.width)
+        flavour = rng.integers(3)
+        if flavour == 0:
+            impl = lambda a, b, m=mask: (a & m) ^ (b & m)
+        elif flavour == 1:
+            impl = lambda a, b, m=mask: ((a & m) + (b & m)) >> 1
+        else:
+            impl = lambda a, b, m=mask: (a & m) | (b & m)
+        assignment[node.name] = impl
+    return assignment or None
+
+
+def _assert_captures_equal(got, want):
+    assert got.keys() == want.keys()
+    for name in want:
+        for side in (0, 1):
+            assert np.array_equal(
+                np.broadcast_arrays(*got[name])[side],
+                np.broadcast_arrays(*want[name])[side],
+            ), name
+
+
+@pytest.mark.parametrize("regime", SHAPE_REGIMES)
+def test_compiled_matches_interpreter(regime):
+    rng = np.random.default_rng(SHAPE_REGIMES.index(regime) + 1)
+    for _ in range(GRAPHS_PER_REGIME):
+        g = random_graph(rng)
+        inputs = random_inputs(rng, g, regime)
+        assignment = random_assignment(rng, g)
+        cap_fast, cap_ref = {}, {}
+        want = g.evaluate_interpreted(inputs, assignment, cap_ref)
+        got = g.compile().execute(inputs, assignment, cap_fast)
+        assert np.array_equal(
+            np.broadcast_to(got, np.shape(want)), want
+        ), g.name
+        _assert_captures_equal(cap_fast, cap_ref)
+
+
+def test_recompile_after_mutation():
+    """The compile cache invalidates on construction changes."""
+    rng = np.random.default_rng(7)
+    g = DataflowGraph("mut")
+    g.add_input("a", 8)
+    g.add_input("b", 8)
+    g.add_op("s", NodeKind.ADD, 8, "a", "b")
+    g.set_output("s")
+    x = {"a": np.arange(10), "b": np.arange(10)}
+    first = g.evaluate(x)
+    g.add_shl("t", "s", 2)
+    g.set_output("t")
+    second = g.evaluate(x)
+    assert np.array_equal(second, first << 2)
+
+
+def test_masking_of_wide_consts_is_identical():
+    """CONST values wider than the node width mask the same both ways."""
+    for value in (255, 256, 0xFFFF, 0x12345):
+        g = DataflowGraph("constmask")
+        g.add_input("x", 8)
+        g.add_const("k", value, 8)
+        g.add_op("s", NodeKind.ADD, 9, "x", "k")
+        g.set_output("s")
+        inputs = {"x": np.arange(32, dtype=np.int64)}
+        assert np.array_equal(
+            g.compile().execute(inputs),
+            g.evaluate_interpreted(inputs),
+        )
+        assert g.evaluate_interpreted(inputs)[0] == (value & 0xFF)

@@ -1,0 +1,298 @@
+"""The parameterized N x N window-convolution accelerator family."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.accelerators.window import (
+    WindowAccelerator,
+    WindowSpec,
+    gaussian_window,
+    quantize_kernel,
+)
+from repro.circuits.base import ExactAdder, ExactMultiplier, ExactSubtractor
+from repro.errors import AcceleratorError
+from repro.imaging.datasets import synthetic_image
+from repro.library.component import record_from_circuit
+from repro.netlist.simulate import simulate
+from repro.synthesis.synthesizer import optimize
+
+
+def reference(image, kernel, shift=0, absolute=False, clip_high=255):
+    """Direct numpy/scipy model of a window convolution accelerator."""
+    acc = ndimage.correlate(
+        image.astype(np.int64), np.asarray(kernel, dtype=np.int64),
+        mode="nearest",
+    )
+    if absolute:
+        acc = np.abs(acc)
+    return np.clip(acc >> shift, 0, clip_high)
+
+
+def exact_records(accelerator):
+    out = {}
+    cache = {}
+    for slot in accelerator.op_slots():
+        kind, width = slot.signature
+        if (kind, width) not in cache:
+            klass = {
+                "add": ExactAdder, "sub": ExactSubtractor,
+                "mul": ExactMultiplier,
+            }[kind]
+            cache[(kind, width)] = record_from_circuit(
+                klass(width), sample_size=1 << 7
+            )
+        out[slot.name] = cache[(kind, width)]
+    return out
+
+
+class TestWindowSpecValidation:
+    def test_even_window_rejected(self):
+        with pytest.raises(AcceleratorError, match="odd"):
+            WindowSpec("bad", size=4, mode="general", weight_sum=16)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(AcceleratorError, match="mode"):
+            WindowSpec("bad", size=3, mode="mcm")
+
+    def test_fixed_needs_all_weights(self):
+        with pytest.raises(AcceleratorError, match="9 weights"):
+            WindowSpec("bad", size=3, mode="fixed", weights=(1, 2, 3))
+
+    def test_fixed_rejects_zero_kernel(self):
+        with pytest.raises(AcceleratorError, match="all-zero"):
+            WindowSpec("bad", size=3, mode="fixed", weights=(0,) * 9)
+
+    def test_general_needs_weight_sum(self):
+        with pytest.raises(AcceleratorError, match="weight_sum"):
+            WindowSpec("bad", size=3, mode="general")
+
+    def test_general_rejects_fixed_weights(self):
+        with pytest.raises(AcceleratorError, match="runtime"):
+            WindowSpec(
+                "bad", size=3, mode="general", weight_sum=16,
+                weights=(1,) * 9,
+            )
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(AcceleratorError, match="shift"):
+            WindowSpec(
+                "bad", size=3, mode="general", weight_sum=16, shift=-1
+            )
+
+    def test_absolute_needs_signed_kernel(self):
+        spec = WindowSpec(
+            "bad", size=3, mode="fixed", weights=(1,) * 9,
+            absolute=True,
+        )
+        with pytest.raises(AcceleratorError, match="signed"):
+            WindowAccelerator(spec)
+
+
+class TestFixedMode:
+    def test_signed_kernel_matches_reference(self):
+        spec = WindowSpec(
+            "sharpen", size=3, mode="fixed",
+            weights=(0, -1, 0, -1, 5, -1, 0, -1, 0),
+        )
+        acc = WindowAccelerator(spec)
+        image = synthetic_image(0, shape=(20, 24))
+        got = acc.golden(image)
+        want = reference(image, spec.weights_2d())
+        assert np.array_equal(got, want)
+
+    def test_power_of_two_weights_are_multiplier_less(self):
+        spec = WindowSpec(
+            "edges", size=3, mode="fixed",
+            weights=(-1, -2, -1, 0, 0, 0, 1, 2, 1),
+            absolute=True,
+        )
+        acc = WindowAccelerator(spec)
+        kinds = {sig for sig, _ in acc.op_inventory().items()}
+        assert not any(kind == "mul" for kind, _ in kinds)
+        image = synthetic_image(1, shape=(16, 16))
+        want = reference(image, spec.weights_2d(), absolute=True)
+        assert np.array_equal(acc.golden(image), want)
+
+    def test_all_negative_kernel(self):
+        spec = WindowSpec(
+            "neg", size=3, mode="fixed",
+            weights=(-1,) * 9, absolute=True,
+        )
+        acc = WindowAccelerator(spec)
+        image = synthetic_image(2, shape=(12, 12))
+        want = reference(image, spec.weights_2d(), absolute=True)
+        assert np.array_equal(acc.golden(image), want)
+
+    def test_5x5_window_shape_and_padding(self):
+        spec = WindowSpec(
+            "big", size=5, mode="fixed",
+            weights=tuple([1] * 25), shift=4,
+        )
+        acc = WindowAccelerator(spec)
+        assert acc.window == 5
+        image = synthetic_image(3, shape=(10, 14))
+        inputs = acc.window_inputs(image)
+        assert len(inputs) == 25
+        # centre tap of the window is the image itself
+        assert np.array_equal(
+            inputs["x12"].reshape(image.shape), image
+        )
+        want = reference(image, spec.weights_2d(), shift=4)
+        assert np.array_equal(acc.golden(image), want)
+
+    def test_no_runtime_coefficients(self):
+        spec = WindowSpec(
+            "fixed", size=3, mode="fixed", weights=(1,) * 9, shift=3
+        )
+        acc = WindowAccelerator(spec)
+        assert acc.coefficient_names() == []
+        assert acc.extra_inputs() == {}
+        with pytest.raises(AcceleratorError, match="no runtime"):
+            acc.kernel_extra([1] * 9)
+
+
+class TestGeneralMode:
+    SPEC = WindowSpec(
+        "gen5", size=5, mode="general", shift=8, weight_sum=256
+    )
+
+    def test_matches_reference_per_scenario(self):
+        acc = WindowAccelerator(self.SPEC)
+        image = synthetic_image(4, shape=(18, 22))
+        for sigma in (0.9, 1.6):
+            weights = quantize_kernel(gaussian_window(5, sigma), 256)
+            extra = acc.kernel_extra(weights)
+            got = acc.golden(image, extra=extra)
+            want = reference(
+                image, np.asarray(weights).reshape(5, 5), shift=8
+            )
+            assert np.array_equal(got, want)
+
+    def test_signatures_match_generic_gf_family(self):
+        acc = WindowAccelerator(self.SPEC)
+        inventory = acc.op_inventory()
+        assert inventory == {("mul", 8): 25, ("add", 16): 24}
+
+    def test_kernel_extra_validates_length_and_bounds(self):
+        acc = WindowAccelerator(self.SPEC)
+        with pytest.raises(AcceleratorError, match="25 coefficients"):
+            acc.kernel_extra([1] * 9)
+        with pytest.raises(AcceleratorError, match="outside"):
+            acc.kernel_extra([-1] + [1] * 24)
+        with pytest.raises(AcceleratorError, match="sum"):
+            acc.kernel_extra([200] * 25)
+
+    def test_default_coefficients_fill_budget(self):
+        acc = WindowAccelerator(self.SPEC)
+        defaults = acc.default_coefficients()
+        assert len(defaults) == 25
+        assert sum(defaults) <= 256
+        # the defaults must be a valid extra assignment
+        extras = acc.extra_inputs()
+        assert set(extras) == {f"w{k}" for k in range(25)}
+
+
+class TestSeparableMode:
+    SPEC = WindowSpec(
+        "sep5", size=5, mode="separable", shift=8,
+        coeff_bits=5, weight_sum=16,
+    )
+
+    def test_matches_outer_product_reference(self):
+        acc = WindowAccelerator(self.SPEC)
+        image = synthetic_image(5, shape=(16, 20))
+        h = (1, 4, 6, 4, 1)
+        v = (2, 3, 6, 3, 2)
+        extra = acc.kernel_extra(list(h) + list(v))
+        got = acc.golden(image, extra=extra)
+        kernel = np.outer(np.asarray(v), np.asarray(h))
+        want = reference(image, kernel, shift=8)
+        assert np.array_equal(got, want)
+
+    def test_coefficient_names_and_per_axis_sum_check(self):
+        acc = WindowAccelerator(self.SPEC)
+        names = acc.coefficient_names()
+        assert names == [f"h{c}" for c in range(5)] + [
+            f"v{r}" for r in range(5)
+        ]
+        with pytest.raises(AcceleratorError, match="sum"):
+            acc.kernel_extra([16, 16, 0, 0, 0] + [1, 1, 1, 1, 1])
+
+    def test_wide_second_stage_multipliers(self):
+        acc = WindowAccelerator(self.SPEC)
+        inventory = acc.op_inventory()
+        assert inventory[("mul", 8)] == 25  # horizontal taps
+        assert inventory[("mul", 12)] == 5  # vertical combine
+
+
+class TestHardwareLowering:
+    @pytest.mark.parametrize(
+        "spec, extra",
+        [
+            (
+                WindowSpec(
+                    "hw_sharpen", size=3, mode="fixed",
+                    weights=(0, -1, 0, -1, 5, -1, 0, -1, 0),
+                ),
+                None,
+            ),
+            (
+                WindowSpec(
+                    "hw_unsharp", size=3, mode="fixed", shift=2,
+                    weights=(-1, -1, -1, -1, 12, -1, -1, -1, -1),
+                ),
+                None,
+            ),
+            (
+                WindowSpec(
+                    "hw_blur", size=3, mode="general", shift=6,
+                    coeff_bits=6, weight_sum=64,
+                ),
+                "default",
+            ),
+        ],
+    )
+    def test_netlist_matches_software(self, spec, extra):
+        acc = WindowAccelerator(spec)
+        records = exact_records(acc)
+        image = synthetic_image(6, shape=(8, 10))
+        netlist = acc.to_netlist(records)
+        netlist.validate()
+        optimize(netlist)
+        inputs = acc.window_inputs(image)
+        for name, value in acc.extra_inputs().items():
+            inputs[name] = np.full(image.size, value, dtype=np.int64)
+        got = simulate(netlist, inputs)["out"].reshape(image.shape)
+        want = acc.golden(image)
+        assert np.array_equal(got, want)
+
+
+class TestQuantizeKernel:
+    def test_sums_exactly(self):
+        weights = quantize_kernel(gaussian_window(5, 1.2), 256)
+        assert sum(weights) == 256
+        assert all(w >= 0 for w in weights)
+
+    def test_flat_kernel_centre_tiebreak(self):
+        weights = quantize_kernel([1.0] * 9, 64)
+        assert sum(weights) == 64
+        # drift lands on the middle tap, not the first
+        assert weights[4] == max(weights)
+
+    def test_rejects_negative_and_zero(self):
+        with pytest.raises(ValueError):
+            quantize_kernel([1.0, -1.0], 16)
+        with pytest.raises(ValueError):
+            quantize_kernel([0.0, 0.0], 16)
+
+    def test_rejects_unrepresentable_total(self):
+        # a near-delta kernel cannot sum to 1024 with 8-bit taps
+        with pytest.raises(ValueError):
+            quantize_kernel([1.0, 0.001, 0.001], 1024)
+
+    def test_gaussian_window_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_window(4, 1.0)
+        with pytest.raises(ValueError):
+            gaussian_window(5, 0.0)

@@ -2,7 +2,14 @@ import os
 
 import pytest
 
-from repro.experiments.setup import ExperimentSetup, default_setup
+from repro.experiments.setup import (
+    ExperimentSetup,
+    build_workload_engine,
+    default_setup,
+    workload_plan,
+    workload_setup,
+)
+from repro.workloads import WORKLOADS
 
 
 class TestDefaultSetup:
@@ -34,3 +41,55 @@ class TestDefaultSetup:
                               use_cache=False)
         # the floor dominates at this scale: every signature present
         assert len(setup.library.signatures()) == 6
+
+
+class TestWorkloadSetup:
+    def test_plan_covers_exact_signatures(self):
+        accelerator = WORKLOADS.get("sharpen3").build_accelerator()
+        plan = workload_plan(accelerator, scale=0.001, floor=8)
+        assert set(plan.counts) == set(accelerator.op_inventory())
+        assert all(count >= 8 for count in plan.counts.values())
+
+    def test_builds_library_and_engine(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        setup = workload_setup(
+            "sharpen3", scale=0.0005, n_images=1,
+            image_shape=(16, 24),
+        )
+        slot_sigs = {
+            slot.signature
+            for slot in setup.accelerator.op_slots()
+        }
+        assert set(setup.library.signatures()) == slot_sigs
+        engine = build_workload_engine(setup)
+        assert engine.run_count == 1  # one image, no scenarios
+        # the library cache landed in the configured directory
+        assert list(tmp_path.glob("library_wl_*.json"))
+
+    def test_cache_shared_across_same_signature_workloads(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        # gaussian5 and box5 share (mul, 8) x (add, 16) signatures
+        workload_setup(
+            "gaussian5", scale=0.0005, n_images=1,
+            image_shape=(16, 16),
+        )
+        files = sorted(tmp_path.glob("library_wl_*.json"))
+        assert len(files) == 1
+        mtime = files[0].stat().st_mtime
+        setup = workload_setup(
+            "box5", scale=0.0005, n_images=1, image_shape=(16, 16)
+        )
+        files_after = sorted(tmp_path.glob("library_wl_*.json"))
+        assert files_after == files
+        assert files[0].stat().st_mtime == mtime
+        assert setup.scenarios is not None and len(setup.scenarios) == 3
+
+    def test_scenarios_reach_engine(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        setup = workload_setup(
+            "box3_6b", scale=0.0005, n_images=2, image_shape=(16, 16)
+        )
+        engine = build_workload_engine(setup)
+        assert engine.run_count == 2 * 2  # images x scenarios

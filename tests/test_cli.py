@@ -24,6 +24,43 @@ class TestParser:
                 ["profile", "--accelerator", "bogus"]
             )
 
+    def test_workloads_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["workloads"])
+
+    def test_workers_parses_verbatim(self):
+        args = build_parser().parse_args(["run", "--workers", "4"])
+        assert args.workers == 4
+        # an explicit 1 must survive to the engine: it forces serial
+        # evaluation even when REPRO_WORKERS requests a pool
+        args = build_parser().parse_args(["run", "--workers", "1"])
+        assert args.workers == 1
+
+    def test_explicit_workers_one_overrides_env(self, monkeypatch):
+        from repro.core.engine import EvaluationEngine
+        from repro.imaging.datasets import benchmark_images
+        from repro.accelerators.sobel import SobelEdgeDetector
+
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        engine = EvaluationEngine(
+            SobelEdgeDetector(),
+            benchmark_images(1, shape=(8, 8)),
+            workers=1,
+        )
+        assert engine.workers is None  # in-process, env ignored
+
+    @pytest.mark.parametrize("bad", ["-2", "2.5", "many"])
+    def test_workers_rejects_bad_values(self, bad, capsys):
+        for command in (
+            ["run", f"--workers={bad}"],
+            ["workloads", "run", "sobel", f"--workers={bad}"],
+        ):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(command)
+            err = capsys.readouterr().err
+            assert "--workers" in err
+            assert "worker count" in err or ">= 0" in err
+
 
 class TestCommands:
     def test_inventory(self, capsys):
@@ -56,6 +93,38 @@ class TestCommands:
         assert main(["profile", "--images", "1"]) == 0
         out = capsys.readouterr().out
         assert "add1" in out and "sub" in out
+
+    def test_workloads_list(self, capsys):
+        assert main(["workloads", "list"]) == 0
+        out = capsys.readouterr().out
+        # seed case studies plus the N x N family are all listed
+        for name in ("sobel", "generic_gf", "gaussian5", "log5"):
+            assert name in out
+        assert "5x5" in out
+
+    @pytest.mark.parametrize("name", ["sharpen3", "log5"])
+    def test_workloads_run_family_dse(self, name, tmp_path,
+                                      monkeypatch, capsys):
+        """End-to-end DSE on new N x N family workloads."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        front_path = tmp_path / "front.csv"
+        assert main(
+            ["workloads", "run", name, "--scale", "0.001",
+             "--images", "1", "--train", "12", "--evals", "150",
+             "--out", str(front_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"workload {name}" in out
+        assert "models:" in out
+        lines = front_path.read_text().splitlines()
+        assert lines[0] == "ssim,area"
+        assert len(lines) >= 2
+
+    def test_workloads_run_unknown_name(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError, match="registered"):
+            main(["workloads", "run", "frobnicate"])
 
     def test_export_verilog_stdout(self, capsys):
         assert main(["export-verilog", "--accelerator", "sobel"]) == 0

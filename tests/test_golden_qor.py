@@ -1,0 +1,149 @@
+"""Golden regression: exact QoR (SSIM) and hardware costs, pinned.
+
+The engine guarantees bit-identical simulation and deterministic
+synthesis; this suite freezes actual numbers for the three seed
+accelerators under fixed seeds so *any* numeric drift — a changed SSIM
+summation, a reordered synthesis pass, a silent library-generation
+change — fails loudly instead of shifting every published figure.
+
+The fixture is checked in at ``tests/golden/golden_qor.json``.  After an
+*intentional* semantic change, regenerate it with::
+
+    REPRO_REGEN_GOLDEN=1 python -m pytest tests/test_golden_qor.py
+
+and review the numeric diff like any other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.accelerators.gaussian_fixed import FixedGaussianFilter
+from repro.accelerators.gaussian_generic import (
+    GenericGaussianFilter,
+    kernel_sweep,
+)
+from repro.accelerators.profiler import profile_accelerator
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.core.engine import EvaluationEngine
+from repro.core.preprocessing import reduce_library
+from repro.imaging.datasets import benchmark_images
+from repro.library.generation import GenerationPlan, generate_library
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_qor.json"
+
+#: Relative tolerance of the drift check.  Effectively exact — real
+#: changes move these values by orders of magnitude more — while robust
+#: to last-ulp libm differences across platforms.
+RTOL = 1e-9
+
+#: Everything below is part of the golden contract; changing any of it
+#: requires regenerating the fixture.
+LIBRARY_PLAN = GenerationPlan(
+    {
+        ("add", 8): 12,
+        ("add", 9): 10,
+        ("add", 16): 10,
+        ("sub", 10): 10,
+        ("sub", 16): 10,
+        ("mul", 8): 12,
+    },
+    seed=20260728,
+    sample_size=1 << 12,
+)
+IMAGE_SHAPE = (48, 64)
+N_IMAGES = 2
+PROFILE_SEED = 11
+CONFIG_SEED = 2027
+N_RANDOM_CONFIGS = 4
+
+
+def _cases():
+    return (
+        ("sobel_ed", SobelEdgeDetector(), None),
+        ("fixed_gf", FixedGaussianFilter(), None),
+        (
+            "generic_gf",
+            GenericGaussianFilter(),
+            [
+                GenericGaussianFilter.kernel_extra(w)
+                for w in kernel_sweep(3)
+            ],
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def computed():
+    """Evaluate the pinned configurations of every seed accelerator."""
+    library = generate_library(LIBRARY_PLAN)
+    images = benchmark_images(N_IMAGES, shape=IMAGE_SHAPE)
+    out = {}
+    for label, accelerator, scenarios in _cases():
+        profiles = profile_accelerator(
+            accelerator, images, scenarios=scenarios, rng=PROFILE_SEED
+        )
+        space = reduce_library(accelerator, library, profiles)
+        engine = EvaluationEngine(accelerator, images, scenarios)
+        configs = [space.exact_configuration()]
+        configs += space.random_configurations(
+            N_RANDOM_CONFIGS, rng=CONFIG_SEED
+        )
+        rows = []
+        for config in configs:
+            result = engine.evaluate(space, config)
+            rows.append(
+                {
+                    "config": list(config),
+                    "qor": result.qor,
+                    "area": result.area,
+                    "delay": result.delay,
+                    "power": result.power,
+                }
+            )
+        out[label] = rows
+    return out
+
+
+def test_golden_fixture_is_current(computed):
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(computed, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        "golden fixture missing; run with REPRO_REGEN_GOLDEN=1"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert sorted(golden) == sorted(computed)
+    for label, want_rows in golden.items():
+        got_rows = computed[label]
+        assert len(got_rows) == len(want_rows), label
+        for got, want in zip(got_rows, want_rows):
+            assert got["config"] == want["config"], label
+            for key in ("qor", "area", "delay", "power"):
+                assert np.isclose(
+                    got[key], want[key], rtol=RTOL, atol=0.0
+                ), (
+                    f"{label}: {key} drifted from {want[key]!r} "
+                    f"to {got[key]!r} for config {want['config']}"
+                )
+
+
+def test_exact_configuration_is_lossless(computed):
+    """The first pinned config is exact: QoR must be exactly 1.0."""
+    for label, rows in computed.items():
+        assert rows[0]["qor"] == 1.0, label
+
+
+def test_golden_values_are_spread(computed):
+    """Sanity on the fixture itself: approximations actually vary."""
+    for label, rows in computed.items():
+        qors = [row["qor"] for row in rows]
+        areas = [row["area"] for row in rows]
+        assert len(set(areas)) > 1, label
+        assert min(qors) < 1.0, label

@@ -1,0 +1,95 @@
+"""Workload registry container semantics."""
+
+import pytest
+
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.errors import WorkloadError
+from repro.workloads import (
+    Workload,
+    WorkloadRegistry,
+    build_bundle,
+)
+
+
+def sobel_workload(name="test_sobel", scenario_factory=None):
+    return Workload(
+        name=name,
+        description="test entry",
+        factory=SobelEdgeDetector,
+        scenario_factory=scenario_factory,
+        tags=("test",),
+    )
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = WorkloadRegistry()
+        workload = registry.register(sobel_workload())
+        assert registry.get("test_sobel") is workload
+        assert "test_sobel" in registry
+        assert registry.names() == ["test_sobel"]
+        assert len(registry) == 1
+
+    def test_add_shortcut(self):
+        registry = WorkloadRegistry()
+        registry.add("s", "desc", SobelEdgeDetector)
+        assert registry.get("s").description == "desc"
+
+    def test_duplicate_rejected(self):
+        registry = WorkloadRegistry()
+        registry.register(sobel_workload())
+        with pytest.raises(WorkloadError, match="already registered"):
+            registry.register(sobel_workload())
+
+    def test_empty_name_rejected(self):
+        registry = WorkloadRegistry()
+        with pytest.raises(WorkloadError, match="non-empty"):
+            registry.register(sobel_workload(name=""))
+
+    def test_unknown_name_lists_known(self):
+        registry = WorkloadRegistry()
+        registry.register(sobel_workload())
+        with pytest.raises(WorkloadError, match="test_sobel"):
+            registry.get("nope")
+
+    def test_iteration_preserves_order(self):
+        registry = WorkloadRegistry()
+        registry.add("b", "", SobelEdgeDetector)
+        registry.add("a", "", SobelEdgeDetector)
+        assert [w.name for w in registry] == ["b", "a"]
+
+
+class TestWorkloadChecks:
+    def test_factory_type_checked(self):
+        workload = Workload("bad", "", factory=lambda: object())
+        with pytest.raises(WorkloadError, match="ImageAccelerator"):
+            workload.build_accelerator()
+
+    def test_empty_scenario_list_rejected(self):
+        workload = sobel_workload(scenario_factory=lambda: [])
+        with pytest.raises(WorkloadError, match="empty scenario"):
+            workload.build_scenarios()
+
+    def test_none_scenarios_pass_through(self):
+        assert sobel_workload().build_scenarios() is None
+
+
+class TestBuildBundle:
+    def test_materialises_images_and_scenarios(self):
+        registry = WorkloadRegistry()
+        registry.register(
+            sobel_workload(scenario_factory=lambda: [{}, {}])
+        )
+        bundle = build_bundle(
+            "test_sobel", n_images=2, image_shape=(16, 24),
+            registry=registry,
+        )
+        assert len(bundle.images) == 2
+        assert bundle.images[0].shape == (16, 24)
+        assert bundle.run_count == 4
+        assert bundle.workload.name == "test_sobel"
+
+    def test_default_registry_has_catalog(self):
+        bundle = build_bundle("sobel", n_images=1, image_shape=(8, 8))
+        assert bundle.accelerator.name == "sobel_ed"
+        assert bundle.run_count == 1
