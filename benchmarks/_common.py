@@ -12,7 +12,11 @@ Environment knobs:
 * ``REPRO_PAPER_SCALE`` — set to 1 to run paper-size experiment settings
                           (1500/1500 training configurations, 10**6 DSE
                           evaluations, 384x256 images).  Expect hours.
-* ``REPRO_CACHE_DIR``   — library cache directory (default ``.cache``).
+* ``REPRO_STORE_DIR``   — persistent experiment-store root (library
+                          cache, stage artifacts, run ledger; default
+                          ``.repro-store``).
+* ``REPRO_CACHE_DIR``   — legacy cache root, honoured as the store
+                          fallback; blank values are rejected.
 * ``REPRO_WORKERS``     — worker processes for real evaluation (default:
                           in-process; picked up by the evaluation engine).
 """
@@ -30,6 +34,7 @@ from repro.experiments.setup import (
     ExperimentSetup,
     build_engine,
     default_setup,
+    experiment_store,
 )
 
 __all__ = [
@@ -39,6 +44,7 @@ __all__ = [
     "sized",
     "write_result",
     "build_engine",
+    "experiment_store",
     "throughput",
 ]
 

@@ -1,0 +1,129 @@
+"""Persistent-store warm-up — cold vs warm pipeline runs.
+
+Runs the same small workload pipeline twice against one experiment
+store: the *cold* run pays for profiling, real-evaluated training sets,
+model fitting, DSE and final analysis; the *warm* run resolves every
+stage from the content-addressed cache.  Asserted contract (also the
+PR's acceptance bar): the warm run performs **zero synthesis runs and
+zero model refits** and completes **>= 5x faster**.
+
+Results land in ``results/store_warmup.txt``; the machine-readable doc
+of each run is appended to the ``BENCH_store.json`` trajectory (a JSON
+array) in the working tree.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._common import sized, write_result
+from repro.core.modeling import fit_count
+from repro.core.pipeline import AutoAx, AutoAxConfig, PIPELINE_STAGES
+from repro.experiments.setup import workload_setup
+from repro.store import ArtifactStore, RunLedger
+
+#: Bench trajectory file (machine-readable, one doc per run).
+BENCH_JSON = Path("BENCH_store.json")
+
+WORKLOAD = "sobel"
+
+
+def _pipeline(setup, store):
+    config = AutoAxConfig(
+        n_train=sized(24, 150),
+        n_test=sized(12, 75),
+        engines=("K-Neighbors",),
+        max_evaluations=sized(2_000, 20_000),
+        seed=setup.seed,
+    )
+    return AutoAx(
+        setup.accelerator,
+        setup.library,
+        setup.images,
+        scenarios=setup.scenarios,
+        config=config,
+        store=store,
+        run_kind="bench",
+        run_label=f"bench_store:{WORKLOAD}",
+    )
+
+
+def test_store_warmup():
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmp:
+        store = ArtifactStore(tmp)
+        setup = workload_setup(
+            WORKLOAD, scale=0.002, n_images=2,
+            image_shape=(48, 64), use_cache=False,
+        )
+
+        start = time.perf_counter()
+        cold = _pipeline(setup, store).run()
+        cold_s = time.perf_counter() - start
+        assert set(cold.stage_cache.values()) == {"miss"}
+
+        fits_before = fit_count()
+        start = time.perf_counter()
+        warm = _pipeline(setup, store).run()
+        warm_s = time.perf_counter() - start
+
+        # Warm contract: every stage from cache, no synthesis, no refit.
+        assert set(warm.stage_cache.values()) == {"hit"}
+        assert warm.engine_stats["synth_misses"] == 0
+        assert fit_count() == fits_before
+        assert np.allclose(cold.final_points, warm.final_points)
+
+        ledger = RunLedger(store.root)
+        manifests = ledger.runs()
+        assert len(manifests) == 2
+        warm_manifest = ledger.get(warm.run_id)
+        assert all(
+            stage["cache"] == "hit"
+            for stage in warm_manifest["stages"]
+        )
+
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        stage_lines = "\n".join(
+            f"  {name:20s} cold {cold.timings[name]:8.3f}s   "
+            f"warm {warm.timings[name]:8.3f}s"
+            for name in PIPELINE_STAGES
+        )
+        write_result(
+            "store_warmup",
+            (
+                f"workload {WORKLOAD}, {len(setup.images)} images, "
+                f"store at tmp\n"
+                f"cold run: {cold_s:8.3f}s  (all stages miss)\n"
+                f"warm run: {warm_s:8.3f}s  (all stages hit, "
+                f"0 synthesis, 0 refits)\n"
+                f"speed-up: {speedup:8.1f}x\n"
+                f"{stage_lines}"
+            ),
+        )
+        doc = {
+            "version": 1,
+            "bench": "store_warmup",
+            "workload": WORKLOAD,
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "speedup": round(speedup, 2),
+            "warm_stage_cache": warm.stage_cache,
+            "warm_engine_stats": warm.engine_stats,
+        }
+        trajectory = []
+        if BENCH_JSON.is_file():
+            try:
+                previous = json.loads(BENCH_JSON.read_text())
+                if isinstance(previous, list):
+                    trajectory = previous
+            except (OSError, json.JSONDecodeError):
+                trajectory = []
+        trajectory.append(doc)
+        BENCH_JSON.write_text(
+            json.dumps(trajectory, sort_keys=True, indent=2) + "\n"
+        )
+        assert speedup >= 5.0

@@ -13,15 +13,24 @@ Commands
 * ``workloads`` — ``list`` the registered workloads or ``run <name>``:
   the full pipeline on any registry entry, with a library generated (and
   cached) to cover exactly that workload's operation signatures.
+* ``runs`` — the persistent experiment store's run ledger: ``list`` and
+  ``show`` recorded pipeline runs, ``resume`` one against the warm
+  store, ``gc`` artifacts no manifest references.
 * ``export-verilog`` — lower an accelerator with exact components and
   write structural Verilog.
+
+``run`` and ``workloads run`` accept ``--store``/``--no-store`` to
+enable the persistent stage cache (default: on when ``REPRO_STORE_DIR``
+is set); ``workloads run`` and every ``runs`` command accept ``--json``
+for machine-readable output (stable key order, ``version`` field).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.accelerators.gaussian_fixed import FixedGaussianFilter
 from repro.accelerators.gaussian_generic import GenericGaussianFilter
@@ -33,6 +42,15 @@ ACCELERATORS = {
     "fixed_gf": FixedGaussianFilter,
     "generic_gf": GenericGaussianFilter,
 }
+
+#: Version of every ``--json`` document this CLI emits.
+JSON_VERSION = 1
+
+
+def _emit_json(doc: Dict) -> None:
+    """Print a machine-readable result (sorted keys, version field)."""
+    doc = {"version": JSON_VERSION, **doc}
+    print(json.dumps(doc, sort_keys=True, indent=2))
 
 
 def _workers_arg(text: str) -> int:
@@ -60,6 +78,14 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", action=argparse.BooleanOptionalAction, default=None,
+        help="persist/reuse pipeline stages in the experiment store "
+             "(default: enabled when REPRO_STORE_DIR is set)",
+    )
+
+
 def _add_accelerator_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--accelerator",
@@ -67,6 +93,17 @@ def _add_accelerator_arg(parser: argparse.ArgumentParser) -> None:
         default="sobel",
         help="target accelerator (default: sobel)",
     )
+
+
+def _resolve_store(flag: Optional[bool]):
+    """Map the ``--store/--no-store`` tri-state to a store (or None)."""
+    import os
+
+    from repro.store import STORE_ENV, open_store
+
+    if flag is None:
+        flag = os.environ.get(STORE_ENV) is not None
+    return open_store() if flag else None
 
 
 def _cmd_inventory(args: argparse.Namespace) -> int:
@@ -127,6 +164,32 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _result_doc(result, label_key: str, label: str) -> Dict:
+    """The ``--json`` document of one pipeline run."""
+    order = result.final_points[:, 1].argsort()
+    return {
+        label_key: label,
+        "run_id": result.run_id,
+        "space": result.summary_row(),
+        "models": {
+            "qor": {
+                "name": result.qor_model.name,
+                "fidelity_test": result.qor_model.fidelity_test,
+            },
+            "hw": {
+                "name": result.hw_model.name,
+                "fidelity_test": result.hw_model.fidelity_test,
+            },
+        },
+        "stage_cache": result.stage_cache,
+        "timings": result.timings,
+        "engine_stats": result.engine_stats,
+        "front": [
+            [float(s), float(a)] for s, a in result.final_points[order]
+        ],
+    }
+
+
 def _print_pipeline_result(result, out: Optional[str]) -> None:
     """Shared result reporting of the ``run`` commands."""
     sizes = result.summary_row()
@@ -142,6 +205,14 @@ def _print_pipeline_result(result, out: Optional[str]) -> None:
         f"HW={result.hw_model.name} "
         f"({result.hw_model.fidelity_test:.1%})"
     )
+    if result.run_id is not None:
+        hits = sum(
+            1 for v in result.stage_cache.values() if v == "hit"
+        )
+        print(
+            f"run {result.run_id}: {hits}/{len(result.stage_cache)} "
+            f"stages from cache"
+        )
     order = result.final_points[:, 1].argsort()
     print(format_table(
         ["SSIM", "area (um^2)"],
@@ -156,29 +227,109 @@ def _print_pipeline_result(result, out: Optional[str]) -> None:
         print(f"front written to {out}")
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _run_accelerator_pipeline(
+    accelerator_name: str,
+    library_path: Optional[str],
+    scale: float,
+    n_images: int,
+    train: int,
+    evals: int,
+    seed: int,
+    workers: Optional[int],
+    store,
+    out: Optional[str] = None,
+):
     from repro.core.pipeline import AutoAx, AutoAxConfig
+    from repro.experiments.setup import scaled_library
     from repro.imaging.datasets import benchmark_images
-    from repro.library.generation import generate_library, scaled_plan
     from repro.library.io import load_library
 
-    if args.library:
-        library = load_library(args.library)
+    if library_path:
+        library = load_library(library_path)
     else:
-        library = generate_library(scaled_plan(args.scale,
-                                               seed=args.seed))
-    accelerator = ACCELERATORS[args.accelerator]()
-    images = benchmark_images(args.images)
+        library = scaled_library(scale, seed=seed, store=store)
+    accelerator = ACCELERATORS[accelerator_name]()
+    images = benchmark_images(n_images)
     config = AutoAxConfig(
-        n_train=args.train,
-        n_test=max(2, args.train // 2),
-        max_evaluations=args.evals,
-        seed=args.seed,
-        workers=args.workers,
+        n_train=train,
+        n_test=max(2, train // 2),
+        max_evaluations=evals,
+        seed=seed,
+        workers=workers,
     )
-    result = AutoAx(accelerator, library, images, config=config).run()
+    pipeline = AutoAx(
+        accelerator, library, images, config=config, store=store,
+        run_kind="run", run_label=accelerator_name,
+        run_params={
+            "command": "run",
+            "accelerator": accelerator_name,
+            "library": library_path,
+            "scale": scale,
+            "images": n_images,
+            "train": train,
+            "evals": evals,
+            "seed": seed,
+            "out": out,
+        },
+    )
+    return pipeline.run()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = _run_accelerator_pipeline(
+        args.accelerator, args.library, args.scale, args.images,
+        args.train, args.evals, args.seed, args.workers,
+        _resolve_store(args.store), out=args.out,
+    )
     _print_pipeline_result(result, args.out)
     return 0
+
+
+def _run_workload_pipeline(
+    name: str,
+    scale: Optional[float],
+    n_images: int,
+    train: int,
+    evals: int,
+    seed: int,
+    workers: Optional[int],
+    store,
+    out: Optional[str] = None,
+):
+    from repro.core.pipeline import AutoAx, AutoAxConfig
+    from repro.experiments.setup import workload_setup
+
+    setup = workload_setup(
+        name, scale=scale, n_images=n_images, seed=seed,
+    )
+    config = AutoAxConfig(
+        n_train=train,
+        n_test=max(2, train // 2),
+        max_evaluations=evals,
+        seed=seed,
+        workers=workers,
+    )
+    pipeline = AutoAx(
+        setup.accelerator,
+        setup.library,
+        setup.images,
+        scenarios=setup.scenarios,
+        config=config,
+        store=store,
+        run_kind="workload",
+        run_label=name,
+        run_params={
+            "command": "workloads",
+            "name": name,
+            "scale": scale,
+            "images": n_images,
+            "train": train,
+            "evals": evals,
+            "seed": seed,
+            "out": out,
+        },
+    )
+    return setup, pipeline.run()
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -209,37 +360,154 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
         return 0
 
     # workloads run <name>
-    from repro.core.pipeline import AutoAx, AutoAxConfig
-    from repro.experiments.setup import workload_setup
-
-    setup = workload_setup(
-        args.name,
-        scale=args.scale,
-        n_images=args.images,
-        seed=args.seed,
+    setup, result = _run_workload_pipeline(
+        args.name, args.scale, args.images, args.train, args.evals,
+        args.seed, args.workers, _resolve_store(args.store),
+        out=args.out,
     )
-    config = AutoAxConfig(
-        n_train=args.train,
-        n_test=max(2, args.train // 2),
-        max_evaluations=args.evals,
-        seed=args.seed,
-        workers=args.workers,
-    )
-    pipeline = AutoAx(
-        setup.accelerator,
-        setup.library,
-        setup.images,
-        scenarios=setup.scenarios,
-        config=config,
-    )
-    result = pipeline.run()
-    print(
-        f"workload {args.name}: {setup.bundle.run_count} runs/config "
-        f"({len(setup.images)} images x "
-        f"{len(setup.scenarios or [None])} scenarios)"
-    )
-    _print_pipeline_result(result, args.out)
+    if args.json:
+        doc = _result_doc(result, "workload", args.name)
+        doc["runs_per_config"] = setup.bundle.run_count
+        _emit_json(doc)
+    else:
+        print(
+            f"workload {args.name}: {setup.bundle.run_count} "
+            f"runs/config ({len(setup.images)} images x "
+            f"{len(setup.scenarios or [None])} scenarios)"
+        )
+        _print_pipeline_result(result, args.out)
     return 0
+
+
+# -- runs (experiment-store ledger) -----------------------------------------
+
+
+def _runs_ledger(args: argparse.Namespace):
+    from repro.store import RunLedger, require_store
+
+    store = require_store(args.store_dir)
+    return store, RunLedger(store.root)
+
+
+def _stage_hits(manifest: Dict) -> str:
+    stages = manifest.get("stages", [])
+    hits = sum(1 for s in stages if s.get("cache") == "hit")
+    return f"{hits}/{len(stages)}"
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    _, ledger = _runs_ledger(args)
+    manifests = ledger.runs()
+    if args.json:
+        _emit_json({"runs": manifests})
+        return 0
+    rows = [
+        [
+            m.get("run_id", "?"),
+            m.get("kind", "?"),
+            m.get("label", ""),
+            m.get("status", "?"),
+            _stage_hits(m),
+            f"{m.get('total_seconds', 0.0):.2f}",
+            m.get("created_at", ""),
+        ]
+        for m in manifests
+    ]
+    print(
+        format_table(
+            ["run", "kind", "label", "status", "cache", "seconds",
+             "created (UTC)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    _, ledger = _runs_ledger(args)
+    manifest = ledger.get(args.run_id)
+    if args.json:
+        _emit_json({"run": manifest})
+        return 0
+    for key in ("run_id", "kind", "label", "status", "created_at",
+                "seed", "config_hash", "total_seconds"):
+        print(f"{key}: {manifest.get(key)}")
+    print(f"params: {json.dumps(manifest.get('params', {}), sort_keys=True)}")
+    rows = [
+        [
+            stage.get("name", "?"),
+            stage.get("cache", "?"),
+            f"{stage.get('seconds', 0.0):.3f}",
+            ", ".join(
+                f"{a['kind']}:{a['key'][:12]}"
+                for a in stage.get("artifacts", [])
+            ),
+        ]
+        for stage in manifest.get("stages", [])
+    ]
+    print(format_table(["stage", "cache", "seconds", "artifacts"], rows))
+    return 0
+
+
+def _cmd_runs_resume(args: argparse.Namespace) -> int:
+    from repro.errors import StoreError
+
+    store, ledger = _runs_ledger(args)
+    manifest = ledger.get(args.run_id)
+    params = manifest.get("params") or {}
+    command = params.get("command")
+    if command == "workloads":
+        _, result = _run_workload_pipeline(
+            params["name"], params.get("scale"), params["images"],
+            params["train"], params["evals"], params["seed"],
+            args.workers, store, out=params.get("out"),
+        )
+        label_key, label = "workload", params["name"]
+    elif command == "run":
+        result = _run_accelerator_pipeline(
+            params["accelerator"], params.get("library"),
+            params["scale"], params["images"], params["train"],
+            params["evals"], params["seed"], args.workers, store,
+            out=params.get("out"),
+        )
+        label_key, label = "accelerator", params["accelerator"]
+    else:
+        raise StoreError(
+            f"run {args.run_id!r} has no resumable params "
+            f"(command={command!r})"
+        )
+    if args.json:
+        doc = _result_doc(result, label_key, label)
+        doc["resumed_from"] = args.run_id
+        _emit_json(doc)
+    else:
+        print(f"resumed {args.run_id} -> {result.run_id}")
+        _print_pipeline_result(result, None)
+    return 0
+
+
+def _cmd_runs_gc(args: argparse.Namespace) -> int:
+    store, ledger = _runs_ledger(args)
+    keep_kinds = () if args.all else None
+    stats = store.gc(ledger.referenced_artifacts(),
+                     keep_kinds=keep_kinds)
+    if args.json:
+        _emit_json({"gc": stats, "store": str(store.root)})
+    else:
+        print(
+            f"gc {store.root}: removed {stats['removed']} artifacts "
+            f"({stats['freed_bytes']} bytes), kept {stats['kept']}"
+        )
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    return {
+        "list": _cmd_runs_list,
+        "show": _cmd_runs_show,
+        "resume": _cmd_runs_resume,
+        "gc": _cmd_runs_gc,
+    }[args.runs_command](args)
 
 
 def _cmd_export_verilog(args: argparse.Namespace) -> int:
@@ -307,6 +575,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--evals", type=int, default=10_000)
     run.add_argument("--seed", type=int, default=0)
     _add_workers_arg(run)
+    _add_store_arg(run)
     run.add_argument("--out", help="CSV file for the final front")
 
     workloads = sub.add_parser("workloads",
@@ -325,7 +594,40 @@ def build_parser() -> argparse.ArgumentParser:
     wl_run.add_argument("--evals", type=int, default=10_000)
     wl_run.add_argument("--seed", type=int, default=0)
     _add_workers_arg(wl_run)
+    _add_store_arg(wl_run)
+    wl_run.add_argument("--json", action="store_true",
+                        help="machine-readable result document")
     wl_run.add_argument("--out", help="CSV file for the final front")
+
+    runs = sub.add_parser(
+        "runs", help="experiment-store run ledger operations"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    specs = {
+        "list": "list recorded pipeline runs",
+        "show": "print one run's manifest",
+        "resume": "re-execute a recorded run against the warm store",
+        "gc": "drop store artifacts no run manifest references",
+    }
+    for name, help_text in specs.items():
+        cmd = runs_sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "--store-dir", default=None,
+            help="store root (default: REPRO_STORE_DIR / "
+                 "REPRO_CACHE_DIR / .repro-store)",
+        )
+        cmd.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+        if name in ("show", "resume"):
+            cmd.add_argument("run_id", help="ledger run id")
+        if name == "resume":
+            _add_workers_arg(cmd)
+        if name == "gc":
+            cmd.add_argument(
+                "--all", action="store_true",
+                help="also drop unreferenced shared pools "
+                     "(synthesis reports, libraries)",
+            )
 
     export = sub.add_parser("export-verilog",
                             help="structural Verilog of an accelerator")
@@ -343,6 +645,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "run": _cmd_run,
     "workloads": _cmd_workloads,
+    "runs": _cmd_runs,
     "export-verilog": _cmd_export_verilog,
 }
 

@@ -107,6 +107,14 @@ class EvaluationEngine:
     ``workers`` sets the default process count of :meth:`evaluate_many`
     (overridable per call); ``None`` falls back to ``REPRO_WORKERS`` and
     then to in-process evaluation.
+
+    ``synth_cache`` plugs a second-level synthesis cache behind the
+    in-memory memo: any object with ``get(memo_key)`` /
+    ``put(memo_key, report)`` (e.g.
+    :class:`repro.store.synth_cache.StoreSynthCache`, which persists
+    reports in the experiment store and shares them across processes
+    and runs).  It must be fork-safe and picklable for parallel
+    ``evaluate_many``.
     """
 
     def __init__(
@@ -115,6 +123,7 @@ class EvaluationEngine:
         images: Sequence[np.ndarray],
         scenarios: Optional[Sequence[Dict[str, int]]] = None,
         workers: Optional[int] = None,
+        synth_cache=None,
     ):
         if not images:
             raise ValueError("need at least one benchmark image")
@@ -128,10 +137,12 @@ class EvaluationEngine:
             if workers is not None
             else default_workers()
         )
+        self.synth_cache = synth_cache
         self._program = accelerator.graph.compile()
         self._synth_memo: Dict[Tuple[Tuple[str, str], ...],
                                SynthesisReport] = {}
         self.synth_hits = 0
+        self.synth_store_hits = 0
         self.synth_misses = 0
 
         shapes = {img.shape for img in self.images}
@@ -201,6 +212,14 @@ class EvaluationEngine:
             return self._run_shape[0]
         return len(self._runs)
 
+    def synth_stats(self) -> Dict[str, int]:
+        """This process's synthesis cache counters (for run manifests)."""
+        return {
+            "synth_hits": self.synth_hits,
+            "synth_store_hits": self.synth_store_hits,
+            "synth_misses": self.synth_misses,
+        }
+
     # -- QoR ------------------------------------------------------------------
 
     def qor_per_run(self, assignment: Dict[str, object]) -> np.ndarray:
@@ -237,7 +256,10 @@ class EvaluationEngine:
         Reports are memoised on the record tuple: after dead-gate sweeps
         many configurations share composed netlists, and repeated
         evaluations of the same configuration (training-set overlaps,
-        Pareto re-analysis) skip synthesis entirely.  The hit/miss
+        Pareto re-analysis) skip synthesis entirely.  A miss then falls
+        through to ``synth_cache`` (when plugged), whose hits are
+        adopted into the memo and counted in ``synth_store_hits`` —
+        ``synth_misses`` counts *actual* synthesis runs only.  The
         counters track this process only; parallel ``evaluate_many``
         merges the workers' memo entries back but not their counters.
         """
@@ -246,10 +268,18 @@ class EvaluationEngine:
         if cached is not None:
             self.synth_hits += 1
             return cached
+        if self.synth_cache is not None:
+            cached = self.synth_cache.get(key)
+            if cached is not None:
+                self.synth_store_hits += 1
+                self._synth_memo[key] = cached
+                return cached
         self.synth_misses += 1
         netlist = self.accelerator.to_netlist(records)
         rep = synthesize(netlist, in_place=True)
         self._synth_memo[key] = rep
+        if self.synth_cache is not None:
+            self.synth_cache.put(key, rep)
         return rep
 
     # -- combined -------------------------------------------------------------

@@ -32,6 +32,16 @@ from repro.utils.rng import RngLike, ensure_rng
 #: feature vector; the hardware targets use per-component area/power/delay.
 TARGETS = ("qor", "area", "delay", "power", "energy")
 
+#: Process-wide count of regressor fits (``EstimationModel.fit`` calls).
+#: The experiment store's warm-start tests assert this stays flat across
+#: a fully cached pipeline run — zero model refits.
+_FIT_COUNT = 0
+
+
+def fit_count() -> int:
+    """Number of regressor fits performed by this process so far."""
+    return _FIT_COUNT
+
 
 @dataclass
 class TrainingSet:
@@ -117,6 +127,8 @@ class EstimationModel:
         return self.space.hw_features(configs, self.hw_features)
 
     def fit(self, configs, y) -> "EstimationModel":
+        global _FIT_COUNT
+        _FIT_COUNT += 1
         self.regressor.fit(self.features(configs), np.asarray(y, float))
         return self
 
@@ -207,6 +219,58 @@ def fit_engines(
                 r2_train=r2_score(y_train, pred_train),
                 r2_test=r2_score(y_test, pred_test),
                 fit_seconds=elapsed,
+                model=model,
+            )
+        )
+    return reports
+
+
+def reports_to_payload(reports: Sequence[EngineReport]) -> List[Dict]:
+    """Picklable payload of fitted engine reports (no space backrefs).
+
+    The configuration space is deliberately excluded — it embeds the
+    whole candidate library (LUT caches included) and is reconstructed
+    from its own store artifact; :func:`reports_from_payload` rebinds the
+    fitted regressors to a live space.
+    """
+    return [
+        {
+            "name": r.name,
+            "target": r.target,
+            "fidelity_train": r.fidelity_train,
+            "fidelity_test": r.fidelity_test,
+            "r2_train": r.r2_train,
+            "r2_test": r.r2_test,
+            "fit_seconds": r.fit_seconds,
+            "hw_features": r.model.hw_features,
+            "regressor": r.model.regressor,
+        }
+        for r in reports
+    ]
+
+
+def reports_from_payload(
+    payload: Sequence[Dict], space: ConfigurationSpace
+) -> List[EngineReport]:
+    """Rebuild :class:`EngineReport` objects against a live ``space``."""
+    reports = []
+    for entry in payload:
+        model = EstimationModel(
+            entry["name"],
+            entry["regressor"],
+            space,
+            entry["target"],
+            entry["hw_features"],
+        )
+        reports.append(
+            EngineReport(
+                name=entry["name"],
+                target=entry["target"],
+                fidelity_train=entry["fidelity_train"],
+                fidelity_test=entry["fidelity_test"],
+                r2_train=entry["r2_train"],
+                r2_test=entry["r2_test"],
+                fit_seconds=entry["fit_seconds"],
                 model=model,
             )
         )

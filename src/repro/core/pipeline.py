@@ -1,4 +1,4 @@
-"""End-to-end autoAx pipeline (paper Fig. 1).
+"""End-to-end autoAx pipeline (paper Fig. 1) with resumable stages.
 
 ``AutoAx.run()`` executes the three methodology steps against one
 accelerator + library + benchmark-data triple and returns everything the
@@ -6,12 +6,30 @@ paper reports: design-space sizes after each step (Table 5), the chosen
 estimation models with their fidelities (Table 3), the pseudo Pareto set,
 and the final real-evaluated Pareto fronts in (SSIM, area) and
 (SSIM, area, energy) space (Fig. 5).
+
+When constructed with an :class:`~repro.store.ArtifactStore`, the run
+decomposes into five cache-aware stages —
+
+    preprocessing  -> training_set -> model_construction
+                   -> pseudo_pareto -> final_analysis
+
+— each keyed by the content hash of its exact inputs (accelerator
+dataflow graph, library fingerprint, benchmark images, stage
+parameters, upstream artifact keys).  A stage whose key is already in
+the store is *skipped*: its artifact is decoded instead of recomputed,
+so a repeated run with a warm store performs no profiling, no synthesis,
+no model fitting and no DSE.  Each stage draws from its own seeded RNG
+stream (derived from ``config.seed``), so a resumed run that skips some
+stages produces bit-identical downstream results to a cold run.  Every
+invocation is recorded in the :class:`~repro.store.RunLedger` as a
+manifest (params, config hash, per-stage timing and cache outcome,
+artifact refs) — the basis of ``repro runs list|show|resume|gc``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -27,14 +45,29 @@ from repro.core.dse import DSEResult, heuristic_pareto_construction
 from repro.core.engine import EvaluationEngine, EvaluationResult
 from repro.core.modeling import (
     EngineReport,
+    TrainingSet,
     build_training_set,
+    fit_count,
     fit_engines,
+    reports_from_payload,
+    reports_to_payload,
     select_best_model,
 )
 from repro.core.pareto import pareto_front_indices
 from repro.core.preprocessing import reduce_library
+from repro.library.component import ComponentRecord
 from repro.library.library import ComponentLibrary
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import spawn_rngs
+
+#: Ledger stage names, in execution order.  The heavy stages a warm
+#: store is expected to skip entirely.
+PIPELINE_STAGES = (
+    "preprocessing",
+    "training_set",
+    "model_construction",
+    "pseudo_pareto",
+    "final_analysis",
+)
 
 
 @dataclass(frozen=True)
@@ -60,6 +93,18 @@ class AutoAxConfig:
         if not self.engines:
             raise ValueError("at least one learning engine is required")
 
+    def cache_payload(self) -> Dict[str, object]:
+        """The hashable identity of this config.
+
+        ``workers`` is excluded: parallelism changes wall time, never
+        results, so it must not fragment the cache.
+        """
+        payload = asdict(self)
+        payload.pop("workers", None)
+        payload["engines"] = list(self.engines)
+        payload["hw_features"] = list(self.hw_features)
+        return payload
+
 
 @dataclass
 class AutoAxResult:
@@ -80,6 +125,12 @@ class AutoAxResult:
     final_configs_3d: List[Configuration]
     final_points_3d: np.ndarray  # columns: qor, area, energy
     timings: Dict[str, float] = field(default_factory=dict)
+    #: stage name -> "hit" / "miss" / "off" (no store attached)
+    stage_cache: Dict[str, str] = field(default_factory=dict)
+    #: ledger id of this invocation (None without a ledger)
+    run_id: Optional[str] = None
+    #: synthesis/fit counters of this run (zeros when fully cached)
+    engine_stats: Dict[str, object] = field(default_factory=dict)
 
     def summary_row(self) -> Dict[str, float]:
         """The Table 5 row of this run."""
@@ -92,7 +143,13 @@ class AutoAxResult:
 
 
 class AutoAx:
-    """The autoAx methodology bound to one accelerator instance."""
+    """The autoAx methodology bound to one accelerator instance.
+
+    ``store`` enables persistent stage caching; ``ledger`` (defaulting
+    to one at the store root) records the run manifest.  ``run_kind``,
+    ``run_label`` and ``run_params`` annotate the manifest so ``repro
+    runs resume`` can re-execute the invocation.
+    """
 
     def __init__(
         self,
@@ -101,12 +158,28 @@ class AutoAx:
         images: Sequence[np.ndarray],
         scenarios: Optional[Sequence[Dict[str, int]]] = None,
         config: AutoAxConfig = AutoAxConfig(),
+        store=None,
+        ledger=None,
+        run_kind: str = "autoax",
+        run_label: Optional[str] = None,
+        run_params: Optional[Dict] = None,
     ):
         self.accelerator = accelerator
         self.library = library
         self.images = list(images)
         self.scenarios = scenarios
         self.config = config
+        self.store = store
+        if ledger is None and store is not None:
+            from repro.store import RunLedger
+
+            ledger = RunLedger(store.root)
+        self.ledger = ledger
+        self.run_kind = run_kind
+        self.run_label = run_label or accelerator.name
+        self.run_params = dict(run_params or {})
+        self._engine: Optional[EvaluationEngine] = None
+        self._acc_hash: Optional[str] = None
 
     # -- individual steps ---------------------------------------------------
 
@@ -138,70 +211,386 @@ class AutoAx:
             total *= self.library.size(slot.signature)
         return total
 
-    # -- full pipeline ---------------------------------------------------------
+    # -- engine (lazy: a fully cached run never builds it) ------------------
+
+    def engine(self) -> EvaluationEngine:
+        """The real-evaluation engine, built on first use.
+
+        Construction simulates the golden outputs, so a warm run that
+        skips every evaluation stage also skips this cost.  With a store
+        attached, the engine's synthesis memo is backed by a
+        store-persistent cache scoped to this accelerator.
+        """
+        if self._engine is None:
+            synth_cache = None
+            if self.store is not None:
+                from repro.store import synth_cache_for
+
+                synth_cache = synth_cache_for(
+                    self.store, self._accelerator_hash()
+                )
+            self._engine = EvaluationEngine(
+                self.accelerator,
+                self.images,
+                self.scenarios,
+                workers=self.config.workers,
+                synth_cache=synth_cache,
+            )
+        return self._engine
+
+    def _accelerator_hash(self) -> str:
+        if self._acc_hash is None:
+            from repro.store import accelerator_fingerprint, content_hash
+
+            self._acc_hash = content_hash(
+                accelerator_fingerprint(self.accelerator)
+            )
+        return self._acc_hash
+
+    # -- stage payloads -----------------------------------------------------
+
+    def _space_payload(self, space: ConfigurationSpace) -> Dict:
+        return {
+            "slots": [
+                [slot.name, slot.signature[0], slot.signature[1]]
+                for slot in space.slots
+            ],
+            "choices": [
+                [record.to_dict() for record in group]
+                for group in space.choices
+            ],
+            "wmeds": [w.tolist() for w in space.wmeds],
+        }
+
+    def _space_from_payload(
+        self, payload: Dict
+    ) -> Optional[ConfigurationSpace]:
+        """Rebuild the reduced space; ``None`` if it no longer matches."""
+        slots = self.accelerator.op_slots()
+        recorded = [
+            (name, (kind, width))
+            for name, kind, width in payload.get("slots", [])
+        ]
+        if [(s.name, s.signature) for s in slots] != recorded:
+            return None
+        choices = [
+            [ComponentRecord.from_dict(d) for d in group]
+            for group in payload["choices"]
+        ]
+        return ConfigurationSpace(slots, choices, payload["wmeds"])
+
+    @staticmethod
+    def _training_payload(ts: TrainingSet) -> Dict:
+        return {
+            "configs": [list(c) for c in ts.configs],
+            "qor": ts.qor.tolist(),
+            "area": ts.area.tolist(),
+            "delay": ts.delay.tolist(),
+            "power": ts.power.tolist(),
+        }
+
+    @staticmethod
+    def _training_from_payload(payload: Dict) -> TrainingSet:
+        return TrainingSet(
+            configs=[tuple(c) for c in payload["configs"]],
+            qor=np.asarray(payload["qor"], dtype=float),
+            area=np.asarray(payload["area"], dtype=float),
+            delay=np.asarray(payload["delay"], dtype=float),
+            power=np.asarray(payload["power"], dtype=float),
+        )
+
+    # -- full pipeline ------------------------------------------------------
 
     def run(self) -> AutoAxResult:
         cfg = self.config
-        rng = ensure_rng(cfg.seed)
+        store = self.store
         timings: Dict[str, float] = {}
+        stage_cache: Dict[str, str] = {}
+        stage_records: List[Dict] = []
+        fits_before = fit_count()
 
+        # Independent per-stage RNG streams: skipping a cached stage
+        # must not shift the randomness of the stages that still run.
+        rng_train, rng_test, rng_dse = spawn_rngs(cfg.seed, 3)
+
+        base: Dict[str, object] = {}
+        config_hash = None
+        if store is not None:
+            from repro.store import (
+                content_hash,
+                images_fingerprint,
+                library_fingerprint,
+            )
+
+            base = {
+                "accelerator": self._accelerator_hash(),
+                "library": content_hash(
+                    library_fingerprint(self.library)
+                ),
+                "images": content_hash(
+                    images_fingerprint(self.images)
+                ),
+                "scenarios": (
+                    [dict(s) for s in self.scenarios]
+                    if self.scenarios
+                    else None
+                ),
+            }
+            config_hash = content_hash(
+                {"inputs": base, "config": cfg.cache_payload()}
+            )
+
+        def key_of(payload: Dict) -> Optional[str]:
+            if store is None:
+                return None
+            from repro.store import content_hash
+
+            return content_hash(payload)
+
+        def record_stage(name: str, seconds: float, cache: str,
+                         artifacts: List[Dict]) -> None:
+            timings[name] = seconds
+            stage_cache[name] = cache
+            stage_records.append(
+                {
+                    "name": name,
+                    "seconds": round(seconds, 6),
+                    "cache": cache,
+                    "artifacts": artifacts,
+                }
+            )
+
+        # ---- stage 1: characterize + reduce (preprocessing) -------------
         start = time.perf_counter()
-        profiles = self.profile()
-        space = self.reduce(profiles)
-        timings["preprocessing"] = time.perf_counter() - start
-
-        evaluator = EvaluationEngine(
-            self.accelerator, self.images, self.scenarios,
-            workers=cfg.workers,
+        pre_key = key_of(
+            {
+                "stage": "preprocessing",
+                **base,
+                "max_samples": cfg.max_samples,
+                "per_op_cap": cfg.per_op_cap,
+                "seed": cfg.seed,
+            }
+        )
+        space = None
+        profiles: Optional[Dict[str, OperandProfile]] = None
+        if store is not None:
+            payload = store.get("space", pre_key)
+            cached_profiles = store.get("profiles", pre_key)
+            if payload is not None and cached_profiles is not None:
+                space = self._space_from_payload(payload)
+                profiles = cached_profiles
+        if space is None:
+            profiles = self.profile()
+            space = self.reduce(profiles)
+            if store is not None:
+                payload = self._space_payload(space)
+                store.put("space", pre_key, payload)
+                store.put("profiles", pre_key, profiles)
+            cache = "miss" if store is not None else "off"
+        else:
+            cache = "hit"
+        space_hash = key_of({"space": payload}) if store is not None \
+            else None
+        record_stage(
+            "preprocessing",
+            time.perf_counter() - start,
+            cache,
+            [] if store is None else [
+                {"kind": "space", "key": pre_key},
+                {"kind": "profiles", "key": pre_key},
+            ],
         )
 
+        # ---- stage 2: real-evaluated training/test sets ------------------
         start = time.perf_counter()
-        train = build_training_set(
-            space, evaluator, cfg.n_train, rng=rng
+        set_keys = {}
+        sets: Dict[str, Optional[TrainingSet]] = {
+            "train": None, "test": None,
+        }
+        counts = {"train": cfg.n_train, "test": cfg.n_test}
+        rngs = {"train": rng_train, "test": rng_test}
+        hits = 0
+        for role in ("train", "test"):
+            set_keys[role] = key_of(
+                {
+                    "stage": "training-set",
+                    "role": role,
+                    "space": space_hash,
+                    "accelerator": base.get("accelerator"),
+                    "images": base.get("images"),
+                    "scenarios": base.get("scenarios"),
+                    "count": counts[role],
+                    "seed": cfg.seed,
+                }
+            )
+            if store is not None:
+                payload = store.get("training-set", set_keys[role])
+                if payload is not None:
+                    sets[role] = self._training_from_payload(payload)
+                    hits += 1
+                    continue
+            sets[role] = build_training_set(
+                space, self.engine(), counts[role], rng=rngs[role]
+            )
+            if store is not None:
+                store.put(
+                    "training-set",
+                    set_keys[role],
+                    self._training_payload(sets[role]),
+                )
+        train, test = sets["train"], sets["test"]
+        record_stage(
+            "training_set",
+            time.perf_counter() - start,
+            "off" if store is None else ("hit" if hits == 2 else "miss"),
+            [] if store is None else [
+                {"kind": "training-set", "key": set_keys[r]}
+                for r in ("train", "test")
+            ],
         )
-        test = build_training_set(space, evaluator, cfg.n_test, rng=rng)
-        timings["training_set"] = time.perf_counter() - start
 
+        # ---- stage 3: estimation-model construction ----------------------
         start = time.perf_counter()
-        qor_reports = fit_engines(
-            space,
-            train,
-            test,
-            target="qor",
-            engines=cfg.engines,
-            include_naive=cfg.include_naive,
-            hw_features=cfg.hw_features,
-            seed=cfg.seed,
+        models_key = key_of(
+            {
+                "stage": "models",
+                "train": set_keys["train"],
+                "test": set_keys["test"],
+                "space": space_hash,
+                "engines": list(cfg.engines),
+                "include_naive": cfg.include_naive,
+                "hw_features": list(cfg.hw_features),
+                "seed": cfg.seed,
+            }
         )
-        hw_reports = fit_engines(
-            space,
-            train,
-            test,
-            target="area",
-            engines=cfg.engines,
-            include_naive=cfg.include_naive,
-            hw_features=cfg.hw_features,
-            seed=cfg.seed,
-        )
+        qor_reports = hw_reports = None
+        if store is not None:
+            payload = store.get("models", models_key)
+            if payload is not None:
+                qor_reports = reports_from_payload(payload["qor"], space)
+                hw_reports = reports_from_payload(payload["hw"], space)
+        if qor_reports is None:
+            qor_reports = fit_engines(
+                space, train, test, target="qor",
+                engines=cfg.engines, include_naive=cfg.include_naive,
+                hw_features=cfg.hw_features, seed=cfg.seed,
+            )
+            hw_reports = fit_engines(
+                space, train, test, target="area",
+                engines=cfg.engines, include_naive=cfg.include_naive,
+                hw_features=cfg.hw_features, seed=cfg.seed,
+            )
+            if store is not None:
+                store.put(
+                    "models",
+                    models_key,
+                    {
+                        "qor": reports_to_payload(qor_reports),
+                        "hw": reports_to_payload(hw_reports),
+                    },
+                )
+            cache = "miss" if store is not None else "off"
+        else:
+            cache = "hit"
         qor_best = select_best_model(qor_reports)
         hw_best = select_best_model(hw_reports)
-        timings["model_construction"] = time.perf_counter() - start
-
-        start = time.perf_counter()
-        pseudo = heuristic_pareto_construction(
-            space,
-            qor_best.model,
-            hw_best.model,
-            max_evaluations=cfg.max_evaluations,
-            stagnation_limit=cfg.stagnation_limit,
-            rng=rng,
+        record_stage(
+            "model_construction",
+            time.perf_counter() - start,
+            cache,
+            [] if store is None else [
+                {"kind": "models", "key": models_key}
+            ],
         )
-        timings["pseudo_pareto"] = time.perf_counter() - start
 
+        # ---- stage 4: model-driven DSE (pseudo Pareto) -------------------
         start = time.perf_counter()
-        real = evaluator.evaluate_many(space, pseudo.configs)
-        timings["final_analysis"] = time.perf_counter() - start
+        dse_key = key_of(
+            {
+                "stage": "dse",
+                "models": models_key,
+                "max_evaluations": cfg.max_evaluations,
+                "stagnation_limit": cfg.stagnation_limit,
+                "seed": cfg.seed,
+            }
+        )
+        pseudo = None
+        if store is not None:
+            payload = store.get("dse", dse_key)
+            if payload is not None:
+                points = np.asarray(payload["points"], dtype=float)
+                pseudo = DSEResult(
+                    configs=[tuple(c) for c in payload["configs"]],
+                    points=points.reshape(len(payload["configs"]), -1),
+                    evaluations=payload["evaluations"],
+                    inserts=payload["inserts"],
+                    restarts=payload["restarts"],
+                )
+        if pseudo is None:
+            pseudo = heuristic_pareto_construction(
+                space,
+                qor_best.model,
+                hw_best.model,
+                max_evaluations=cfg.max_evaluations,
+                stagnation_limit=cfg.stagnation_limit,
+                rng=rng_dse,
+            )
+            if store is not None:
+                store.put(
+                    "dse",
+                    dse_key,
+                    {
+                        "configs": [list(c) for c in pseudo.configs],
+                        "points": pseudo.points.tolist(),
+                        "evaluations": pseudo.evaluations,
+                        "inserts": pseudo.inserts,
+                        "restarts": pseudo.restarts,
+                    },
+                )
+            cache = "miss" if store is not None else "off"
+        else:
+            cache = "hit"
+        record_stage(
+            "pseudo_pareto",
+            time.perf_counter() - start,
+            cache,
+            [] if store is None else [{"kind": "dse", "key": dse_key}],
+        )
 
+        # ---- stage 5: real evaluation of the pseudo Pareto set -----------
+        start = time.perf_counter()
+        final_key = key_of(
+            {
+                "stage": "final",
+                "space": space_hash,
+                "accelerator": base.get("accelerator"),
+                "images": base.get("images"),
+                "scenarios": base.get("scenarios"),
+                "configs": [list(c) for c in pseudo.configs],
+            }
+        )
+        real = None
+        if store is not None:
+            real = store.get("evaluations", final_key)
+            if real is not None and len(real) != len(pseudo.configs):
+                real = None
+        if real is None:
+            real = self.engine().evaluate_many(space, pseudo.configs)
+            if store is not None:
+                store.put("evaluations", final_key, real)
+            cache = "miss" if store is not None else "off"
+        else:
+            cache = "hit"
+        record_stage(
+            "final_analysis",
+            time.perf_counter() - start,
+            cache,
+            [] if store is None else [
+                {"kind": "evaluations", "key": final_key}
+            ],
+        )
+
+        # ---- assemble result + manifest ----------------------------------
         qor = np.asarray([r.qor for r in real])
         area = np.asarray([r.area for r in real])
         energy = np.asarray([r.energy for r in real])
@@ -210,6 +599,30 @@ class AutoAx:
         front3 = pareto_front_indices(
             np.stack([-qor, area, energy], axis=1)
         )
+
+        engine_stats: Dict[str, object] = {
+            "engine_built": self._engine is not None,
+            "model_fits": fit_count() - fits_before,
+            "synth_hits": 0,
+            "synth_store_hits": 0,
+            "synth_misses": 0,
+        }
+        if self._engine is not None:
+            engine_stats.update(self._engine.synth_stats())
+
+        run_id = None
+        if self.ledger is not None:
+            run_id = self.ledger.new_run_id()
+            self.ledger.record(
+                run_id,
+                kind=self.run_kind,
+                label=self.run_label,
+                params=self.run_params,
+                config_hash=config_hash or "",
+                stages=stage_records,
+                seed=cfg.seed,
+                extra={"engine_stats": engine_stats},
+            )
 
         return AutoAxResult(
             space=space,
@@ -229,4 +642,7 @@ class AutoAx:
                 [qor[front3], area[front3], energy[front3]], axis=1
             ),
             timings=timings,
+            stage_cache=stage_cache,
+            run_id=run_id,
+            engine_stats=engine_stats,
         )

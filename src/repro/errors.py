@@ -41,3 +41,15 @@ class DSEError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for unknown or misdeclared workload-registry entries."""
+
+
+class StoreError(ReproError):
+    """Raised for persistent-experiment-store problems (unknown run...)."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised for invalid user-supplied settings (env vars, CLI knobs).
+
+    Derives from :class:`ValueError` too, so call sites that historically
+    catch ``ValueError`` around knob parsing keep working.
+    """

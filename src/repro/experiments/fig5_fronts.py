@@ -55,8 +55,13 @@ def fig5_fronts(
     config: Optional[AutoAxConfig] = None,
     uniform_points: int = 30,
     cases=None,
+    store=None,
 ) -> List[Fig5Case]:
-    """Compute the three fronts per accelerator, with hypervolumes."""
+    """Compute the three fronts per accelerator, with hypervolumes.
+
+    ``store`` (an :class:`repro.store.ArtifactStore`) makes the embedded
+    pipeline runs stage-cached and ledger-recorded.
+    """
     if config is None:
         config = AutoAxConfig(
             n_train=200, n_test=100, max_evaluations=20_000,
@@ -68,7 +73,8 @@ def fig5_fronts(
     for label, accelerator, images, scenarios in cases:
         pipeline = AutoAx(
             accelerator, setup.library, images, scenarios=scenarios,
-            config=config,
+            config=config, store=store,
+            run_kind="experiment", run_label=f"fig5:{label}",
         )
         result = pipeline.run()
         space = result.space

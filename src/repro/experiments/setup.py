@@ -1,16 +1,19 @@
 """Shared experiment fixtures: the component library and benchmark images.
 
 Generating and characterising a library takes tens of seconds, so the
-default setup caches it as JSON under ``.cache/`` in the working tree (or
-``REPRO_CACHE_DIR``).  ``REPRO_SCALE`` overrides the library scale: 1.0
-regenerates the paper-size Table 2 library (tens of thousands of
-components — expect a long build).
+default setup caches it in the persistent experiment store
+(:mod:`repro.store`) — content-addressed by generation plan, under
+``REPRO_STORE_DIR`` (legacy ``REPRO_CACHE_DIR``, else ``.repro-store``).
+Libraries cached by older versions as loose ``.cache/library_*.json``
+files are imported into the store on first use.  ``REPRO_SCALE``
+overrides the library scale: 1.0 regenerates the paper-size Table 2
+library (tens of thousands of components — expect a long build).
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -18,6 +21,7 @@ import numpy as np
 
 from repro.accelerators.base import ImageAccelerator
 from repro.core.engine import EvaluationEngine
+from repro.errors import LibraryError
 from repro.imaging.datasets import benchmark_images
 from repro.library.generation import (
     PAPER_COUNTS,
@@ -25,8 +29,9 @@ from repro.library.generation import (
     generate_library,
     scaled_plan,
 )
-from repro.library.io import load_library, save_library
+from repro.library.io import load_library
 from repro.library.library import ComponentLibrary
+from repro.store import ArtifactStore, content_hash, open_store
 from repro.workloads import WorkloadBundle, WorkloadRegistry, build_bundle
 
 #: Default library scale relative to Table 2 (0.02 => ~800 components).
@@ -63,8 +68,69 @@ KIND_REFERENCE = {
 }
 
 
-def _cache_dir() -> Path:
-    return Path(os.environ.get("REPRO_CACHE_DIR", ".cache"))
+def experiment_store() -> ArtifactStore:
+    """The shared experiment store (env-resolved root)."""
+    return open_store()
+
+
+def _plan_key(kind: str, plan: GenerationPlan, scale: float) -> str:
+    """Content key of a generated library: everything that shapes it."""
+    return content_hash(
+        {
+            "kind": kind,
+            "counts": [
+                [k, w, count]
+                for (k, w), count in sorted(plan.counts.items())
+            ],
+            "seed": plan.seed,
+            "sample_size": plan.sample_size,
+            "scale": scale,
+        }
+    )
+
+
+def _legacy_cache_file(filename: str) -> Optional[Path]:
+    """A pre-store ``.cache/`` library JSON, if one exists."""
+    root = os.environ.get("REPRO_CACHE_DIR") or ".cache"
+    path = Path(root) / filename
+    return path if path.is_file() else None
+
+
+def _cached_library(
+    store: Optional[ArtifactStore],
+    key: str,
+    legacy_name: str,
+    plan: GenerationPlan,
+) -> ComponentLibrary:
+    """Load the library from the store (or a legacy file), else build it.
+
+    With ``store=None`` (``use_cache=False``) nothing is read or
+    written — the library is always regenerated.  Legacy loose JSON
+    caches are migrated into the store so the old ``.cache/`` path
+    keeps paying off after an upgrade; an unreadable legacy file is a
+    transparent miss, matching the store's recompute-never-crash
+    contract.
+    """
+    if store is None:
+        return generate_library(plan)
+    library = store.get("library", key)
+    if library is not None:
+        return library
+    legacy = _legacy_cache_file(legacy_name)
+    library = None
+    if legacy is not None:
+        try:
+            library = load_library(legacy)
+        except (OSError, ValueError, LibraryError):
+            library = None
+    if library is None:
+        library = generate_library(plan)
+    store.put(
+        "library", key,
+        library,
+        meta={"components": len(library)},
+    )
+    return library
 
 
 def workload_plan(
@@ -136,16 +202,13 @@ def workload_setup(
     tag = "-".join(
         f"{kind}{width}" for kind, width in sorted(plan.counts)
     )
-    cache = _cache_dir() / (
-        f"library_wl_{tag}_scale_{scale:g}_seed_{seed}.json"
+    store = experiment_store() if use_cache else None
+    library = _cached_library(
+        store,
+        _plan_key("workload-library", plan, scale),
+        f"library_wl_{tag}_scale_{scale:g}_seed_{seed}.json",
+        plan,
     )
-    library = None
-    if use_cache and cache.exists():
-        library = load_library(cache)
-    if library is None:
-        library = generate_library(plan)
-        if use_cache:
-            save_library(library, cache)
     return WorkloadSetup(bundle=bundle, library=library, seed=seed)
 
 
@@ -178,6 +241,26 @@ def build_engine(
     )
 
 
+def scaled_library(
+    scale: float,
+    seed: int = 0,
+    store: Optional[ArtifactStore] = None,
+) -> ComponentLibrary:
+    """The Table 2 library at ``scale``, store-cached when asked.
+
+    Shares cache keys (and the legacy-file import) with
+    :func:`default_setup`, so the CLI's ``run --store`` and the
+    experiment drivers reuse one characterised library.
+    """
+    plan = scaled_plan(scale, seed=seed)
+    return _cached_library(
+        store,
+        _plan_key("default-library", plan, scale),
+        f"library_scale_{scale:g}_seed_{seed}.json",
+        plan,
+    )
+
+
 def default_setup(
     scale: Optional[float] = None,
     n_images: int = 8,
@@ -185,18 +268,12 @@ def default_setup(
     seed: int = 0,
     use_cache: bool = True,
 ) -> ExperimentSetup:
-    """Build (or load from cache) the default experiment setup."""
+    """Build (or load from the store) the default experiment setup."""
     if scale is None:
         scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
     if image_shape is None:
         image_shape = DEFAULT_SHAPE
-    cache = _cache_dir() / f"library_scale_{scale:g}_seed_{seed}.json"
-    library = None
-    if use_cache and cache.exists():
-        library = load_library(cache)
-    if library is None:
-        library = generate_library(scaled_plan(scale, seed=seed))
-        if use_cache:
-            save_library(library, cache)
+    store = experiment_store() if use_cache else None
+    library = scaled_library(scale, seed=seed, store=store)
     images = benchmark_images(n_images, shape=image_shape)
     return ExperimentSetup(library=library, images=images, seed=seed)

@@ -66,8 +66,13 @@ def table5_sizes(
     setup: ExperimentSetup,
     config: Optional[AutoAxConfig] = None,
     cases=None,
+    store=None,
 ) -> List[Table5Row]:
-    """Run the full pipeline per accelerator and collect space sizes."""
+    """Run the full pipeline per accelerator and collect space sizes.
+
+    ``store`` (an :class:`repro.store.ArtifactStore`) makes the embedded
+    pipeline runs stage-cached and ledger-recorded.
+    """
     if config is None:
         config = AutoAxConfig(
             n_train=200, n_test=100, max_evaluations=20_000,
@@ -79,7 +84,8 @@ def table5_sizes(
     for label, accelerator, images, scenarios in cases:
         pipeline = AutoAx(
             accelerator, setup.library, images, scenarios=scenarios,
-            config=config,
+            config=config, store=store,
+            run_kind="experiment", run_label=f"table5:{label}",
         )
         result = pipeline.run()
         rows.append(

@@ -4,13 +4,18 @@ Characterising a large library takes minutes, so generated libraries are
 cached as JSON.  Only family names, parameters and characterisation results
 are stored; behavioural models are rebuilt from the family registry on
 load (no pickling of code).
+
+The payload helpers are the single source of the on-disk format: the
+file functions here and the experiment store's ``library`` codec
+(:mod:`repro.store.artifacts`) both speak it, so a library blob in the
+store is byte-compatible with a standalone ``save_library`` file.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 from repro.errors import LibraryError
 from repro.library.component import ComponentRecord
@@ -19,18 +24,35 @@ from repro.library.library import ComponentLibrary
 FORMAT_VERSION = 1
 
 
+def library_payload(library: ComponentLibrary) -> Dict[str, object]:
+    """The JSON-serialisable payload of ``library``."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "components": [record.to_dict() for record in library],
+    }
+
+
+def library_from_payload(payload: Dict[str, object]) -> ComponentLibrary:
+    """Rebuild a library from a :func:`library_payload` document."""
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise LibraryError(
+            f"unsupported library format {version!r}"
+        )
+    library = ComponentLibrary()
+    for data in payload["components"]:
+        library.add(ComponentRecord.from_dict(data))
+    return library
+
+
 def save_library(
     library: ComponentLibrary, path: Union[str, Path]
 ) -> None:
     """Write ``library`` to ``path`` as JSON."""
     path = Path(path)
-    payload = {
-        "format_version": FORMAT_VERSION,
-        "components": [record.to_dict() for record in library],
-    }
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w") as handle:
-        json.dump(payload, handle)
+        json.dump(library_payload(library), handle)
 
 
 def load_library(path: Union[str, Path]) -> ComponentLibrary:
@@ -38,12 +60,7 @@ def load_library(path: Union[str, Path]) -> ComponentLibrary:
     path = Path(path)
     with path.open() as handle:
         payload = json.load(handle)
-    version = payload.get("format_version")
-    if version != FORMAT_VERSION:
-        raise LibraryError(
-            f"unsupported library format {version!r} in {path}"
-        )
-    library = ComponentLibrary()
-    for data in payload["components"]:
-        library.add(ComponentRecord.from_dict(data))
-    return library
+    try:
+        return library_from_payload(payload)
+    except LibraryError as exc:
+        raise LibraryError(f"{exc} in {path}") from None

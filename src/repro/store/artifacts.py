@@ -1,0 +1,450 @@
+"""Content-addressed artifact cache: sqlite3 index + file blobs.
+
+Layout on disk (everything under one *store root*)::
+
+    <root>/
+      index.sqlite3             -- (kind, key) -> blob metadata
+      objects/<kind>/<k0k1>/<key>.<ext>   -- the blobs themselves
+      runs/<run_id>.json        -- run-ledger manifests (ledger.py)
+
+Writes are crash- and concurrency-safe without locks: blobs land via
+write-to-temp + :func:`os.replace` (atomic on POSIX within one
+filesystem), and the sqlite index is only ever told about a blob after
+the rename.  Readers verify the blob's SHA-256 against the index row and
+treat any mismatch, truncation or decode failure as a cache miss — the
+offending entry is evicted and the caller recomputes.  A blob without an
+index row (a writer died between rename and insert, or two processes
+raced) is adopted back into the index on first read.
+
+Typed codecs translate domain objects to blob bytes per *kind*:
+libraries share the JSON format of :mod:`repro.library.io`, synthesis
+reports and QoR evaluation matrices are canonical JSON, fitted models
+and operand profiles are pickles (stdlib, local trusted cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import sqlite3
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.utils.validation import check_env_dir
+
+#: Environment knobs: the store root, and the legacy library-cache root
+#: (used as a fallback store root so old workflows keep one cache tree).
+STORE_ENV = "REPRO_STORE_DIR"
+CACHE_ENV = "REPRO_CACHE_DIR"
+
+#: Default store root in the working tree.
+DEFAULT_STORE_DIR = ".repro-store"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS artifacts (
+    kind TEXT NOT NULL,
+    key TEXT NOT NULL,
+    filename TEXT NOT NULL,
+    sha256 TEXT NOT NULL,
+    size INTEGER NOT NULL,
+    created_at REAL NOT NULL,
+    meta TEXT NOT NULL DEFAULT '{}',
+    PRIMARY KEY (kind, key)
+)
+"""
+
+#: Prefix of in-flight temp files (pre-rename); gc must never touch them.
+_TMP_PREFIX = ".tmp-"
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + :func:`os.replace`.
+
+    The rename is atomic within one filesystem, so concurrent readers
+    see either the previous content or the full new content, never a
+    torn write.  Shared by blob writes and ledger manifests.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=_TMP_PREFIX, suffix=path.suffix
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def default_store_dir() -> Path:
+    """Resolve the store root: ``REPRO_STORE_DIR``, legacy
+    ``REPRO_CACHE_DIR``, then ``.repro-store``.
+
+    Set-but-blank values are configuration errors (see
+    :func:`~repro.utils.validation.check_env_dir`), not silent fallbacks.
+    """
+    for env in (STORE_ENV, CACHE_ENV):
+        value = os.environ.get(env)
+        if value is not None:
+            return Path(check_env_dir(value, source=env))
+    return Path(DEFAULT_STORE_DIR)
+
+
+# -- codecs -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Codec:
+    """Blob (de)serialisation of one artifact kind."""
+
+    encode: Callable[[object], bytes]
+    decode: Callable[[bytes], object]
+    ext: str = "json"
+
+
+def _json_encode(obj) -> bytes:
+    return json.dumps(obj, sort_keys=True).encode("utf-8")
+
+
+def _json_decode(data: bytes):
+    return json.loads(data.decode("utf-8"))
+
+
+def _library_encode(library) -> bytes:
+    from repro.library.io import library_payload
+
+    return _json_encode(library_payload(library))
+
+
+def _library_decode(data: bytes):
+    from repro.library.io import library_from_payload
+
+    return library_from_payload(_json_decode(data))
+
+
+def _synthesis_encode(report) -> bytes:
+    return _json_encode(
+        {
+            "area": report.area,
+            "delay": report.delay,
+            "power": report.power,
+            "gate_count": report.gate_count,
+            "cells": dict(report.cells),
+        }
+    )
+
+
+def _synthesis_decode(data: bytes):
+    from repro.synthesis.synthesizer import SynthesisReport
+
+    payload = _json_decode(data)
+    return SynthesisReport(
+        area=payload["area"],
+        delay=payload["delay"],
+        power=payload["power"],
+        gate_count=payload["gate_count"],
+        cells=dict(payload["cells"]),
+    )
+
+
+def _evaluations_encode(results) -> bytes:
+    return _json_encode(
+        [
+            {
+                "qor": r.qor,
+                "area": r.area,
+                "delay": r.delay,
+                "power": r.power,
+            }
+            for r in results
+        ]
+    )
+
+
+def _evaluations_decode(data: bytes):
+    from repro.core.engine import EvaluationResult
+
+    return [EvaluationResult(**entry) for entry in _json_decode(data)]
+
+
+def _pickle_encode(obj) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _pickle_decode(data: bytes):
+    return pickle.loads(data)
+
+
+#: kind -> codec.  Unlisted kinds fall back to canonical JSON.
+CODECS: Dict[str, Codec] = {
+    "library": Codec(_library_encode, _library_decode, "json"),
+    "synthesis": Codec(_synthesis_encode, _synthesis_decode, "json"),
+    "evaluations": Codec(_evaluations_encode, _evaluations_decode, "json"),
+    "training-set": Codec(_json_encode, _json_decode, "json"),
+    "space": Codec(_json_encode, _json_decode, "json"),
+    "dse": Codec(_json_encode, _json_decode, "json"),
+    "profiles": Codec(_pickle_encode, _pickle_decode, "pkl"),
+    "models": Codec(_pickle_encode, _pickle_decode, "pkl"),
+}
+
+_DEFAULT_CODEC = Codec(_json_encode, _json_decode, "json")
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """A stored artifact's address plus blob metadata."""
+
+    kind: str
+    key: str
+    path: Path
+    sha256: str
+    size: int
+
+
+class ArtifactStore:
+    """Content-addressed blob cache under one root directory.
+
+    Persistent state is only the root path, so a store is cheap to
+    construct, safe to share across fork() and picklable into worker
+    processes.  The sqlite connection is cached per process (keyed by
+    pid: a forked child opens its own rather than reusing the parent's,
+    which sqlite forbids) and never crosses pickling.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+
+    def __getstate__(self):
+        return {"root": self.root}
+
+    def __setstate__(self, state):
+        self.root = state["root"]
+        self._conn = None
+        self._conn_pid = None
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            self.root.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                self.root / "index.sqlite3", timeout=30.0
+            )
+            conn.execute(_SCHEMA)
+            self._conn = conn
+            self._conn_pid = pid
+        return self._conn
+
+    @staticmethod
+    def _codec(kind: str) -> Codec:
+        return CODECS.get(kind, _DEFAULT_CODEC)
+
+    def _blob_path(self, kind: str, key: str) -> Path:
+        ext = self._codec(kind).ext
+        return self.root / "objects" / kind / key[:2] / f"{key}.{ext}"
+
+    def _index(
+        self, kind: str, key: str, path: Path, digest: str,
+        size: int, meta: Optional[Dict],
+    ) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO artifacts "
+                "(kind, key, filename, sha256, size, created_at, meta) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    kind,
+                    key,
+                    str(path.relative_to(self.root)),
+                    digest,
+                    size,
+                    time.time(),
+                    json.dumps(meta or {}, sort_keys=True),
+                ),
+            )
+
+    def _evict(self, kind: str, key: str) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "DELETE FROM artifacts WHERE kind = ? AND key = ?",
+                (kind, key),
+            )
+        try:
+            self._blob_path(kind, key).unlink()
+        except OSError:
+            pass
+
+    # -- primary API --------------------------------------------------------
+
+    def put(
+        self, kind: str, key: str, obj, meta: Optional[Dict] = None
+    ) -> ArtifactRef:
+        """Encode and store ``obj`` under ``(kind, key)`` atomically."""
+        data = self._codec(kind).encode(obj)
+        digest = hashlib.sha256(data).hexdigest()
+        path = self._blob_path(kind, key)
+        atomic_write_bytes(path, data)
+        self._index(kind, key, path, digest, len(data), meta)
+        return ArtifactRef(kind, key, path, digest, len(data))
+
+    def get(self, kind: str, key: str):
+        """Decode the artifact at ``(kind, key)``; ``None`` on any miss.
+
+        Corruption (truncated or undecodable blob) and staleness (index
+        row without blob) are *transparent* misses: the entry is evicted
+        and the caller recomputes.  The blob is the source of truth and
+        the index only a cache of it: a blob without an index row (a
+        writer died between rename and insert) is adopted on read, and a
+        checksum mismatch with a still-decodable blob (two writers raced
+        on one key; the last rename won) re-indexes the surviving bytes
+        instead of discarding them.
+        """
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT filename, sha256 FROM artifacts "
+                "WHERE kind = ? AND key = ?",
+                (kind, key),
+            ).fetchone()
+        path = self._blob_path(kind, key)
+        if row is not None:
+            path = self.root / row[0]
+        try:
+            data = path.read_bytes()
+        except OSError:
+            if row is not None:  # stale index entry: blob is gone
+                self._evict(kind, key)
+            return None
+        try:
+            obj = self._codec(kind).decode(data)
+        except Exception:
+            self._evict(kind, key)
+            return None
+        digest = hashlib.sha256(data).hexdigest()
+        if row is None or digest != row[1]:
+            self._index(kind, key, path, digest, len(data), None)
+        return obj
+
+    def has(self, kind: str, key: str) -> bool:
+        return self.get(kind, key) is not None
+
+    def delete(self, kind: str, key: str) -> None:
+        self._evict(kind, key)
+
+    # -- enumeration / maintenance ------------------------------------------
+
+    def entries(
+        self, kind: Optional[str] = None
+    ) -> List[ArtifactRef]:
+        """Index rows as :class:`ArtifactRef`, optionally one kind."""
+        if not (self.root / "index.sqlite3").exists():
+            return []
+        query = "SELECT kind, key, filename, sha256, size FROM artifacts"
+        params: Tuple = ()
+        if kind is not None:
+            query += " WHERE kind = ?"
+            params = (kind,)
+        with self._connect() as conn:
+            rows = conn.execute(query + " ORDER BY kind, key",
+                                params).fetchall()
+        return [
+            ArtifactRef(k, key, self.root / fn, sha, size)
+            for k, key, fn, sha, size in rows
+        ]
+
+    def keys(self, kind: str) -> List[str]:
+        return [ref.key for ref in self.entries(kind)]
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind artifact counts and byte totals."""
+        out: Dict[str, Dict[str, int]] = {}
+        for ref in self.entries():
+            bucket = out.setdefault(ref.kind, {"count": 0, "bytes": 0})
+            bucket["count"] += 1
+            bucket["bytes"] += ref.size
+        return out
+
+    #: Kinds kept by default during gc even when no manifest references
+    #: them: content-shared pools (one blob serves many runs), not
+    #: run-owned stage outputs.
+    SHARED_KINDS = ("synthesis", "library")
+
+    def gc(
+        self,
+        referenced: Iterable[Tuple[str, str]],
+        keep_kinds: Optional[Iterable[str]] = None,
+    ) -> Dict[str, int]:
+        """Drop artifacts not in ``referenced`` plus orphan blob files.
+
+        ``referenced`` lists the ``(kind, key)`` pairs to keep (typically
+        the union of all run-ledger manifests' artifact refs).  Kinds in
+        ``keep_kinds`` (default :data:`SHARED_KINDS`) survive without a
+        reference — synthesis reports and libraries are shared across
+        runs rather than owned by one manifest.  Returns removal
+        statistics.
+        """
+        keep: Set[Tuple[str, str]] = set(referenced)
+        shared = set(
+            self.SHARED_KINDS if keep_kinds is None else keep_kinds
+        )
+        removed = 0
+        freed = 0
+        kept = 0
+        keep_paths: Set[Path] = set()
+        for ref in self.entries():
+            if (ref.kind, ref.key) in keep or ref.kind in shared:
+                kept += 1
+                keep_paths.add(ref.path)
+                continue
+            removed += 1
+            freed += ref.size
+            self._evict(ref.kind, ref.key)
+        objects = self.root / "objects"
+        if objects.is_dir():
+            for path in sorted(objects.rglob("*")):
+                if path.name.startswith(_TMP_PREFIX):
+                    continue  # in-flight write of a concurrent process
+                if path.is_file() and path not in keep_paths:
+                    try:
+                        size = path.stat().st_size
+                        path.unlink()
+                    except OSError:
+                        continue
+                    removed += 1
+                    freed += size
+        return {"removed": removed, "freed_bytes": freed, "kept": kept}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ArtifactStore root={self.root}>"
+
+
+def open_store(root=None) -> ArtifactStore:
+    """An :class:`ArtifactStore` at ``root`` (default: env-resolved)."""
+    if root is None:
+        root = default_store_dir()
+    return ArtifactStore(root)
+
+
+def require_store(root=None) -> ArtifactStore:
+    """Like :func:`open_store` but the root must already exist."""
+    store = open_store(root)
+    if not store.root.is_dir():
+        raise StoreError(
+            f"no experiment store at {store.root} (run with --store or "
+            f"set {STORE_ENV} first)"
+        )
+    return store

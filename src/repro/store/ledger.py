@@ -1,0 +1,140 @@
+"""Run ledger — every pipeline invocation as a reproducible manifest.
+
+A *manifest* is one JSON document under ``<store root>/runs/`` recording
+what a run was (kind, label, parameters, seed), what identified its
+inputs (the config hash), how it went (per-stage wall time and cache
+hit/miss) and which store artifacts it produced or reused.  Manifests
+make runs enumerable (``repro runs list``), inspectable (``show``),
+re-executable against the warm store (``resume``) and the root set for
+garbage collection (``gc`` keeps exactly the artifacts some manifest
+references).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.store.artifacts import atomic_write_bytes
+
+#: Manifest format version (bump on incompatible schema changes).
+MANIFEST_VERSION = 1
+
+
+def _iso(ts: float) -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(ts))
+
+
+class RunLedger:
+    """Append-only collection of run manifests under one store root."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    @property
+    def runs_dir(self) -> Path:
+        return self.root / "runs"
+
+    # -- creation -----------------------------------------------------------
+
+    @staticmethod
+    def new_run_id() -> str:
+        """Sortable, collision-resistant run identifier."""
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        return f"{stamp}-{os.urandom(4).hex()}"
+
+    def record(
+        self,
+        run_id: str,
+        kind: str,
+        label: str,
+        params: Dict,
+        config_hash: str,
+        stages: List[Dict],
+        seed: Optional[int] = None,
+        status: str = "complete",
+        extra: Optional[Dict] = None,
+    ) -> Dict:
+        """Write (atomically) and return the manifest of one run."""
+        now = time.time()
+        manifest = {
+            "version": MANIFEST_VERSION,
+            "run_id": run_id,
+            "kind": kind,
+            "label": label,
+            "params": params,
+            "seed": seed,
+            "config_hash": config_hash,
+            "status": status,
+            "created_at": _iso(now),
+            "created_ts": now,
+            "stages": stages,
+            "total_seconds": round(
+                sum(s.get("seconds", 0.0) for s in stages), 6
+            ),
+        }
+        if extra:
+            manifest["extra"] = extra
+        path = self.runs_dir / f"{run_id}.json"
+        data = json.dumps(manifest, sort_keys=True, indent=2)
+        atomic_write_bytes(path, data.encode("utf-8"))
+        return manifest
+
+    # -- enumeration --------------------------------------------------------
+
+    def runs(self) -> List[Dict]:
+        """All manifests, oldest first (undecodable files are skipped)."""
+        if not self.runs_dir.is_dir():
+            return []
+        manifests = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            if path.name.startswith("."):
+                continue  # in-flight atomic write of another process
+            try:
+                manifests.append(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        manifests.sort(
+            key=lambda m: (m.get("created_ts", 0.0),
+                           m.get("run_id", ""))
+        )
+        return manifests
+
+    def get(self, run_id: str) -> Dict:
+        path = self.runs_dir / f"{run_id}.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            raise StoreError(
+                f"no run {run_id!r} in ledger at {self.runs_dir}"
+            ) from None
+
+    def latest(self) -> Optional[Dict]:
+        manifests = self.runs()
+        return manifests[-1] if manifests else None
+
+    def delete(self, run_id: str) -> None:
+        try:
+            (self.runs_dir / f"{run_id}.json").unlink()
+        except OSError:
+            raise StoreError(
+                f"no run {run_id!r} in ledger at {self.runs_dir}"
+            ) from None
+
+    # -- garbage-collection roots -------------------------------------------
+
+    def referenced_artifacts(self) -> Set[Tuple[str, str]]:
+        """The ``(kind, key)`` pairs referenced by any manifest."""
+        refs: Set[Tuple[str, str]] = set()
+        for manifest in self.runs():
+            for stage in manifest.get("stages", ()):
+                for artifact in stage.get("artifacts", ()):
+                    refs.add((artifact["kind"], artifact["key"]))
+        return refs
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RunLedger root={self.root}>"

@@ -7,6 +7,24 @@ from typing import Optional
 
 import numpy as np
 
+from repro.errors import ValidationError
+
+
+def check_env_dir(value: object, source: str) -> str:
+    """Validate a directory path from an environment variable or flag.
+
+    Empty or whitespace-only values would silently create odd relative
+    paths (``Path("")`` is the current directory); reject them with a
+    :class:`~repro.errors.ValidationError` naming ``source`` instead, the
+    same contract as ``validate_workers`` for ``REPRO_WORKERS``.
+    """
+    text = str(value) if value is not None else ""
+    if not text.strip():
+        raise ValidationError(
+            f"{source} must be a non-empty directory path, got {value!r}"
+        )
+    return text
+
 
 def check_positive(value: numbers.Real, name: str) -> None:
     """Raise ``ValueError`` unless ``value`` is strictly positive."""

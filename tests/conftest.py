@@ -15,6 +15,15 @@ from repro.library import generate_library
 from repro.library.generation import GenerationPlan
 
 
+@pytest.fixture(autouse=True)
+def _isolate_store_env(monkeypatch):
+    """Keep a developer's real REPRO_STORE_DIR out of the test suite.
+
+    Tests opt back in with their own ``monkeypatch.setenv``.
+    """
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+
+
 @pytest.fixture(scope="session")
 def tiny_library():
     """A small but complete library covering all six signatures."""

@@ -1,7 +1,6 @@
-import os
-
 import pytest
 
+from repro.errors import ValidationError
 from repro.experiments.setup import (
     ExperimentSetup,
     build_workload_engine,
@@ -9,7 +8,17 @@ from repro.experiments.setup import (
     workload_plan,
     workload_setup,
 )
+from repro.library.io import save_library
+from repro.store import ArtifactStore
 from repro.workloads import WORKLOADS
+
+
+def _library_blobs(tmp_path):
+    """(key, path) of every library artifact in the store at tmp_path."""
+    return [
+        (ref.key, ref.path)
+        for ref in ArtifactStore(tmp_path).entries("library")
+    ]
 
 
 class TestDefaultSetup:
@@ -21,18 +30,35 @@ class TestDefaultSetup:
         assert isinstance(setup, ExperimentSetup)
         assert setup.image_shape == (32, 48)
         assert len(setup.images) == 2
-        cached = list(tmp_path.glob("library_scale_*.json"))
-        assert len(cached) == 1
+        assert len(_library_blobs(tmp_path)) == 1
 
     def test_cache_reused(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         first = default_setup(scale=0.002, n_images=1,
                               image_shape=(16, 16))
-        mtime = next(tmp_path.glob("*.json")).stat().st_mtime
+        [(_, blob)] = _library_blobs(tmp_path)
+        mtime = blob.stat().st_mtime
         second = default_setup(scale=0.002, n_images=1,
                                image_shape=(16, 16))
-        assert next(tmp_path.glob("*.json")).stat().st_mtime == mtime
+        [(_, blob_after)] = _library_blobs(tmp_path)
+        assert blob_after == blob
+        assert blob.stat().st_mtime == mtime
         assert first.library.summary() == second.library.summary()
+
+    def test_store_dir_env_takes_priority(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "legacy"))
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        default_setup(scale=0.002, n_images=1, image_shape=(16, 16))
+        assert len(_library_blobs(tmp_path / "store")) == 1
+        assert not (tmp_path / "legacy").exists()
+
+    def test_blank_cache_dir_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", "   ")
+        with pytest.raises(ValidationError, match="REPRO_CACHE_DIR"):
+            default_setup(
+                scale=0.002, n_images=1, image_shape=(16, 16)
+            )
 
     def test_scale_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -63,8 +89,8 @@ class TestWorkloadSetup:
         assert set(setup.library.signatures()) == slot_sigs
         engine = build_workload_engine(setup)
         assert engine.run_count == 1  # one image, no scenarios
-        # the library cache landed in the configured directory
-        assert list(tmp_path.glob("library_wl_*.json"))
+        # the library landed in the store at the configured directory
+        assert len(_library_blobs(tmp_path)) == 1
 
     def test_cache_shared_across_same_signature_workloads(
         self, tmp_path, monkeypatch
@@ -75,16 +101,43 @@ class TestWorkloadSetup:
             "gaussian5", scale=0.0005, n_images=1,
             image_shape=(16, 16),
         )
-        files = sorted(tmp_path.glob("library_wl_*.json"))
-        assert len(files) == 1
-        mtime = files[0].stat().st_mtime
+        [(key, blob)] = _library_blobs(tmp_path)
+        mtime = blob.stat().st_mtime
         setup = workload_setup(
             "box5", scale=0.0005, n_images=1, image_shape=(16, 16)
         )
-        files_after = sorted(tmp_path.glob("library_wl_*.json"))
-        assert files_after == files
-        assert files[0].stat().st_mtime == mtime
+        [(key_after, blob_after)] = _library_blobs(tmp_path)
+        assert (key_after, blob_after) == (key, blob)
+        assert blob.stat().st_mtime == mtime
         assert setup.scenarios is not None and len(setup.scenarios) == 3
+
+    def test_legacy_json_cache_migrates_into_store(
+        self, tmp_path, monkeypatch
+    ):
+        """Pre-store ``.cache`` library files are imported, not rebuilt."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        first = workload_setup(
+            "sharpen3", scale=0.0005, n_images=1, image_shape=(16, 16)
+        )
+        # recreate the old loose-JSON layout from the built library,
+        # then wipe the store: the next setup must import the file
+        plan = workload_plan(
+            first.accelerator, scale=0.0005, seed=0
+        )
+        tag = "-".join(
+            f"{kind}{width}" for kind, width in sorted(plan.counts)
+        )
+        legacy = (
+            tmp_path / f"library_wl_{tag}_scale_0.0005_seed_0.json"
+        )
+        save_library(first.library, legacy)
+        for ref in ArtifactStore(tmp_path).entries("library"):
+            ArtifactStore(tmp_path).delete(ref.kind, ref.key)
+        second = workload_setup(
+            "sharpen3", scale=0.0005, n_images=1, image_shape=(16, 16)
+        )
+        assert second.library.summary() == first.library.summary()
+        assert len(_library_blobs(tmp_path)) == 1  # re-imported
 
     def test_scenarios_reach_engine(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -1,0 +1,68 @@
+"""Canonical hashing: stability, normalisation, domain fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.accelerators.sobel import SobelEdgeDetector
+from repro.store import (
+    accelerator_fingerprint,
+    canonical_json,
+    content_hash,
+    images_fingerprint,
+    library_fingerprint,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_tuples_and_lists_alias(self):
+        assert content_hash((1, 2, 3)) == content_hash([1, 2, 3])
+
+    def test_numpy_scalars_normalise(self):
+        assert content_hash({"x": np.int64(7)}) == content_hash({"x": 7})
+        assert content_hash(np.float64(0.5)) == content_hash(0.5)
+
+    def test_arrays_hash_by_content(self):
+        a = np.arange(12).reshape(3, 4)
+        b = np.arange(12).reshape(3, 4)
+        assert content_hash(a) == content_hash(b)
+        b[0, 0] = 99
+        assert content_hash(a) != content_hash(b)
+
+    def test_array_shape_matters(self):
+        a = np.arange(12).reshape(3, 4)
+        assert content_hash(a) != content_hash(a.reshape(4, 3))
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError, match="canonicalise"):
+            content_hash({"x": object()})
+
+    def test_digest_is_stable_across_calls(self):
+        doc = {"nested": [{"k": (1, 2)}, None, True, 0.25]}
+        assert content_hash(doc) == content_hash(doc)
+
+
+class TestFingerprints:
+    def test_accelerator_fingerprint_deterministic(self):
+        fp1 = accelerator_fingerprint(SobelEdgeDetector())
+        fp2 = accelerator_fingerprint(SobelEdgeDetector())
+        assert content_hash(fp1) == content_hash(fp2)
+        assert fp1["class"] == "SobelEdgeDetector"
+        assert len(fp1["nodes"]) > 10
+
+    def test_library_fingerprint_order_independent(self, tiny_library):
+        fp = library_fingerprint(tiny_library)
+        assert content_hash(fp) == content_hash(
+            library_fingerprint(tiny_library)
+        )
+        assert len(fp["components"]) == len(tiny_library)
+
+    def test_images_fingerprint_sensitive_to_pixels(self, small_images):
+        fp1 = content_hash(images_fingerprint(small_images))
+        altered = [img.copy() for img in small_images]
+        altered[0][0, 0] ^= 1
+        assert fp1 != content_hash(images_fingerprint(altered))

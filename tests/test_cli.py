@@ -1,5 +1,7 @@
 """CLI surface tests (``python -m repro``)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -126,6 +128,20 @@ class TestCommands:
         with pytest.raises(WorkloadError, match="registered"):
             main(["workloads", "run", "frobnicate"])
 
+    def test_runs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs"])
+
+    def test_store_flag_tristate(self):
+        args = build_parser().parse_args(["run"])
+        assert args.store is None
+        assert build_parser().parse_args(
+            ["run", "--store"]
+        ).store is True
+        assert build_parser().parse_args(
+            ["run", "--no-store"]
+        ).store is False
+
     def test_export_verilog_stdout(self, capsys):
         assert main(["export-verilog", "--accelerator", "sobel"]) == 0
         out = capsys.readouterr().out
@@ -138,3 +154,101 @@ class TestCommands:
              "--out", str(path)]
         ) == 0
         assert path.read_text().startswith("module sobel")
+
+
+WORKLOAD_RUN = [
+    "workloads", "run", "sobel", "--scale", "0.0005", "--images", "1",
+    "--train", "12", "--evals", "150",
+]
+
+
+@pytest.fixture()
+def store_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    return tmp_path / "store"
+
+
+class TestStoreCommands:
+    """The experiment-store surface: --store, --json, repro runs."""
+
+    def _run_json(self, capsys, extra=()):
+        assert main(WORKLOAD_RUN + ["--json", *extra]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_workloads_run_json_versioned(self, store_env, capsys):
+        doc = self._run_json(capsys)
+        assert doc["version"] == 1
+        assert doc["workload"] == "sobel"
+        assert set(doc["stage_cache"].values()) == {"miss"}
+        assert doc["front"]  # [ssim, area] rows
+        # stable key order: the document re-serialises canonically
+        assert list(doc) == sorted(doc)
+
+    def test_store_env_enables_warm_second_run(self, store_env,
+                                               capsys):
+        self._run_json(capsys)
+        warm = self._run_json(capsys)
+        assert set(warm["stage_cache"].values()) == {"hit"}
+        assert warm["engine_stats"]["synth_misses"] == 0
+        assert warm["engine_stats"]["model_fits"] == 0
+
+    def test_no_store_flag_disables(self, store_env, capsys):
+        doc = self._run_json(capsys, extra=["--no-store"])
+        assert set(doc["stage_cache"].values()) == {"off"}
+        assert doc["run_id"] is None
+
+    def test_runs_list_show_and_json(self, store_env, capsys):
+        run_id = self._run_json(capsys)["run_id"]
+        assert main(["runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out and "workload" in out
+
+        assert main(["runs", "list", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert [m["run_id"] for m in doc["runs"]] == [run_id]
+
+        assert main(["runs", "show", run_id, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        stages = doc["run"]["stages"]
+        assert [s["name"] for s in stages] == [
+            "preprocessing", "training_set", "model_construction",
+            "pseudo_pareto", "final_analysis",
+        ]
+
+        assert main(["runs", "show", run_id]) == 0
+        out = capsys.readouterr().out
+        assert "config_hash" in out and "final_analysis" in out
+
+    def test_runs_resume_is_fully_cached(self, store_env, capsys):
+        run_id = self._run_json(capsys)["run_id"]
+        assert main(["runs", "resume", run_id, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["resumed_from"] == run_id
+        assert set(doc["stage_cache"].values()) == {"hit"}
+        assert doc["engine_stats"]["synth_misses"] == 0
+
+    def test_runs_gc_keeps_referenced(self, store_env, capsys):
+        self._run_json(capsys)
+        assert main(["runs", "gc", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["gc"]["kept"] > 0
+        # a second run is still fully warm after gc
+        warm = self._run_json(capsys)
+        assert set(warm["stage_cache"].values()) == {"hit"}
+
+    def test_runs_show_unknown_id(self, store_env, capsys):
+        from repro.errors import StoreError
+
+        self._run_json(capsys)
+        with pytest.raises(StoreError, match="no run"):
+            main(["runs", "show", "nope"])
+
+    def test_runs_against_missing_store(self, tmp_path, monkeypatch):
+        from repro.errors import StoreError
+
+        monkeypatch.setenv(
+            "REPRO_STORE_DIR", str(tmp_path / "absent")
+        )
+        with pytest.raises(StoreError, match="no experiment store"):
+            main(["runs", "list"])
