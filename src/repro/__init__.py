@@ -53,6 +53,13 @@ from repro.core import (
     wmed,
 )
 from repro.imaging import benchmark_images, psnr, ssim, ssim_batch
+from repro.search import (
+    EvaluationBudget,
+    PortfolioResult,
+    PortfolioRunner,
+    SearchStrategy,
+    make_strategy,
+)
 from repro.library import (
     ComponentLibrary,
     ComponentRecord,
@@ -95,6 +102,11 @@ __all__ = [
     "random_sampling",
     "uniform_selection",
     "exhaustive_search",
+    "EvaluationBudget",
+    "PortfolioResult",
+    "PortfolioRunner",
+    "SearchStrategy",
+    "make_strategy",
     "reduce_library",
     "wmed",
     "pareto_front_indices",

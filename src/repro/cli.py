@@ -13,9 +13,15 @@ Commands
 * ``workloads`` — ``list`` the registered workloads or ``run <name>``:
   the full pipeline on any registry entry, with a library generated (and
   cached) to cover exactly that workload's operation signatures.
+* ``search`` — budget-exact parallel portfolio design-space search:
+  strategy islands (hill climber, NSGA-II, random sampling, capped
+  exhaustive) over a workload's configuration space, with periodic
+  front merging and (with ``--store``) per-round checkpoints that
+  ``runs resume`` continues.
 * ``runs`` — the persistent experiment store's run ledger: ``list`` and
   ``show`` recorded pipeline runs, ``resume`` one against the warm
-  store, ``gc`` artifacts no manifest references.
+  store (including interrupted ``search`` runs), ``gc`` artifacts no
+  manifest references.
 * ``export-verilog`` — lower an accelerator with exact components and
   write structural Verilog.
 
@@ -379,6 +385,143 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_search(
+    workload: str,
+    scale: Optional[float],
+    n_images: int,
+    train: int,
+    test: int,
+    budget: int,
+    strategies: List[str],
+    rounds: int,
+    seed: int,
+    engines: List[str],
+    workers: Optional[int],
+    store,
+    resume_from: Optional[str] = None,
+):
+    """Fit estimation models for a workload and run the portfolio."""
+    from repro.accelerators.profiler import profile_accelerator
+    from repro.core.preprocessing import reduce_library
+    from repro.experiments.setup import (
+        build_workload_engine,
+        fit_search_models,
+        workload_setup,
+    )
+    from repro.search import PortfolioRunner
+
+    setup = workload_setup(
+        workload, scale=scale, n_images=n_images, seed=seed,
+    )
+    profiles = profile_accelerator(
+        setup.accelerator, setup.images, rng=seed
+    )
+    space = reduce_library(setup.accelerator, setup.library, profiles)
+    engine = build_workload_engine(setup, workers=workers)
+    qor_model, hw_model = fit_search_models(
+        space, engine, train, test, engines=engines, seed=seed,
+        workers=workers,
+    )
+    runner = PortfolioRunner(
+        space,
+        qor_model,
+        hw_model,
+        strategies=strategies,
+        rounds=rounds,
+        seed=seed,
+        workers=workers,
+        store=store,
+        label=f"search:{workload}",
+        run_params={
+            "command": "search",
+            "workload": workload,
+            "scale": scale,
+            "images": n_images,
+            "train": train,
+            "test": test,
+            "budget": budget,
+            "strategies": list(strategies),
+            "rounds": rounds,
+            "seed": seed,
+            "engines": list(engines),
+        },
+    )
+    return runner.run(budget, resume_from=resume_from)
+
+
+def _search_doc(result, workload: str) -> Dict:
+    return {
+        "workload": workload,
+        "run_id": result.run_id,
+        "resumed_from": result.resumed_from,
+        "evaluations": result.evaluations,
+        "max_evaluations": result.max_evaluations,
+        "rounds": result.rounds,
+        "front_size": len(result),
+        "front": {
+            "configs": [list(c) for c in result.configs],
+            "points": [
+                [float(p[0]), float(p[1])] for p in result.points
+            ],
+        },
+        "islands": [
+            {
+                "round": r.round,
+                "island": r.island,
+                "strategy": r.strategy,
+                "evaluations": r.evaluations,
+                "front_size": r.front_size,
+                "seconds": round(r.seconds, 6),
+            }
+            for r in result.islands
+        ],
+    }
+
+
+def _print_search_result(result, workload: str) -> None:
+    print(
+        f"portfolio search on {workload}: {result.evaluations} "
+        f"model evaluations (budget {result.max_evaluations}), "
+        f"{len(result)} front members"
+        + (f", run {result.run_id}" if result.run_id else "")
+    )
+    rows = [
+        [
+            r.round,
+            r.island,
+            r.strategy,
+            r.evaluations,
+            r.front_size,
+            f"{r.seconds:.3f}",
+        ]
+        for r in result.islands
+    ]
+    print(
+        format_table(
+            ["round", "island", "strategy", "evals", "front",
+             "seconds"],
+            rows,
+        )
+    )
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    strategies = [
+        s.strip() for s in args.strategies.split(",") if s.strip()
+    ]
+    engines = [e.strip() for e in args.engines.split(",") if e.strip()]
+    result = _run_search(
+        args.workload, args.scale, args.images, args.train, args.test,
+        args.budget, strategies, args.rounds, args.seed, engines,
+        args.workers, _resolve_store(args.store),
+    )
+    if args.json:
+        _emit_json({"search": _search_doc(result, args.workload)})
+    else:
+        _print_search_result(result, args.workload)
+    return 0
+
+
 # -- runs (experiment-store ledger) -----------------------------------------
 
 
@@ -471,6 +614,22 @@ def _cmd_runs_resume(args: argparse.Namespace) -> int:
             out=params.get("out"),
         )
         label_key, label = "accelerator", params["accelerator"]
+    elif command == "search":
+        result = _run_search(
+            params["workload"], params.get("scale"), params["images"],
+            params["train"], params["test"], params["budget"],
+            list(params["strategies"]), params["rounds"],
+            params["seed"], list(params["engines"]), args.workers,
+            store, resume_from=args.run_id,
+        )
+        if args.json:
+            doc = _search_doc(result, params["workload"])
+            doc["resumed_from"] = args.run_id
+            _emit_json({"search": doc})
+        else:
+            print(f"resumed {args.run_id} -> {result.run_id}")
+            _print_search_result(result, params["workload"])
+        return 0
     else:
         raise StoreError(
             f"run {args.run_id!r} has no resumable params "
@@ -599,6 +758,36 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine-readable result document")
     wl_run.add_argument("--out", help="CSV file for the final front")
 
+    search = sub.add_parser(
+        "search", help="parallel portfolio design-space search"
+    )
+    search.add_argument("--workload", default="sobel",
+                        help="workload name (see 'workloads list')")
+    search.add_argument("--budget", type=int, default=2_000,
+                        help="exact model-evaluation budget")
+    search.add_argument(
+        "--strategies", default="hill,nsga2,random",
+        help="comma-separated islands: hill, nsga2, random, "
+             "exhaustive (each may take args, e.g. "
+             "'nsga2:population_size=24')",
+    )
+    search.add_argument("--rounds", type=int, default=2,
+                        help="merge/migrate rounds")
+    search.add_argument("--scale", type=float, default=None,
+                        help="library scale (default: REPRO_SCALE)")
+    search.add_argument("--images", type=int, default=2)
+    search.add_argument("--train", type=int, default=60,
+                        help="real-evaluated training configurations")
+    search.add_argument("--test", type=int, default=30,
+                        help="held-out configurations for fidelity")
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--engines", default="K-Neighbors",
+                        help="comma-separated learning engines")
+    _add_workers_arg(search)
+    _add_store_arg(search)
+    search.add_argument("--json", action="store_true",
+                        help="machine-readable result document")
+
     runs = sub.add_parser(
         "runs", help="experiment-store run ledger operations"
     )
@@ -645,6 +834,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "run": _cmd_run,
     "workloads": _cmd_workloads,
+    "search": _cmd_search,
     "runs": _cmd_runs,
     "export-verilog": _cmd_export_verilog,
 }

@@ -10,6 +10,7 @@ exhaustive baselines, and :mod:`repro.core.pipeline` tying everything into
 the end-to-end flow of Fig. 1.
 """
 
+from repro.core.budget import EvaluationBudget, MeteredEstimator
 from repro.core.wmed import wmed, wmed_table
 from repro.core.configuration import ConfigurationSpace
 from repro.core.preprocessing import pareto_filter_indices, reduce_library
@@ -40,6 +41,8 @@ from repro.core.nsga2 import nsga2_search
 from repro.core.pipeline import AutoAx, AutoAxConfig, AutoAxResult
 
 __all__ = [
+    "EvaluationBudget",
+    "MeteredEstimator",
     "wmed",
     "wmed_table",
     "ConfigurationSpace",

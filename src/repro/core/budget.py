@@ -1,0 +1,202 @@
+"""Exact evaluation-budget accounting for design-space exploration.
+
+The paper's Table 4 compares search algorithms *at matched
+model-evaluation budgets*, so an evaluation that is estimated but never
+consumed (e.g. the tail of a candidate batch discarded after an accepted
+hill-climbing move) still costs one model call and must be counted.  The
+seed implementation kept the counter next to the consumption loop and
+silently dropped those tails; this module closes that bug class by
+construction:
+
+* :class:`EvaluationBudget` is the single ledger of model calls.  It is
+  charged *before* the models run and refuses (raises
+  :class:`~repro.errors.BudgetExceededError`) to go negative, so no code
+  path can issue more model calls than the budget allows.
+* :class:`MeteredEstimator` is the only sanctioned way for a search
+  strategy to invoke the QoR/HW estimation models: every configuration
+  that reaches ``predict`` is charged exactly once (one *evaluation* =
+  one configuration estimated by both the QoR and the hardware model,
+  the paper's unit).
+
+One budget can be shared by several strategies (the portfolio runner
+hands each island a slice); each strategy's own spend is the estimator's
+``count``.
+
+``MeteredEstimator`` can also fan prediction batches out to worker
+processes (``workers``): chunks are predicted in parallel and
+concatenated in submission order, so results are bit-identical to the
+serial path for any row-independent regressor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import BudgetExceededError, DSEError
+
+
+class EvaluationBudget:
+    """A hard cap on model evaluations, charged before the models run.
+
+    ``total=None`` means unlimited (spend is still tracked).  ``grant``
+    answers "how many of ``requested`` may I still estimate?" without
+    reserving anything; ``charge`` commits the spend and raises when it
+    would exceed the cap — callers are expected to ``grant`` first and
+    size their batch accordingly.
+    """
+
+    __slots__ = ("total", "_spent")
+
+    def __init__(self, total: Optional[int] = None):
+        if total is not None:
+            total = int(total)
+            if total < 1:
+                raise DSEError("evaluation budget must be >= 1")
+        self.total = total
+        self._spent = 0
+
+    @property
+    def spent(self) -> int:
+        """Model evaluations charged so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Evaluations left (``inf`` for an unlimited budget)."""
+        if self.total is None:
+            return math.inf
+        return self.total - self._spent
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+    def grant(self, requested: int) -> int:
+        """Largest batch size <= ``requested`` the budget still allows."""
+        if requested < 0:
+            raise DSEError("cannot request a negative batch")
+        return int(min(requested, max(0, self.remaining)))
+
+    def charge(self, count: int) -> None:
+        """Commit ``count`` evaluations; raise instead of overdrawing."""
+        if count < 0:
+            raise DSEError("cannot charge a negative evaluation count")
+        if self.total is not None and self._spent + count > self.total:
+            raise BudgetExceededError(
+                f"charging {count} evaluations would exceed the budget "
+                f"({self._spent}/{self.total} spent)"
+            )
+        self._spent += count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cap = "inf" if self.total is None else str(self.total)
+        return f"<EvaluationBudget {self._spent}/{cap}>"
+
+
+#: Minimum rows per parallel prediction chunk — below this the IPC
+#: overhead dwarfs the prediction work.
+_MIN_CHUNK = 64
+
+#: Per-process models of the parallel-prediction workers (set in the
+#: parent before a fork-context pool starts, or via the initializer).
+_PREDICT_MODELS: Optional[Tuple[object, object]] = None
+
+
+def _init_predict_worker(qor_model, hw_model) -> None:  # pragma: no cover
+    global _PREDICT_MODELS
+    _PREDICT_MODELS = (qor_model, hw_model)
+
+
+def _predict_chunk(genomes: np.ndarray) -> np.ndarray:
+    qor_model, hw_model = _PREDICT_MODELS
+    return np.stack(
+        [qor_model.predict(genomes), hw_model.predict(genomes)], axis=1
+    )
+
+
+class MeteredEstimator:
+    """Budget-charging gateway to the QoR and hardware estimation models.
+
+    ``estimate(configs)`` returns the ``(n, 2)`` array of
+    ``(estimated QoR, estimated cost)`` rows and charges ``n``
+    evaluations to the budget *first* — a batch that would overdraw the
+    budget raises before any model call is issued.
+
+    ``workers > 1`` predicts large batches in parallel worker processes
+    (fork start method; chunk results are concatenated in order, so the
+    output is bit-identical to the serial path).  Use as a context
+    manager — or call :meth:`close` — to tear the pool down.
+    """
+
+    def __init__(
+        self,
+        qor_model,
+        hw_model,
+        budget: Optional[EvaluationBudget] = None,
+        workers: Optional[int] = None,
+    ):
+        self.qor_model = qor_model
+        self.hw_model = hw_model
+        self.budget = budget if budget is not None else EvaluationBudget()
+        self.count = 0  # configurations this estimator charged
+        self.calls = 0  # estimate() invocations
+        self._workers = workers if workers and workers > 1 else None
+        self._pool = None
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None and self._workers:
+            import multiprocessing as mp
+
+            global _PREDICT_MODELS
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-posix fallback
+                ctx = mp.get_context()
+            if ctx.get_start_method() == "fork":
+                _PREDICT_MODELS = (self.qor_model, self.hw_model)
+                self._pool = ctx.Pool(processes=self._workers)
+            else:  # pragma: no cover - non-posix fallback
+                self._pool = ctx.Pool(
+                    processes=self._workers,
+                    initializer=_init_predict_worker,
+                    initargs=(self.qor_model, self.hw_model),
+                )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "MeteredEstimator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- estimation ----------------------------------------------------------
+
+    def estimate(self, configs) -> np.ndarray:
+        """Charge and estimate a batch of configurations."""
+        n = len(configs)
+        if n == 0:
+            return np.empty((0, 2), dtype=float)
+        self.budget.charge(n)
+        self.count += n
+        self.calls += 1
+        if self._workers and n >= 2 * _MIN_CHUNK:
+            pool = self._ensure_pool()
+            if pool is not None:
+                arr = np.asarray(configs)
+                n_chunks = min(self._workers * 2, n // _MIN_CHUNK)
+                chunks = np.array_split(arr, max(1, n_chunks))
+                return np.vstack(pool.map(_predict_chunk, chunks))
+        qor = self.qor_model.predict(configs)
+        cost = self.hw_model.predict(configs)
+        return np.stack([qor, cost], axis=1)

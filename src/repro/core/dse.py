@@ -16,6 +16,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.budget import EvaluationBudget, MeteredEstimator
 from repro.core.configuration import Configuration, ConfigurationSpace
 from repro.core.modeling import EstimationModel
 from repro.core.pareto import ParetoArchive, pareto_front_indices
@@ -59,6 +60,8 @@ def heuristic_pareto_construction(
     stagnation_limit: int = 50,
     rng: RngLike = 0,
     batch_size: int = 64,
+    budget: Optional[EvaluationBudget] = None,
+    archive: Optional[ParetoArchive] = None,
 ) -> DSEResult:
     """Algorithm 1: hill climbing with a Pareto archive and restarts.
 
@@ -66,29 +69,59 @@ def heuristic_pareto_construction(
     ensembles amortise their per-call overhead; the batch is consumed
     sequentially, preserving the algorithm's move semantics (each
     accepted move changes the parent, and remaining candidates of the
-    batch are discarded).
+    batch are discarded).  Every estimated candidate — including a
+    discarded batch tail — costs one model evaluation and is charged
+    against the budget, so ``DSEResult.evaluations`` equals the exact
+    number of configurations sent to the models and never exceeds
+    ``max_evaluations``.
+
+    ``budget`` overrides ``max_evaluations`` with a shared
+    :class:`~repro.core.budget.EvaluationBudget` (portfolio islands
+    pass a slice of the global budget).  ``archive`` warm-starts the
+    search from an existing Pareto archive in *minimised* objective
+    space (``(-qor, cost)`` rows); the first parent is then drawn from
+    the archive instead of being sampled (and estimated) at random.
     """
-    if max_evaluations < 1:
-        raise DSEError("max_evaluations must be >= 1")
+    if budget is None:
+        if max_evaluations < 1:
+            raise DSEError("max_evaluations must be >= 1")
+        budget = EvaluationBudget(max_evaluations)
     if stagnation_limit < 1:
         raise DSEError("stagnation_limit must be >= 1")
     gen = ensure_rng(rng)
-    archive = ParetoArchive(n_objectives=2)
+    if archive is None:
+        archive = ParetoArchive(n_objectives=2)
+    estimator = MeteredEstimator(qor_model, hw_model, budget)
 
-    parent = space.random_configuration(gen)
-    est = _estimate(qor_model, hw_model, [parent])[0]
-    archive.insert((-est[0], est[1]), parent)
-    evaluations = 1
-    inserts = 1
+    inserts = 0
     restarts = 0
     stagnation = 0
+    if len(archive):
+        members = archive.payloads
+        parent = members[int(gen.integers(0, len(members)))]
+    else:
+        if budget.grant(1) == 0:
+            raise DSEError(
+                "evaluation budget exhausted before the initial sample"
+            )
+        parent = space.random_configuration(gen)
+        est = estimator.estimate([parent])[0]
+        archive.insert((-est[0], est[1]), parent)
+        inserts = 1
 
-    while evaluations < max_evaluations:
-        batch_n = min(batch_size, max_evaluations - evaluations)
-        candidates = [space.neighbor(parent, gen) for _ in range(batch_n)]
-        estimates = _estimate(qor_model, hw_model, candidates)
+    while True:
+        # Adaptive batch ramp: a batch is discarded from the point of
+        # an accepted move or restart, and discarded candidates now
+        # cost real budget — so stay small while moves are being
+        # accepted (tails are then short) and grow towards
+        # ``batch_size`` during stagnant stretches, where the whole
+        # batch gets consumed and the per-call overhead amortised.
+        batch_n = budget.grant(min(batch_size, stagnation + 4))
+        if batch_n == 0:
+            break
+        candidates = space.neighbors(parent, batch_n, gen)
+        estimates = estimator.estimate(candidates)
         for candidate, (eqor, ehw) in zip(candidates, estimates):
-            evaluations += 1
             if archive.insert((-eqor, ehw), candidate):
                 parent = candidate
                 inserts += 1
@@ -107,7 +140,7 @@ def heuristic_pareto_construction(
     return DSEResult(
         configs=list(archive.payloads),
         points=points,
-        evaluations=evaluations,
+        evaluations=estimator.count,
         inserts=inserts,
         restarts=restarts,
     )
@@ -119,21 +152,28 @@ def random_sampling(
     hw_model: EstimationModel,
     max_evaluations: int = 10_000,
     rng: RngLike = 0,
+    budget: Optional[EvaluationBudget] = None,
 ) -> DSEResult:
     """RS baseline: estimate random configurations, keep the front."""
-    if max_evaluations < 1:
-        raise DSEError("max_evaluations must be >= 1")
+    if budget is None:
+        if max_evaluations < 1:
+            raise DSEError("max_evaluations must be >= 1")
+        budget = EvaluationBudget(max_evaluations)
     gen = ensure_rng(rng)
-    configs = [
-        space.random_configuration(gen) for _ in range(max_evaluations)
-    ]
-    estimates = _estimate(qor_model, hw_model, configs)
+    estimator = MeteredEstimator(qor_model, hw_model, budget)
+    count = budget.grant(max_evaluations)
+    if count == 0:
+        raise DSEError(
+            "evaluation budget exhausted before the initial sample"
+        )
+    configs = [space.random_configuration(gen) for _ in range(count)]
+    estimates = estimator.estimate(configs)
     minimised = np.stack([-estimates[:, 0], estimates[:, 1]], axis=1)
     front = pareto_front_indices(minimised)
     return DSEResult(
         configs=[configs[i] for i in front],
         points=estimates[front],
-        evaluations=max_evaluations,
+        evaluations=estimator.count,
         inserts=len(front),
         restarts=0,
     )
@@ -174,23 +214,43 @@ def exhaustive_search(
     qor_model: EstimationModel,
     hw_model: EstimationModel,
     batch_size: int = 200_000,
+    budget: Optional[EvaluationBudget] = None,
+    offset: int = 0,
 ) -> DSEResult:
     """Estimate *every* configuration; exact front of the estimated space.
 
     Only feasible for reduced/capped spaces — this is the "optimal
-    Pareto" reference of Table 4.
+    Pareto" reference of Table 4.  With a ``budget`` the enumeration is
+    *capped*: it scans configurations in enumeration order starting at
+    ``offset`` (wrapping is the caller's concern) and stops when the
+    budget runs out, so the budget-limited variant is usable as a
+    portfolio island.
     """
     all_configs = space.enumerate_all()
     n = all_configs.shape[0]
+    if budget is None:
+        budget = EvaluationBudget(n)
+    if not 0 <= offset <= n:
+        raise DSEError(f"offset {offset} outside [0, {n}]")
+    estimator = MeteredEstimator(qor_model, hw_model, budget)
     keep_configs: List[np.ndarray] = []
     keep_points: List[np.ndarray] = []
-    for start in range(0, n, batch_size):
-        block = all_configs[start : start + batch_size]
-        est = _estimate(qor_model, hw_model, block)
+    start = offset
+    while start < n:
+        block_n = budget.grant(min(batch_size, n - start))
+        if block_n == 0:
+            break
+        block = all_configs[start : start + block_n]
+        start += block_n
+        est = estimator.estimate(block)
         minimised = np.stack([-est[:, 0], est[:, 1]], axis=1)
         front = pareto_front_indices(minimised)
         keep_configs.append(block[front])
         keep_points.append(est[front])
+    if not keep_configs:
+        raise DSEError(
+            "evaluation budget exhausted before the first block"
+        )
     merged_configs = np.vstack(keep_configs)
     merged_points = np.vstack(keep_points)
     minimised = np.stack(
@@ -200,7 +260,7 @@ def exhaustive_search(
     return DSEResult(
         configs=[tuple(int(g) for g in merged_configs[i]) for i in front],
         points=merged_points[front],
-        evaluations=n,
+        evaluations=estimator.count,
         inserts=len(front),
         restarts=0,
     )

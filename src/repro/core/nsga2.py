@@ -13,10 +13,11 @@ algorithm: NSGA-II", IEEE TEC 2002.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.budget import EvaluationBudget, MeteredEstimator
 from repro.core.configuration import Configuration, ConfigurationSpace
 from repro.core.dse import DSEResult
 from repro.core.modeling import EstimationModel
@@ -26,27 +27,28 @@ from repro.utils.rng import RngLike, ensure_rng
 
 
 def fast_non_dominated_sort(points: np.ndarray) -> List[np.ndarray]:
-    """Partition ``points`` (minimisation) into non-domination fronts."""
+    """Partition ``points`` (minimisation) into non-domination fronts.
+
+    Fully vectorised: one broadcasted pass builds the pairwise
+    domination matrix, then each front is peeled off with matrix
+    reductions instead of the classic per-point Python loops.
+    """
+    points = np.asarray(points, dtype=float)
     n = points.shape[0]
-    dominated_by: List[List[int]] = [[] for _ in range(n)]
-    domination_count = np.zeros(n, dtype=np.int64)
-    for i in range(n):
-        p = points[i]
-        beats = np.all(p <= points, axis=1) & np.any(p < points, axis=1)
-        beaten = np.all(points <= p, axis=1) & np.any(points < p, axis=1)
-        dominated_by[i] = np.nonzero(beats)[0].tolist()
-        domination_count[i] = int(beaten.sum())
+    if n == 0:
+        return []
+    le = np.all(points[:, None, :] <= points[None, :, :], axis=2)
+    lt = np.any(points[:, None, :] < points[None, :, :], axis=2)
+    beats = le & lt  # beats[i, j]: point i dominates point j
+    domination_count = beats.sum(axis=0)
     fronts: List[np.ndarray] = []
-    current = np.nonzero(domination_count == 0)[0]
-    while current.size:
+    while True:
+        current = np.nonzero(domination_count == 0)[0]
+        if current.size == 0:
+            break
         fronts.append(current)
-        next_front: List[int] = []
-        for i in current:
-            for j in dominated_by[i]:
-                domination_count[j] -= 1
-                if domination_count[j] == 0:
-                    next_front.append(j)
-        current = np.asarray(sorted(set(next_front)), dtype=np.int64)
+        domination_count = domination_count - beats[current].sum(axis=0)
+        domination_count[current] = -1  # assigned; never zero again
     return fronts
 
 
@@ -69,14 +71,22 @@ def crowding_distance(points: np.ndarray) -> np.ndarray:
 
 
 def _tournament(rank, crowd, rng, count):
-    """Binary tournament selection indices (lower rank, higher crowding)."""
+    """Binary tournament selection indices (lower rank, higher crowding).
+
+    Exact ties — equal rank *and* equal crowding, the common case when
+    both contestants carry infinite boundary crowding — are broken by a
+    fair coin: always awarding them to one side skews selection
+    pressure toward arbitrary population positions.
+    """
     n = rank.shape[0]
     a = rng.integers(0, n, size=count)
     b = rng.integers(0, n, size=count)
     better_rank = rank[a] < rank[b]
     tie = rank[a] == rank[b]
     better_crowd = crowd[a] > crowd[b]
-    pick_a = better_rank | (tie & better_crowd)
+    full_tie = tie & (crowd[a] == crowd[b])
+    coin = rng.random(size=count) < 0.5
+    pick_a = better_rank | (tie & better_crowd) | (full_tie & coin)
     return np.where(pick_a, a, b)
 
 
@@ -89,32 +99,99 @@ def nsga2_search(
     crossover_prob: float = 0.9,
     mutation_prob: float = 0.2,
     rng: RngLike = 0,
+    budget: Optional[EvaluationBudget] = None,
+    workers: Optional[int] = None,
+    seeds: Optional[Sequence[Configuration]] = None,
 ) -> DSEResult:
     """NSGA-II exploration returning the final population's Pareto front.
 
-    Total model evaluations: ``population_size * (generations + 1)``.
+    Total model evaluations: ``population_size * (generations + 1)``,
+    or fewer under an explicit ``budget`` — the search stops before any
+    generation the budget cannot fully fund, and every model call is
+    metered so ``DSEResult.evaluations`` is exact.
+
+    ``seeds`` pre-loads the initial population (truncated to the
+    population size, padded with random configurations) — the portfolio
+    runner's migration channel.  ``workers > 1`` predicts objective
+    batches in parallel worker processes; chunk outputs are
+    concatenated in submission order, so results are bit-identical to
+    the serial path for a fixed RNG seed.
     """
     if population_size < 4 or population_size % 2:
         raise DSEError("population_size must be an even number >= 4")
     if generations < 1:
         raise DSEError("generations must be >= 1")
+    if budget is None:
+        budget = EvaluationBudget(population_size * (generations + 1))
     gen = ensure_rng(rng)
     sizes = np.asarray(space.slot_sizes())
     n_slots = space.n_slots
 
-    population = np.stack(
-        [space.random_configuration(gen) for _ in range(population_size)]
-    ).astype(np.int64)
+    initial: List[Configuration] = []
+    if seeds:
+        initial = [tuple(c) for c in seeds[:population_size]]
+    initial += [
+        space.random_configuration(gen)
+        for _ in range(population_size - len(initial))
+    ]
+    population = np.stack(initial).astype(np.int64)
+
+    if budget.grant(population_size) < population_size:
+        raise DSEError(
+            "evaluation budget cannot fund one NSGA-II population"
+        )
+    estimator = MeteredEstimator(
+        qor_model, hw_model, budget, workers=workers
+    )
 
     def estimate(genomes: np.ndarray) -> np.ndarray:
-        qor = qor_model.predict(genomes)
-        cost = hw_model.predict(genomes)
-        return np.stack([-qor, cost], axis=1)  # minimisation space
+        est = estimator.estimate(genomes)
+        return np.stack([-est[:, 0], est[:, 1]], axis=1)  # minimised
 
-    objectives = estimate(population)
-    evaluations = population_size
+    with estimator:
+        objectives = estimate(population)
+        population, objectives = _evolve(
+            space, population, objectives, estimate, gen,
+            population_size, generations, crossover_prob,
+            mutation_prob, budget, sizes, n_slots,
+        )
 
+    front_idx = pareto_front_indices(objectives)
+    unique: dict = {}
+    for i in front_idx:
+        unique[tuple(int(g) for g in population[i])] = i
+    configs = list(unique.keys())
+    idx = np.asarray(list(unique.values()), dtype=np.int64)
+    points = np.stack(
+        [-objectives[idx, 0], objectives[idx, 1]], axis=1
+    )
+    return DSEResult(
+        configs=configs,
+        points=points,
+        evaluations=estimator.count,
+        inserts=len(configs),
+        restarts=0,
+    )
+
+
+def _evolve(
+    space,
+    population,
+    objectives,
+    estimate,
+    gen,
+    population_size,
+    generations,
+    crossover_prob,
+    mutation_prob,
+    budget,
+    sizes,
+    n_slots,
+):
+    """The NSGA-II generation loop (split out for readability)."""
     for _ in range(generations):
+        if budget.grant(population_size) < population_size:
+            break
         fronts = fast_non_dominated_sort(objectives)
         rank = np.empty(population_size, dtype=np.int64)
         crowd = np.empty(population_size)
@@ -137,7 +214,6 @@ def nsga2_search(
         children = np.where(mutate, redraw, children)
 
         child_obj = estimate(children)
-        evaluations += population_size
 
         merged = np.vstack([population, children])
         merged_obj = np.vstack([objectives, child_obj])
@@ -155,20 +231,4 @@ def nsga2_search(
                 break
         population = merged[chosen]
         objectives = merged_obj[chosen]
-
-    front_idx = pareto_front_indices(objectives)
-    unique: dict = {}
-    for i in front_idx:
-        unique[tuple(int(g) for g in population[i])] = i
-    configs = list(unique.keys())
-    idx = np.asarray(list(unique.values()), dtype=np.int64)
-    points = np.stack(
-        [-objectives[idx, 0], objectives[idx, 1]], axis=1
-    )
-    return DSEResult(
-        configs=configs,
-        points=points,
-        evaluations=evaluations,
-        inserts=len(configs),
-        restarts=0,
-    )
+    return population, objectives

@@ -39,6 +39,10 @@ class DSEError(ReproError):
     """Raised for design-space-exploration misconfiguration."""
 
 
+class BudgetExceededError(DSEError):
+    """Raised when a model-call batch would overdraw an evaluation budget."""
+
+
 class WorkloadError(ReproError):
     """Raised for unknown or misdeclared workload-registry entries."""
 

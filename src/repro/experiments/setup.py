@@ -224,6 +224,46 @@ def build_workload_engine(
     )
 
 
+def fit_search_models(
+    space,
+    engine: EvaluationEngine,
+    n_train: int,
+    n_test: int,
+    engines: Sequence[str] = ("K-Neighbors",),
+    seed: int = 0,
+    workers: Optional[int] = None,
+):
+    """Fit the (QoR, area) estimation models the search layer consumes.
+
+    One shared constructor for the CLI, benchmarks and experiment
+    drivers: the training and held-out sets follow the
+    ``rng=seed`` / ``seed + 1`` convention, engines are fidelity-ranked
+    per target, and the best model of each target is returned as
+    ``(qor_model, hw_model)``.
+    """
+    from repro.core.modeling import (
+        build_training_set,
+        fit_engines,
+        select_best_model,
+    )
+
+    train = build_training_set(
+        space, engine, n_train, rng=seed, workers=workers
+    )
+    test = build_training_set(
+        space, engine, n_test, rng=seed + 1, workers=workers
+    )
+    qor_model = select_best_model(
+        fit_engines(space, train, test, target="qor",
+                    engines=list(engines), seed=seed)
+    ).model
+    hw_model = select_best_model(
+        fit_engines(space, train, test, target="area",
+                    engines=list(engines), seed=seed)
+    ).model
+    return qor_model, hw_model
+
+
 def build_engine(
     accelerator: ImageAccelerator,
     images: Sequence[np.ndarray],

@@ -19,15 +19,17 @@ import numpy as np
 
 from repro.accelerators.profiler import profile_accelerator
 from repro.accelerators.sobel import SobelEdgeDetector
-from repro.core.dse import (
-    exhaustive_search,
-    heuristic_pareto_construction,
-    random_sampling,
-)
-from repro.core.modeling import build_training_set, fit_engines, select_best_model
+from repro.core.budget import EvaluationBudget
+from repro.core.dse import exhaustive_search
 from repro.core.pareto import front_distances
 from repro.core.preprocessing import reduce_library
-from repro.experiments.setup import ExperimentSetup, build_engine
+from repro.experiments.setup import (
+    ExperimentSetup,
+    build_engine,
+    fit_search_models,
+)
+from repro.search.portfolio import PortfolioRunner
+from repro.search.strategies import make_strategy
 
 
 @dataclass
@@ -59,8 +61,17 @@ def table4_distances(
     stagnation_limit: int = 50,
     engines: Sequence[str] = ("Random Forest",),
     enumeration_limit: float = 2e6,
+    include_portfolio: bool = False,
+    portfolio_workers: Optional[int] = None,
 ) -> Table4Result:
     """Run proposed vs RS at each budget against the exhaustive front.
+
+    Every algorithm runs through the budget-metered search-strategy
+    layer, so each row's ``evaluations`` is the *exact* number of model
+    calls issued — the budget-matched comparison of the paper's
+    Table 4 holds by construction.  ``include_portfolio`` adds a third
+    row per budget: the parallel portfolio (hill + NSGA-II + random
+    islands) at the same exact budget.
 
     The reduced space is thinned (``per_op_cap``) only when it exceeds
     ``enumeration_limit`` configurations, so the reference front stays
@@ -85,18 +96,10 @@ def table4_distances(
             accelerator, setup.library, profiles, per_op_cap=per_op_cap
         )
     evaluator = build_engine(accelerator, setup.images)
-    train = build_training_set(space, evaluator, n_train, rng=setup.seed)
-    test = build_training_set(
-        space, evaluator, n_test, rng=setup.seed + 1
+    qor_model, hw_model = fit_search_models(
+        space, evaluator, n_train, n_test, engines=engines,
+        seed=setup.seed,
     )
-    qor_model = select_best_model(
-        fit_engines(space, train, test, target="qor",
-                    engines=list(engines), seed=setup.seed)
-    ).model
-    hw_model = select_best_model(
-        fit_engines(space, train, test, target="area",
-                    engines=list(engines), seed=setup.seed)
-    ).model
 
     optimal = exhaustive_search(space, qor_model, hw_model)
     # Joint normalisation bounds over the whole estimated objective space
@@ -104,32 +107,47 @@ def table4_distances(
     low = optimal.points.min(axis=0)
     high = optimal.points.max(axis=0)
 
+    hill = make_strategy(
+        f"hill:stagnation_limit={stagnation_limit},batch_size=64"
+    )
+    sampler = make_strategy("random")
     rows: List[Table4Row] = []
     for budget in budgets:
-        proposed = heuristic_pareto_construction(
-            space,
-            qor_model,
-            hw_model,
-            max_evaluations=budget,
-            stagnation_limit=stagnation_limit,
-            rng=setup.seed + budget,
-        )
-        sampled = random_sampling(
-            space,
-            qor_model,
-            hw_model,
-            max_evaluations=budget,
-            rng=setup.seed + budget,
-        )
-        for name, result in (("Proposed", proposed), ("Random sampling",
-                                                      sampled)):
+        results = [
+            (
+                "Proposed",
+                hill.run(
+                    space, qor_model, hw_model,
+                    budget=EvaluationBudget(budget),
+                    rng=setup.seed + budget,
+                ),
+            ),
+            (
+                "Random sampling",
+                sampler.run(
+                    space, qor_model, hw_model,
+                    budget=EvaluationBudget(budget),
+                    rng=setup.seed + budget,
+                ),
+            ),
+        ]
+        if include_portfolio:
+            portfolio = PortfolioRunner(
+                space, qor_model, hw_model,
+                strategies=("hill", "nsga2", "random"),
+                rounds=2,
+                seed=setup.seed + budget,
+                workers=portfolio_workers,
+            ).run(budget)
+            results.append(("Portfolio", portfolio.as_dse_result()))
+        for name, result in results:
             stats = front_distances(
                 result.points, optimal.points, bounds=(low, high)
             )
             rows.append(
                 Table4Row(
                     algorithm=name,
-                    evaluations=budget,
+                    evaluations=result.evaluations,
                     pareto_size=len(result),
                     to_optimal_avg=stats["to_optimal_avg"],
                     to_optimal_max=stats["to_optimal_max"],

@@ -1,0 +1,277 @@
+"""One interface over every search algorithm in the repository.
+
+A :class:`SearchStrategy` runs some explorer — the paper's hill climber
+(Algorithm 1), NSGA-II, random sampling or capped exhaustive
+enumeration — against a shared
+:class:`~repro.core.budget.EvaluationBudget` and returns a
+:class:`~repro.core.dse.DSEResult` whose ``evaluations`` equals the
+exact number of configurations sent to the estimation models.  The
+uniform surface is what lets the portfolio runner treat islands
+interchangeably:
+
+* ``budget`` — the island's slice of the global evaluation budget; the
+  strategy may not issue more model calls than it allows.
+* ``archive`` — a warm-start Pareto archive in *minimised* objective
+  space (``(-qor, cost)``); strategies that climb an archive continue
+  from it.
+* ``seeds`` — configurations worth starting from (the merged portfolio
+  front); population strategies inject them into their initial
+  population.
+* ``state`` — a JSON-serialisable dict the runner persists between
+  rounds and checkpoints to the experiment store (e.g. the NSGA-II
+  population, the exhaustive scan offset).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.budget import EvaluationBudget
+from repro.core.configuration import Configuration, ConfigurationSpace
+from repro.core.dse import (
+    DSEResult,
+    exhaustive_search,
+    heuristic_pareto_construction,
+    random_sampling,
+)
+from repro.core.modeling import EstimationModel
+from repro.core.nsga2 import nsga2_search
+from repro.core.pareto import ParetoArchive
+from repro.errors import DSEError
+from repro.utils.rng import RngLike
+
+
+class SearchStrategy(ABC):
+    """Protocol every explorer implements (see module docstring)."""
+
+    #: Registry name ("hill", "nsga2", ...); set by subclasses.
+    name: str = ""
+
+    def _finite_remaining(self, budget: EvaluationBudget) -> int:
+        """The budget's remaining allowance; rejects unlimited budgets.
+
+        Strategies size their work from the remaining budget, so an
+        uncapped budget would mean an unbounded sample draw or an
+        endless climb — fail loudly instead.
+        """
+        if budget.total is None:
+            raise DSEError(
+                f"the {self.name!r} strategy needs a finite "
+                "evaluation budget"
+            )
+        return budget.grant(budget.total)
+
+    @abstractmethod
+    def run(
+        self,
+        space: ConfigurationSpace,
+        qor_model: EstimationModel,
+        hw_model: EstimationModel,
+        budget: EvaluationBudget,
+        rng: RngLike = 0,
+        archive: Optional[ParetoArchive] = None,
+        seeds: Optional[Sequence[Configuration]] = None,
+        state: Optional[Dict] = None,
+    ) -> DSEResult:
+        """Explore until the budget is exhausted; exact accounting."""
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable textual form (checkpoint identity)."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.spec!r}>"
+
+
+class HillClimbStrategy(SearchStrategy):
+    """The paper's Algorithm 1 — Pareto-archive stochastic hill climbing."""
+
+    name = "hill"
+
+    def __init__(self, stagnation_limit: int = 50, batch_size: int = 64):
+        self.stagnation_limit = stagnation_limit
+        self.batch_size = batch_size
+
+    @property
+    def spec(self) -> str:
+        return (
+            f"hill:stagnation_limit={self.stagnation_limit},"
+            f"batch_size={self.batch_size}"
+        )
+
+    def run(self, space, qor_model, hw_model, budget, rng=0,
+            archive=None, seeds=None, state=None) -> DSEResult:
+        self._finite_remaining(budget)
+        return heuristic_pareto_construction(
+            space,
+            qor_model,
+            hw_model,
+            stagnation_limit=self.stagnation_limit,
+            rng=rng,
+            batch_size=self.batch_size,
+            budget=budget,
+            archive=archive,
+        )
+
+
+class Nsga2Strategy(SearchStrategy):
+    """NSGA-II islands; population persists across rounds via ``state``."""
+
+    name = "nsga2"
+
+    def __init__(
+        self,
+        population_size: int = 40,
+        crossover_prob: float = 0.9,
+        mutation_prob: float = 0.2,
+    ):
+        if population_size < 4 or population_size % 2:
+            raise DSEError("population_size must be an even number >= 4")
+        self.population_size = population_size
+        self.crossover_prob = crossover_prob
+        self.mutation_prob = mutation_prob
+
+    @property
+    def spec(self) -> str:
+        return (
+            f"nsga2:population_size={self.population_size},"
+            f"crossover_prob={self.crossover_prob},"
+            f"mutation_prob={self.mutation_prob}"
+        )
+
+    def run(self, space, qor_model, hw_model, budget, rng=0,
+            archive=None, seeds=None, state=None) -> DSEResult:
+        remaining = self._finite_remaining(budget)
+        # Shrink the population so at least one generation fits the
+        # slice; a slice too small for any population falls back to
+        # random sampling rather than wasting the budget.
+        pop = min(self.population_size, (remaining // 2) & ~1)
+        if pop < 4:
+            return random_sampling(
+                space, qor_model, hw_model,
+                max_evaluations=max(1, remaining), rng=rng,
+                budget=budget,
+            )
+        generations = max(1, remaining // pop - 1)
+        merged_seeds: List[Configuration] = []
+        if state and state.get("population"):
+            merged_seeds += [tuple(c) for c in state["population"]]
+        if seeds:
+            known = set(merged_seeds)
+            merged_seeds += [
+                tuple(c) for c in seeds if tuple(c) not in known
+            ]
+        result = nsga2_search(
+            space,
+            qor_model,
+            hw_model,
+            population_size=pop,
+            generations=generations,
+            crossover_prob=self.crossover_prob,
+            mutation_prob=self.mutation_prob,
+            rng=rng,
+            budget=budget,
+            seeds=merged_seeds or None,
+        )
+        if state is not None:
+            state["population"] = [list(c) for c in result.configs]
+        return result
+
+
+class RandomStrategy(SearchStrategy):
+    """Random-sampling baseline; spends its whole slice in one batch."""
+
+    name = "random"
+
+    def run(self, space, qor_model, hw_model, budget, rng=0,
+            archive=None, seeds=None, state=None) -> DSEResult:
+        return random_sampling(
+            space, qor_model, hw_model,
+            max_evaluations=max(1, self._finite_remaining(budget)),
+            rng=rng,
+            budget=budget,
+        )
+
+
+class ExhaustiveStrategy(SearchStrategy):
+    """Budget-capped exhaustive scan; ``state`` carries the scan offset."""
+
+    name = "exhaustive"
+
+    def __init__(self, batch_size: int = 100_000):
+        self.batch_size = batch_size
+
+    @property
+    def spec(self) -> str:
+        return f"exhaustive:batch_size={self.batch_size}"
+
+    def run(self, space, qor_model, hw_model, budget, rng=0,
+            archive=None, seeds=None, state=None) -> DSEResult:
+        offset = int(state.get("offset", 0)) if state else 0
+        total = int(space.size())
+        if offset >= total:
+            # Space fully scanned in earlier rounds: nothing left to
+            # evaluate and nothing new to contribute (echoing the
+            # shared archive here would misattribute the other
+            # islands' work to this one).
+            return DSEResult(
+                configs=[], points=np.empty((0, 2)),
+                evaluations=0, inserts=0, restarts=0,
+            )
+        result = exhaustive_search(
+            space, qor_model, hw_model,
+            batch_size=self.batch_size, budget=budget, offset=offset,
+        )
+        if state is not None:
+            state["offset"] = offset + result.evaluations
+        return result
+
+
+#: Registry of strategy names -> classes.
+STRATEGIES = {
+    cls.name: cls
+    for cls in (
+        HillClimbStrategy,
+        Nsga2Strategy,
+        RandomStrategy,
+        ExhaustiveStrategy,
+    )
+}
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def make_strategy(spec: str) -> SearchStrategy:
+    """Build a strategy from ``"name"`` or ``"name:key=val,key=val"``."""
+    name, _, args = spec.partition(":")
+    name = name.strip().lower()
+    if name not in STRATEGIES:
+        raise DSEError(
+            f"unknown search strategy {name!r}; "
+            f"known: {sorted(STRATEGIES)}"
+        )
+    kwargs = {}
+    if args.strip():
+        for item in args.split(","):
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise DSEError(
+                    f"malformed strategy argument {item!r} in {spec!r}"
+                )
+            kwargs[key.strip()] = _parse_value(value.strip())
+    try:
+        return STRATEGIES[name](**kwargs)
+    except TypeError as exc:
+        raise DSEError(f"bad arguments for {name!r}: {exc}") from None

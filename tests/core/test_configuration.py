@@ -119,3 +119,49 @@ class TestRealisation:
         assert grid.shape[1] == space.n_slots
         # rows are unique configurations
         assert len(np.unique(grid, axis=0)) == grid.shape[0]
+
+
+class TestNeighborsBatch:
+    def test_each_differs_in_exactly_one_gene(self, sobel_space, rng):
+        config = sobel_space.random_configuration(rng)
+        batch = sobel_space.neighbors(config, 50, rng)
+        assert len(batch) == 50
+        for candidate in batch:
+            sobel_space.validate_configuration(candidate)
+            diffs = sum(
+                1 for a, b in zip(candidate, config) if a != b
+            )
+            assert diffs == 1
+
+    def test_count_zero_and_negative(self, sobel_space, rng):
+        config = sobel_space.random_configuration(rng)
+        assert sobel_space.neighbors(config, 0, rng) == []
+        with pytest.raises(DSEError):
+            sobel_space.neighbors(config, -1, rng)
+
+    def test_deterministic_for_seed(self, sobel_space):
+        config = sobel_space.random_configuration(
+            np.random.default_rng(0)
+        )
+        a = sobel_space.neighbors(config, 20, np.random.default_rng(3))
+        b = sobel_space.neighbors(config, 20, np.random.default_rng(3))
+        assert a == b
+
+    def test_covers_all_mutable_slots(self, sobel_space):
+        """Over many draws every multi-choice slot gets mutated."""
+        config = sobel_space.random_configuration(
+            np.random.default_rng(1)
+        )
+        batch = sobel_space.neighbors(
+            config, 500, np.random.default_rng(2)
+        )
+        mutated = set()
+        for candidate in batch:
+            for k, (a, b) in enumerate(zip(candidate, config)):
+                if a != b:
+                    mutated.add(k)
+        expected = {
+            k for k in range(sobel_space.n_slots)
+            if len(sobel_space.choices[k]) > 1
+        }
+        assert mutated == expected

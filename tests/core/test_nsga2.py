@@ -4,6 +4,7 @@ import pytest
 from repro.core.dse import random_sampling
 from repro.core.modeling import build_training_set, fit_engines, select_best_model
 from repro.core.nsga2 import (
+    _tournament,
     crowding_distance,
     fast_non_dominated_sort,
     nsga2_search,
@@ -69,6 +70,38 @@ class TestCrowdingDistance:
         assert crowd[1] < crowd[2]
 
 
+class TestTournament:
+    def test_full_ties_break_randomly(self):
+        """Equal rank + equal (infinite) crowding: ~50/50, not always b.
+
+        Regression: the seed implementation resolved exact ties
+        deterministically in favour of contestant ``b``.
+        """
+        n, draws = 6, 20_000
+        rank = np.zeros(n, dtype=np.int64)
+        crowd = np.full(n, np.inf)
+        picks = _tournament(rank, crowd, np.random.default_rng(7), draws)
+        # Re-draw the contestant pairs with the same seed to see which
+        # side each pick came from.
+        replay = np.random.default_rng(7)
+        a = replay.integers(0, n, size=draws)
+        b = replay.integers(0, n, size=draws)
+        distinct = a != b
+        frac_a = float(np.mean(picks[distinct] == a[distinct]))
+        assert 0.45 < frac_a < 0.55
+
+    def test_lower_rank_still_always_wins(self):
+        rank = np.array([0, 1], dtype=np.int64)
+        crowd = np.full(2, np.inf)
+        picks = _tournament(rank, crowd, np.random.default_rng(0), 500)
+        # whenever the contestants differed in rank, rank 0 won
+        replay = np.random.default_rng(0)
+        a = replay.integers(0, 2, size=500)
+        b = replay.integers(0, 2, size=500)
+        mixed = rank[a] != rank[b]
+        assert np.all(rank[picks[mixed]] == 0)
+
+
 @pytest.fixture(scope="module")
 def models(sobel_space, sobel_evaluator):
     train = build_training_set(sobel_space, sobel_evaluator, 50, rng=0)
@@ -116,6 +149,38 @@ class TestNsga2Search:
         b = nsga2_search(sobel_space, qor, hw, population_size=12,
                          generations=4, rng=5)
         assert a.configs == b.configs
+
+    def test_bit_reproducible_across_workers(self, sobel_space, models):
+        """Parallel objective prediction must not change any bit.
+
+        The population is large enough (>= 2x the parallel chunk
+        minimum) that ``workers=2`` actually exercises the prediction
+        pool; chunk outputs concatenate in submission order.
+        """
+        qor, hw = models
+        serial = nsga2_search(
+            sobel_space, qor, hw, population_size=256, generations=2,
+            rng=3, workers=None,
+        )
+        parallel = nsga2_search(
+            sobel_space, qor, hw, population_size=256, generations=2,
+            rng=3, workers=2,
+        )
+        assert serial.configs == parallel.configs
+        assert np.array_equal(serial.points, parallel.points)
+        assert serial.evaluations == parallel.evaluations == 256 * 3
+
+    def test_seeded_population_contains_seeds(self, sobel_space, models):
+        qor, hw = models
+        seeds = [sobel_space.random_configuration(
+            np.random.default_rng(s)) for s in range(4)]
+        result = nsga2_search(
+            sobel_space, qor, hw, population_size=12, generations=2,
+            rng=0, seeds=seeds,
+        )
+        assert result.evaluations == 12 * 3
+        for config in result.configs:
+            sobel_space.validate_configuration(config)
 
     def test_competitive_with_random_sampling(self, sobel_space, models):
         """With the same evaluation budget NSGA-II's front hypervolume

@@ -1,0 +1,56 @@
+"""Fixtures of the search-layer tests: fitted models + call counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modeling import (
+    build_training_set,
+    fit_engines,
+    select_best_model,
+)
+
+
+class CountingModel:
+    """Estimation-model wrapper that counts every configuration predicted.
+
+    The ground truth of the budget-accounting contract: whatever a
+    search reports as ``evaluations`` must equal the number of
+    configurations that actually reached ``predict``.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self.configs_predicted = 0
+        self.calls = 0
+
+    def predict(self, configs):
+        self.configs_predicted += len(configs)
+        self.calls += 1
+        return self.model.predict(configs)
+
+
+@pytest.fixture(scope="module")
+def models(sobel_space, sobel_evaluator):
+    train = build_training_set(sobel_space, sobel_evaluator, 50, rng=0)
+    test = build_training_set(sobel_space, sobel_evaluator, 25, rng=1)
+    qor = select_best_model(
+        fit_engines(sobel_space, train, test, target="qor",
+                    engines=["K-Neighbors"])
+    ).model
+    hw = select_best_model(
+        fit_engines(sobel_space, train, test, target="area",
+                    engines=["K-Neighbors"])
+    ).model
+    return qor, hw
+
+
+@pytest.fixture()
+def count_models(models):
+    """Factory: fresh counting wrappers around the fitted models."""
+
+    def make():
+        qor, hw = models
+        return CountingModel(qor), CountingModel(hw)
+
+    return make

@@ -228,6 +228,45 @@ class TestStoreCommands:
         assert set(doc["stage_cache"].values()) == {"hit"}
         assert doc["engine_stats"]["synth_misses"] == 0
 
+    def test_search_records_and_resumes(self, store_env, capsys):
+        assert main([
+            "search", "--workload", "sobel", "--scale", "0.0005",
+            "--images", "1", "--train", "12", "--test", "6",
+            "--budget", "150", "--rounds", "2", "--json",
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        search = doc["search"]
+        assert search["evaluations"] == 150  # exact budget spend
+        assert search["front_size"] >= 1
+        assert search["run_id"]
+        assert any(
+            r["strategy"] == "hill" for r in search["islands"]
+        )
+
+        assert main(["runs", "list"]) == 0
+        assert search["run_id"] in capsys.readouterr().out
+
+        # Resuming a complete search serves the checkpointed front.
+        assert main(
+            ["runs", "resume", search["run_id"], "--json"]
+        ) == 0
+        resumed = json.loads(capsys.readouterr().out)["search"]
+        assert resumed["resumed_from"] == search["run_id"]
+        assert resumed["front"] == search["front"]
+        assert resumed["evaluations"] == search["evaluations"]
+
+    def test_search_without_store_has_no_run_id(self, store_env,
+                                                capsys):
+        assert main([
+            "search", "--workload", "sobel", "--scale", "0.0005",
+            "--images", "1", "--train", "12", "--test", "6",
+            "--budget", "120", "--no-store", "--json",
+        ]) == 0
+        search = json.loads(capsys.readouterr().out)["search"]
+        assert search["run_id"] is None
+        assert search["evaluations"] == 120
+
     def test_runs_gc_keeps_referenced(self, store_env, capsys):
         self._run_json(capsys)
         assert main(["runs", "gc", "--json"]) == 0
