@@ -12,13 +12,23 @@ error metrics computed against the exact operation:
 
 For operand widths up to :data:`~repro.circuits.luts.MAX_LUT_WIDTH` the
 metrics are exhaustive over all input pairs (uniform input distribution);
-wider circuits are characterised on a seeded uniform random sample.
+wider circuits are characterised on a seeded uniform random sample.  The
+mode that actually ran is recorded on :attr:`ErrorStats.exhaustive` —
+sampled metrics are estimates (``wce`` in particular is only a lower
+bound on the true worst case), so consumers must be able to tell the two
+apart.
+
+:func:`characterize_many` is the batched front end for library
+construction: it computes the same statistics for a whole chunk of
+circuits while sharing the exact reference LUT per (operation, width)
+and the operand sample per width, which amortises the dominant
+allocation cost across the chunk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,10 +37,26 @@ from repro.circuits.luts import MAX_LUT_WIDTH, build_exact_lut, build_lut
 from repro.utils.bitops import bit_mask
 from repro.utils.rng import RngLike, ensure_rng
 
+#: Process-local count of circuits characterised since import.  The
+#: warm-rebuild benchmarks assert this stays flat across a fully cached
+#: library build (mirroring ``repro.core.modeling.fit_count``).
+_RUNS = 0
+
+
+def characterization_count() -> int:
+    """Circuits characterised by this process since import."""
+    return _RUNS
+
 
 @dataclass(frozen=True)
 class ErrorStats:
-    """Summary error metrics of one approximate circuit."""
+    """Summary error metrics of one approximate circuit.
+
+    ``exhaustive`` records whether the metrics cover *all* input pairs
+    (True) or a uniform random sample (False).  Sampled statistics are
+    estimates; sampled ``wce`` is a lower bound on the true worst-case
+    error.
+    """
 
     med: float
     wce: int
@@ -38,6 +64,7 @@ class ErrorStats:
     error_prob: float
     error_var: float
     mse: float
+    exhaustive: bool = True
 
     def is_exact(self) -> bool:
         """True when no evaluated input produced an error."""
@@ -45,8 +72,10 @@ class ErrorStats:
 
 
 def _stats_from_outputs(
-    approx: np.ndarray, exact: np.ndarray
+    approx: np.ndarray, exact: np.ndarray, exhaustive: bool
 ) -> ErrorStats:
+    global _RUNS
+    _RUNS += 1
     signed_err = (approx - exact).astype(np.float64)
     abs_err = np.abs(signed_err)
     denom = np.maximum(np.abs(exact).astype(np.float64), 1.0)
@@ -57,6 +86,7 @@ def _stats_from_outputs(
         error_prob=float((abs_err > 0).mean()),
         error_var=float(signed_err.var()),
         mse=float((signed_err**2).mean()),
+        exhaustive=exhaustive,
     )
 
 
@@ -79,9 +109,12 @@ def characterize(
 ) -> ErrorStats:
     """Compute :class:`ErrorStats` for ``circuit``.
 
-    ``exhaustive=None`` (default) chooses exhaustive evaluation whenever the
-    operand width permits a LUT, falling back to ``sample_size`` seeded
-    uniform samples otherwise.
+    ``exhaustive=None`` (default) chooses exhaustive evaluation whenever
+    the operand width permits a LUT, falling back to ``sample_size``
+    seeded uniform samples otherwise.  ``sample_size`` and ``rng`` only
+    take effect in sampled mode; the returned stats carry the mode that
+    ran on :attr:`ErrorStats.exhaustive` so callers can tell a true
+    worst case from a sampled lower bound.
     """
     if exhaustive is None:
         exhaustive = circuit.width <= MAX_LUT_WIDTH
@@ -92,4 +125,50 @@ def characterize(
         a, b = sample_operands(circuit.width, sample_size, rng)
         approx = np.asarray(circuit.evaluate(a, b), dtype=np.int64)
         exact = np.asarray(circuit.exact(a, b), dtype=np.int64)
-    return _stats_from_outputs(approx, exact)
+    return _stats_from_outputs(approx, exact, exhaustive)
+
+
+def characterize_many(
+    circuits: Sequence[ArithmeticCircuit],
+    sample_size: int = 1 << 15,
+    rng: RngLike = 0,
+) -> List[ErrorStats]:
+    """Characterise a batch of circuits, amortising shared inputs.
+
+    Produces exactly the stats of ``[characterize(c, sample_size, rng)
+    for c in circuits]`` when ``rng`` is a seed (each distinct width
+    re-seeds its operand sample, matching :func:`characterize`'s
+    per-call seeding), while computing the exact reference outputs only
+    once per (operation, width) and drawing the operand sample only
+    once per width.  Passing a live ``Generator`` instead consumes it
+    once per distinct width in first-use order.
+    """
+    exact_luts: dict = {}
+    operands: dict = {}
+    exact_outputs: dict = {}
+    stats: List[ErrorStats] = []
+    for circuit in circuits:
+        key = (circuit.op.value, circuit.width)
+        if circuit.width <= MAX_LUT_WIDTH:
+            exact = exact_luts.get(key)
+            if exact is None:
+                exact = build_exact_lut(circuit)
+                exact_luts[key] = exact
+            approx = build_lut(circuit)
+            stats.append(_stats_from_outputs(approx, exact, True))
+        else:
+            if circuit.width not in operands:
+                # A seed re-seeds per width (matching characterize's
+                # per-call default); a live Generator passes through
+                # ensure_rng and is consumed once per distinct width.
+                operands[circuit.width] = sample_operands(
+                    circuit.width, sample_size, rng
+                )
+            a, b = operands[circuit.width]
+            exact = exact_outputs.get(key)
+            if exact is None:
+                exact = np.asarray(circuit.exact(a, b), dtype=np.int64)
+                exact_outputs[key] = exact
+            approx = np.asarray(circuit.evaluate(a, b), dtype=np.int64)
+            stats.append(_stats_from_outputs(approx, exact, False))
+    return stats

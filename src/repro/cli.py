@@ -4,8 +4,10 @@ Commands
 
 * ``inventory`` — print the operation inventory of the case-study
   accelerators (Table 1).
-* ``generate-library`` — build and characterise a component library and
-  save it as JSON.
+* ``generate-library`` — build and characterise a component library
+  through the parallel construction pipeline (``--workers`` processes,
+  per-component memoisation with ``--store``, per-chunk progress lines
+  on stderr) and save it as JSON (``--out``) and/or into the store.
 * ``profile`` — profile an accelerator on the synthetic benchmark set and
   print per-operation operand statistics (Fig. 3 numbers).
 * ``run`` — execute the full autoAx pipeline and print (optionally save)
@@ -132,14 +134,70 @@ def _cmd_inventory(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate_library(args: argparse.Namespace) -> int:
-    from repro.library.generation import generate_library, scaled_plan
+    from repro.experiments.setup import default_library_key
+    from repro.library.generation import scaled_plan
     from repro.library.io import save_library
+    from repro.library.pipeline import build_library
 
+    store = _resolve_store(args.store)
+    if not args.out and store is None:
+        print(
+            "generate-library needs --out and/or --store",
+            file=sys.stderr,
+        )
+        return 2
     plan = scaled_plan(args.scale, seed=args.seed)
-    print(f"generating {plan.total()} components...", file=sys.stderr)
-    library = generate_library(plan)
-    save_library(library, args.out)
-    print(f"wrote {len(library)} components to {args.out}")
+    print(
+        f"generating {plan.total()} components "
+        f"({'store-backed' if store else 'no store'})...",
+        file=sys.stderr,
+    )
+    result = build_library(
+        plan,
+        workers=args.workers,
+        store=store,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    library, stats = result.library, result.stats
+    if store is not None:
+        # Whole-library blob under the shared experiment-setup key, so
+        # `repro run --store` and default_setup() get a one-read hit.
+        store.put(
+            "library",
+            default_library_key(plan, args.scale),
+            library,
+            meta={"components": len(library)},
+        )
+    if args.out:
+        save_library(library, args.out)
+    if args.json:
+        _emit_json(
+            {
+                "generate_library": {
+                    "components": len(library),
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "summary": {
+                        f"{kind}{width}": count
+                        for (kind, width), count
+                        in library.summary().items()
+                    },
+                    "stats": stats.as_dict(),
+                    "out": args.out,
+                    "store": str(store.root) if store else None,
+                    "run_id": result.run_id,
+                }
+            }
+        )
+    else:
+        where = args.out or f"store {store.root}"
+        print(
+            f"wrote {len(library)} components to {where} "
+            f"({stats.store_hits} cached, "
+            f"{stats.characterized} characterised, "
+            f"{stats.seconds:.1f}s, "
+            f"workers={stats.workers})"
+        )
     return 0
 
 
@@ -718,7 +776,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="build a characterised library")
     gen.add_argument("--scale", type=float, default=0.02)
     gen.add_argument("--seed", type=int, default=0)
-    gen.add_argument("--out", required=True)
+    gen.add_argument("--out",
+                     help="library JSON file (optional with --store)")
+    _add_workers_arg(gen)
+    _add_store_arg(gen)
+    gen.add_argument("--json", action="store_true",
+                     help="machine-readable result document")
 
     prof = sub.add_parser("profile", help="operand profiling stats")
     _add_accelerator_arg(prof)

@@ -89,6 +89,16 @@ def _plan_key(kind: str, plan: GenerationPlan, scale: float) -> str:
     )
 
 
+def default_library_key(plan: GenerationPlan, scale: float) -> str:
+    """Store key of the whole-library blob of a default Table 2 plan.
+
+    Public because two CLI surfaces must agree on it: ``repro
+    generate-library --store`` writes the blob under this key so
+    ``repro run --store`` / :func:`scaled_library` read it back warm.
+    """
+    return _plan_key("default-library", plan, scale)
+
+
 def _legacy_cache_file(filename: str) -> Optional[Path]:
     """A pre-store ``.cache/`` library JSON, if one exists."""
     root = os.environ.get("REPRO_CACHE_DIR") or ".cache"
@@ -101,18 +111,23 @@ def _cached_library(
     key: str,
     legacy_name: str,
     plan: GenerationPlan,
+    workers: Optional[int] = None,
 ) -> ComponentLibrary:
     """Load the library from the store (or a legacy file), else build it.
 
-    With ``store=None`` (``use_cache=False``) nothing is read or
-    written — the library is always regenerated.  Legacy loose JSON
-    caches are migrated into the store so the old ``.cache/`` path
-    keeps paying off after an upgrade; an unreadable legacy file is a
-    transparent miss, matching the store's recompute-never-crash
-    contract.
+    Misses build through the parallel construction pipeline
+    (:func:`repro.library.pipeline.build_library`): ``workers``
+    processes and per-component memoisation in ``store``, so even a
+    whole-library miss only recomputes components no previous plan
+    characterised.  With ``store=None`` (``use_cache=False``) nothing
+    is read or written — the library is always regenerated.  Legacy
+    loose JSON caches are migrated into the store so the old
+    ``.cache/`` path keeps paying off after an upgrade; an unreadable
+    legacy file is a transparent miss, matching the store's
+    recompute-never-crash contract.
     """
     if store is None:
-        return generate_library(plan)
+        return generate_library(plan, workers=workers)
     library = store.get("library", key)
     if library is not None:
         return library
@@ -124,7 +139,14 @@ def _cached_library(
         except (OSError, ValueError, LibraryError):
             library = None
     if library is None:
-        library = generate_library(plan)
+        # record_run=False: this build is a sub-step of the calling
+        # pipeline run, which records its own manifest — the ledger
+        # lists runs, not stages.
+        from repro.library.pipeline import build_library
+
+        library = build_library(
+            plan, workers=workers, store=store, record_run=False
+        ).library
     store.put(
         "library", key,
         library,
@@ -183,12 +205,14 @@ def workload_setup(
     seed: int = 0,
     use_cache: bool = True,
     registry: Optional[WorkloadRegistry] = None,
+    workers: Optional[int] = None,
 ) -> WorkloadSetup:
     """Build (or load from cache) everything a workload DSE run needs.
 
     The library is cached per *signature set*, so workloads sharing
     operation signatures (e.g. ``gaussian5`` and ``box5``) share one
-    characterised library on disk.
+    characterised library on disk; misses build through the parallel
+    pipeline with ``workers`` processes (``None``: ``REPRO_WORKERS``).
     """
     if scale is None:
         scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
@@ -208,6 +232,7 @@ def workload_setup(
         _plan_key("workload-library", plan, scale),
         f"library_wl_{tag}_scale_{scale:g}_seed_{seed}.json",
         plan,
+        workers=workers,
     )
     return WorkloadSetup(bundle=bundle, library=library, seed=seed)
 
@@ -285,6 +310,7 @@ def scaled_library(
     scale: float,
     seed: int = 0,
     store: Optional[ArtifactStore] = None,
+    workers: Optional[int] = None,
 ) -> ComponentLibrary:
     """The Table 2 library at ``scale``, store-cached when asked.
 
@@ -295,9 +321,10 @@ def scaled_library(
     plan = scaled_plan(scale, seed=seed)
     return _cached_library(
         store,
-        _plan_key("default-library", plan, scale),
+        default_library_key(plan, scale),
         f"library_scale_{scale:g}_seed_{seed}.json",
         plan,
+        workers=workers,
     )
 
 
@@ -307,6 +334,7 @@ def default_setup(
     image_shape: Optional[Tuple[int, int]] = None,
     seed: int = 0,
     use_cache: bool = True,
+    workers: Optional[int] = None,
 ) -> ExperimentSetup:
     """Build (or load from the store) the default experiment setup."""
     if scale is None:
@@ -314,6 +342,8 @@ def default_setup(
     if image_shape is None:
         image_shape = DEFAULT_SHAPE
     store = experiment_store() if use_cache else None
-    library = scaled_library(scale, seed=seed, store=store)
+    library = scaled_library(
+        scale, seed=seed, store=store, workers=workers
+    )
     images = benchmark_images(n_images, shape=image_shape)
     return ExperimentSetup(library=library, images=images, seed=seed)

@@ -12,10 +12,15 @@ from repro.library.component import (
     HardwareCost,
     OpSignature,
     record_from_circuit,
+    records_from_circuits,
 )
 from repro.library.library import ComponentLibrary
 from repro.library.generation import (
     GenerationPlan,
+    enumerate_adders,
+    enumerate_multipliers,
+    enumerate_plan,
+    enumerate_subtractors,
     generate_adders,
     generate_library,
     generate_multipliers,
@@ -24,6 +29,13 @@ from repro.library.generation import (
     scaled_plan,
 )
 from repro.library.io import load_library, save_library
+from repro.library.pipeline import (
+    COMPONENT_KIND,
+    LibraryBuildResult,
+    LibraryBuildStats,
+    build_library,
+    component_key,
+)
 
 __all__ = [
     "FAMILY_REGISTRY",
@@ -31,8 +43,13 @@ __all__ = [
     "HardwareCost",
     "OpSignature",
     "record_from_circuit",
+    "records_from_circuits",
     "ComponentLibrary",
     "GenerationPlan",
+    "enumerate_adders",
+    "enumerate_subtractors",
+    "enumerate_multipliers",
+    "enumerate_plan",
     "generate_adders",
     "generate_subtractors",
     "generate_multipliers",
@@ -41,4 +58,9 @@ __all__ = [
     "scaled_plan",
     "load_library",
     "save_library",
+    "COMPONENT_KIND",
+    "LibraryBuildResult",
+    "LibraryBuildStats",
+    "build_library",
+    "component_key",
 ]

@@ -28,7 +28,7 @@ from repro.circuits.base import (
     ExactSubtractor,
     Operation,
 )
-from repro.circuits.characterization import ErrorStats, characterize
+from repro.circuits.characterization import ErrorStats, characterize_many
 from repro.circuits.luts import MAX_LUT_WIDTH, build_lut
 from repro.circuits.multipliers import (
     BrokenArrayMultiplier,
@@ -156,7 +156,7 @@ class ComponentRecord:
             "family": self.family,
             "width": self.width,
             "params": self._circuit.params(),
-            "errors": vars(self.errors),
+            "errors": dict(vars(self.errors)),
             "hardware": {
                 "area": self.hardware.area,
                 "delay": self.hardware.delay,
@@ -172,7 +172,14 @@ class ComponentRecord:
             raise LibraryError(f"unknown circuit family {family!r}")
         klass = FAMILY_REGISTRY[family]
         circuit = klass(data["width"], **data["params"])
-        errors = ErrorStats(**data["errors"])
+        error_fields = dict(data["errors"])
+        if "exhaustive" not in error_fields:
+            # Libraries serialised before the flag existed always used
+            # characterize()'s auto mode, so the width determines it.
+            error_fields["exhaustive"] = (
+                int(data["width"]) <= MAX_LUT_WIDTH
+            )
+        errors = ErrorStats(**error_fields)
         hw = HardwareCost(**data["hardware"])
         return ComponentRecord(circuit, errors, hw)
 
@@ -187,14 +194,32 @@ def record_from_circuit(
     circuit: ArithmeticCircuit, sample_size: int = 1 << 15
 ) -> ComponentRecord:
     """Characterise ``circuit`` (errors + synthesised hardware cost)."""
-    errors = characterize(circuit, sample_size=sample_size)
-    netlist = build_netlist(circuit)
-    optimize(netlist)
-    rep = synth_report(netlist)
-    hw = HardwareCost(
-        area=rep.area,
-        delay=rep.delay,
-        power=rep.power,
-        gate_count=rep.gate_count,
-    )
-    return ComponentRecord(circuit, errors, hw)
+    return records_from_circuits([circuit], sample_size=sample_size)[0]
+
+
+def records_from_circuits(
+    circuits, sample_size: int = 1 << 15
+) -> "list[ComponentRecord]":
+    """Characterise a batch of circuits into records.
+
+    The batched error characterisation shares exact reference outputs
+    and operand samples across the batch (see
+    :func:`~repro.circuits.characterization.characterize_many`), so a
+    chunked library build pays the reference cost once per chunk rather
+    than once per component.  Synthesis still runs per circuit — each
+    netlist is independent.
+    """
+    all_errors = characterize_many(circuits, sample_size=sample_size)
+    records = []
+    for circuit, errors in zip(circuits, all_errors):
+        netlist = build_netlist(circuit)
+        optimize(netlist)
+        rep = synth_report(netlist)
+        hw = HardwareCost(
+            area=rep.area,
+            delay=rep.delay,
+            power=rep.power,
+            gate_count=rep.gate_count,
+        )
+        records.append(ComponentRecord(circuit, errors, hw))
+    return records

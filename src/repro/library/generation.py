@@ -8,13 +8,21 @@ of :mod:`repro.circuits`: the systematically enumerable families
 the exponentially large ones (QuAd partitions, perforation subsets,
 recursive 2x2 leaf subsets) are sampled without replacement until the target
 count is reached.
+
+Enumeration (cheap: circuit objects only) is separated from
+characterisation (expensive: exhaustive LUT grids plus synthesis):
+``enumerate_*``/:func:`enumerate_plan` produce the deterministic circuit
+inventory, and the construction pipeline
+(:mod:`repro.library.pipeline`) characterises it in parallel chunks
+with per-component store memoisation.  :func:`generate_library` is the
+front door and drives the pipeline; per-signature child RNGs derive via
+the repo-wide :func:`~repro.utils.rng.spawn_rngs` convention.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Sequence, Set
+from typing import Callable, Dict, Iterator, List, Sequence, Set, Tuple
 
 from repro.circuits.adders import (
     AlmostCorrectAdder,
@@ -38,9 +46,13 @@ from repro.circuits.multipliers import (
     TruncatedMultiplier,
 )
 from repro.circuits.subtractors import BlockSubtractor, TruncatedSubtractor
-from repro.library.component import ComponentRecord, record_from_circuit
+from repro.library.component import (
+    ComponentRecord,
+    OpSignature,
+    record_from_circuit,
+)
 from repro.library.library import ComponentLibrary
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 
 def _random_partition(rng, total: int, max_blocks: int) -> List[int]:
@@ -77,37 +89,48 @@ def _random_block_sub(rng, width: int) -> BlockSubtractor:
     return BlockSubtractor(width, blocks, predictions)
 
 
-def _collect(
+def _collect_circuits(
     circuits: Iterator[ArithmeticCircuit],
     count: int,
     seen: Set[str],
-    sample_size: int,
-) -> List[ComponentRecord]:
-    records: List[ComponentRecord] = []
+) -> List[ArithmeticCircuit]:
+    """Pull up to ``count`` unseen circuits out of an iterator."""
+    out: List[ArithmeticCircuit] = []
     for circuit in circuits:
-        if len(records) >= count:
+        if len(out) >= count:
             break
         if circuit.name in seen:
             continue
         seen.add(circuit.name)
-        records.append(record_from_circuit(circuit, sample_size=sample_size))
-    return records
+        out.append(circuit)
+    return out
 
 
-def generate_adders(
-    width: int,
+def _enumerate(
+    systematic: Iterator[ArithmeticCircuit],
+    sampled: Iterator[ArithmeticCircuit],
     count: int,
-    rng: RngLike = 0,
-    sample_size: int = 1 << 15,
-) -> List[ComponentRecord]:
-    """Generate up to ``count`` characterised ``width``-bit adders.
+) -> List[ArithmeticCircuit]:
+    seen: Set[str] = set()
+    circuits = _collect_circuits(systematic, count, seen)
+    if len(circuits) < count:
+        circuits += _collect_circuits(
+            sampled, count - len(circuits), seen
+        )
+    return circuits
+
+
+def enumerate_adders(
+    width: int, count: int, rng: RngLike = 0
+) -> List[ArithmeticCircuit]:
+    """Enumerate up to ``count`` distinct ``width``-bit adder circuits.
 
     The exact adder is always first.  Systematic families are enumerated
     in an interleaved error-sweep order; random QuAd partitions then fill
-    the remaining quota.
+    the remaining quota.  No characterisation happens here — circuit
+    construction only.
     """
     gen = ensure_rng(rng)
-    seen: Set[str] = set()
 
     def systematic() -> Iterator[ArithmeticCircuit]:
         yield ExactAdder(width)
@@ -127,23 +150,14 @@ def generate_adders(
         while True:
             yield _random_quad(gen, width)
 
-    records = _collect(systematic(), count, seen, sample_size)
-    if len(records) < count:
-        records += _collect(
-            sampled(), count - len(records), seen, sample_size
-        )
-    return records
+    return _enumerate(systematic(), sampled(), count)
 
 
-def generate_subtractors(
-    width: int,
-    count: int,
-    rng: RngLike = 0,
-    sample_size: int = 1 << 15,
-) -> List[ComponentRecord]:
-    """Generate up to ``count`` characterised ``width``-bit subtractors."""
+def enumerate_subtractors(
+    width: int, count: int, rng: RngLike = 0
+) -> List[ArithmeticCircuit]:
+    """Enumerate up to ``count`` distinct ``width``-bit subtractors."""
     gen = ensure_rng(rng)
-    seen: Set[str] = set()
 
     def systematic() -> Iterator[ArithmeticCircuit]:
         yield ExactSubtractor(width)
@@ -155,23 +169,14 @@ def generate_subtractors(
         while True:
             yield _random_block_sub(gen, width)
 
-    records = _collect(systematic(), count, seen, sample_size)
-    if len(records) < count:
-        records += _collect(
-            sampled(), count - len(records), seen, sample_size
-        )
-    return records
+    return _enumerate(systematic(), sampled(), count)
 
 
-def generate_multipliers(
-    width: int,
-    count: int,
-    rng: RngLike = 0,
-    sample_size: int = 1 << 15,
-) -> List[ComponentRecord]:
-    """Generate up to ``count`` characterised ``width``-bit multipliers."""
+def enumerate_multipliers(
+    width: int, count: int, rng: RngLike = 0
+) -> List[ArithmeticCircuit]:
+    """Enumerate up to ``count`` distinct ``width``-bit multipliers."""
     gen = ensure_rng(rng)
-    seen: Set[str] = set()
 
     def systematic() -> Iterator[ArithmeticCircuit]:
         yield ExactMultiplier(width)
@@ -200,12 +205,52 @@ def generate_multipliers(
                 rows = gen.choice(width, size=n_omit, replace=False)
                 yield PerforatedMultiplier(width, rows.tolist())
 
-    records = _collect(systematic(), count, seen, sample_size)
-    if len(records) < count:
-        records += _collect(
-            sampled(), count - len(records), seen, sample_size
-        )
-    return records
+    return _enumerate(systematic(), sampled(), count)
+
+
+def _characterize_all(
+    circuits: Sequence[ArithmeticCircuit], sample_size: int
+) -> List[ComponentRecord]:
+    return [
+        record_from_circuit(circuit, sample_size=sample_size)
+        for circuit in circuits
+    ]
+
+
+def generate_adders(
+    width: int,
+    count: int,
+    rng: RngLike = 0,
+    sample_size: int = 1 << 15,
+) -> List[ComponentRecord]:
+    """Generate up to ``count`` characterised ``width``-bit adders."""
+    return _characterize_all(
+        enumerate_adders(width, count, rng), sample_size
+    )
+
+
+def generate_subtractors(
+    width: int,
+    count: int,
+    rng: RngLike = 0,
+    sample_size: int = 1 << 15,
+) -> List[ComponentRecord]:
+    """Generate up to ``count`` characterised ``width``-bit subtractors."""
+    return _characterize_all(
+        enumerate_subtractors(width, count, rng), sample_size
+    )
+
+
+def generate_multipliers(
+    width: int,
+    count: int,
+    rng: RngLike = 0,
+    sample_size: int = 1 << 15,
+) -> List[ComponentRecord]:
+    """Generate up to ``count`` characterised ``width``-bit multipliers."""
+    return _characterize_all(
+        enumerate_multipliers(width, count, rng), sample_size
+    )
 
 
 @dataclass(frozen=True)
@@ -267,21 +312,49 @@ def scaled_plan(
     return GenerationPlan(counts, seed=seed)
 
 
-_GENERATORS: Dict[str, Callable] = {
-    "add": generate_adders,
-    "sub": generate_subtractors,
-    "mul": generate_multipliers,
+_ENUMERATORS: Dict[str, Callable] = {
+    "add": enumerate_adders,
+    "sub": enumerate_subtractors,
+    "mul": enumerate_multipliers,
 }
 
+def enumerate_plan(
+    plan: GenerationPlan,
+) -> List[Tuple[OpSignature, ArithmeticCircuit]]:
+    """The deterministic circuit inventory of ``plan``, in library order.
 
-def generate_library(plan: GenerationPlan) -> ComponentLibrary:
-    """Generate a characterised library according to ``plan``."""
-    library = ComponentLibrary()
-    gen = ensure_rng(plan.seed)
-    for (kind, width), count in sorted(plan.counts.items()):
-        child = ensure_rng(int(gen.integers(0, 2**62)))
-        records = _GENERATORS[kind](
-            width, count, rng=child, sample_size=plan.sample_size
-        )
-        library.extend(records)
-    return library
+    Signatures are visited sorted; each gets its own child generator
+    from one :func:`~repro.utils.rng.spawn_rngs` call on the plan seed
+    (indexed by position in the sorted signature list).  Construction
+    is cheap (no characterisation, no synthesis) — this runs serially
+    in the pipeline driver.
+    """
+    items = sorted(plan.counts.items())
+    children = spawn_rngs(plan.seed, len(items))
+    inventory: List[Tuple[OpSignature, ArithmeticCircuit]] = []
+    for ((kind, width), count), child in zip(items, children):
+        for circuit in _ENUMERATORS[kind](width, count, rng=child):
+            inventory.append(((kind, width), circuit))
+    return inventory
+
+
+def generate_library(
+    plan: GenerationPlan,
+    workers=None,
+    store=None,
+    progress=None,
+) -> ComponentLibrary:
+    """Generate a characterised library according to ``plan``.
+
+    Delegates to the construction pipeline
+    (:func:`repro.library.pipeline.build_library`): ``workers`` worker
+    processes (``None`` falls back to ``REPRO_WORKERS``, then serial)
+    and optional per-component memoisation in ``store``.  The result is
+    bit-identical for every ``workers`` setting and for warm vs. cold
+    stores.
+    """
+    from repro.library.pipeline import build_library
+
+    return build_library(
+        plan, workers=workers, store=store, progress=progress
+    ).library

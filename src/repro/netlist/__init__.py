@@ -11,7 +11,12 @@ areas.
 from repro.netlist.cells import CELLS, CellType, macro_cell
 from repro.netlist.netlist import CONST0, CONST1, Gate, Netlist
 from repro.netlist.builders import build_netlist
-from repro.netlist.simulate import simulate
+from repro.netlist.simulate import (
+    pack_bits,
+    simulate,
+    simulate_packed,
+    unpack_bits,
+)
 from repro.netlist.verilog import to_verilog
 
 __all__ = [
@@ -24,5 +29,8 @@ __all__ = [
     "Gate",
     "Netlist",
     "build_netlist",
+    "pack_bits",
     "simulate",
+    "simulate_packed",
+    "unpack_bits",
 ]

@@ -190,6 +190,9 @@ def _pickle_decode(data: bytes):
 #: kind -> codec.  Unlisted kinds fall back to canonical JSON.
 CODECS: Dict[str, Codec] = {
     "library": Codec(_library_encode, _library_decode, "json"),
+    # Per-component memo entries of the library-construction pipeline:
+    # plain ComponentRecord.to_dict documents, canonical JSON.
+    "component": Codec(_json_encode, _json_decode, "json"),
     "synthesis": Codec(_synthesis_encode, _synthesis_decode, "json"),
     "evaluations": Codec(_evaluations_encode, _evaluations_decode, "json"),
     "training-set": Codec(_json_encode, _json_decode, "json"),
@@ -380,8 +383,10 @@ class ArtifactStore:
 
     #: Kinds kept by default during gc even when no manifest references
     #: them: content-shared pools (one blob serves many runs), not
-    #: run-owned stage outputs.
-    SHARED_KINDS = ("synthesis", "library")
+    #: run-owned stage outputs.  Per-component memo entries live here
+    #: too — thousands of them serve every future library build, so
+    #: manifests deliberately do not enumerate them.
+    SHARED_KINDS = ("synthesis", "library", "component")
 
     def gc(
         self,

@@ -20,6 +20,16 @@ from repro.synthesis.passes import (
 )
 from repro.synthesis.timing import critical_path_delay
 
+#: Process-local count of synthesis reports produced since import.  The
+#: warm-rebuild benchmarks assert this stays flat across fully cached
+#: builds (mirroring ``repro.core.modeling.fit_count``).
+_RUNS = 0
+
+
+def synthesis_run_count() -> int:
+    """Synthesis reports produced by this process since import."""
+    return _RUNS
+
 
 @dataclass(frozen=True)
 class SynthesisReport:
@@ -50,6 +60,8 @@ def optimize(netlist: Netlist, max_rounds: int = 20) -> Netlist:
 
 def report(netlist: Netlist) -> SynthesisReport:
     """Measure an (already optimised) netlist."""
+    global _RUNS
+    _RUNS += 1
     return SynthesisReport(
         area=netlist.area(),
         delay=critical_path_delay(netlist),

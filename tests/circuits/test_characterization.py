@@ -63,3 +63,57 @@ class TestSampling:
     def test_wide_circuit_uses_sampling(self):
         stats = characterize(ExactMultiplier(16), sample_size=256)
         assert stats.is_exact()
+
+
+class TestExhaustiveFlag:
+    def test_narrow_auto_mode_records_exhaustive(self):
+        assert characterize(TruncatedAdder(8, 2)).exhaustive
+
+    def test_wide_auto_mode_records_sampled(self):
+        stats = characterize(ExactMultiplier(16), sample_size=256)
+        assert not stats.exhaustive
+
+    def test_forced_modes_recorded(self):
+        circ = TruncatedAdder(8, 3)
+        assert characterize(circ, exhaustive=True).exhaustive
+        assert not characterize(
+            circ, exhaustive=False, sample_size=512
+        ).exhaustive
+
+    def test_flag_does_not_change_exactness(self):
+        stats = characterize(
+            ExactAdder(8), exhaustive=False, sample_size=512
+        )
+        assert stats.is_exact() and not stats.exhaustive
+
+
+class TestCharacterizeMany:
+    def test_matches_singles_mixed_widths(self):
+        from repro.circuits.characterization import characterize_many
+
+        circuits = [
+            TruncatedAdder(8, 2),
+            ExactAdder(8),
+            TruncatedAdder(16, 6),
+            ExactMultiplier(16),
+            TruncatedAdder(8, 5, "copy"),
+            TruncatedAdder(16, 3),
+        ]
+        batched = characterize_many(circuits, sample_size=512)
+        singles = [
+            characterize(c, sample_size=512) for c in circuits
+        ]
+        assert batched == singles
+
+    def test_counter_counts_circuits(self):
+        from repro.circuits.characterization import (
+            characterization_count,
+            characterize_many,
+        )
+
+        before = characterization_count()
+        characterize_many(
+            [TruncatedAdder(8, 1), TruncatedAdder(8, 2)],
+            sample_size=256,
+        )
+        assert characterization_count() == before + 2

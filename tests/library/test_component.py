@@ -70,6 +70,30 @@ class TestSerialisation:
             rec.circuit.evaluate(a, a[::-1].copy()),
         )
 
+    def test_exhaustive_flag_roundtrips(self):
+        narrow = record_from_circuit(TruncatedAdder(8, 2))
+        assert narrow.errors.exhaustive
+        clone = ComponentRecord.from_dict(narrow.to_dict())
+        assert clone.errors.exhaustive
+
+        wide = record_from_circuit(ExactMultiplier(16),
+                                   sample_size=256)
+        assert not wide.errors.exhaustive
+        clone = ComponentRecord.from_dict(wide.to_dict())
+        assert not clone.errors.exhaustive
+
+    @pytest.mark.parametrize("width,expected", [(8, True), (16, False)])
+    def test_legacy_dict_without_flag_infers_from_width(
+        self, width, expected
+    ):
+        """Pre-flag library blobs deserialise with the historic mode."""
+        klass = ExactAdder if width == 8 else ExactMultiplier
+        rec = record_from_circuit(klass(width), sample_size=256)
+        data = rec.to_dict()
+        del data["errors"]["exhaustive"]  # as serialised by old code
+        clone = ComponentRecord.from_dict(data)
+        assert clone.errors.exhaustive is expected
+
     def test_unknown_family_rejected(self):
         with pytest.raises(LibraryError):
             ComponentRecord.from_dict(

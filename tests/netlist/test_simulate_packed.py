@@ -1,0 +1,128 @@
+"""Bit-packed simulation: equivalence with word mode, pack/unpack."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.library.generation import (
+    enumerate_adders,
+    enumerate_multipliers,
+    enumerate_subtractors,
+)
+from repro.netlist.builders import build_netlist
+from repro.netlist.cells import macro_cell
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import (
+    PACKED_THRESHOLD,
+    pack_bits,
+    simulate,
+    simulate_packed,
+    unpack_bits,
+)
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("n", [1, 7, 63, 64, 65, 200, 1024])
+    def test_roundtrip(self, n, rng):
+        bits = rng.integers(0, 2, size=n)
+        words = pack_bits(bits)
+        assert words.dtype == np.dtype("<u8")
+        assert words.size == (n + 63) // 64
+        assert np.array_equal(unpack_bits(words, n), bits)
+
+    def test_tail_lanes_zero_filled(self):
+        words = pack_bits(np.ones(5, dtype=np.int64))
+        assert int(words[0]) == 0b11111
+
+
+def random_netlists():
+    """Structurally diverse netlists from every circuit family.
+
+    Macro-bearing netlists (DRUM/Mitchell lower to opaque cells) are
+    excluded — they are not simulatable in either mode.
+    """
+    circuits = (
+        enumerate_adders(5, 12, rng=3)
+        + enumerate_subtractors(5, 6, rng=4)
+        + enumerate_multipliers(4, 10, rng=5)
+    )
+    out = []
+    for circuit in circuits:
+        netlist = build_netlist(circuit)
+        if any(g.cell.is_macro for g in netlist.live_gates()):
+            continue
+        out.append((circuit.name, netlist))
+    return out
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "name,netlist", random_netlists(), ids=lambda v: str(v)
+        if isinstance(v, str) else "",
+    )
+    def test_packed_equals_word_mode(self, name, netlist, rng):
+        inputs = {
+            port: rng.integers(0, 1 << len(nets), size=333)
+            for port, nets in netlist.inputs.items()
+        }
+        word = simulate(netlist, inputs, packed=False)
+        packed = simulate_packed(netlist, inputs)
+        assert set(word) == set(packed)
+        for port in word:
+            assert np.array_equal(word[port], packed[port]), (
+                name, port,
+            )
+
+    def test_auto_mode_picks_packed_above_threshold(self, rng):
+        netlist = build_netlist(enumerate_adders(4, 1)[0])
+        n = PACKED_THRESHOLD
+        inputs = {
+            "a": rng.integers(0, 16, size=n),
+            "b": rng.integers(0, 16, size=n),
+        }
+        auto = simulate(netlist, inputs)
+        forced = simulate(netlist, inputs, packed=True)
+        word = simulate(netlist, inputs, packed=False)
+        for port in word:
+            assert np.array_equal(auto[port], word[port])
+            assert np.array_equal(forced[port], word[port])
+
+    def test_constants_and_scalar_broadcast(self):
+        nl = Netlist()
+        nl.add_input("a", 1)
+        nl.add_output("y", [1, 0, 1])  # CONST1, CONST0, CONST1
+        vec = np.zeros(200, dtype=np.int64)
+        out = simulate(nl, {"a": vec}, packed=True)["y"]
+        assert np.array_equal(out, np.full(200, 0b101))
+
+    def test_mixed_scalar_and_vector_inputs(self, rng):
+        netlist = build_netlist(enumerate_adders(4, 1)[0])
+        b = rng.integers(0, 16, size=256)
+        packed = simulate(netlist, {"a": 7, "b": b}, packed=True)
+        word = simulate(
+            netlist, {"a": np.full(256, 7), "b": b}, packed=False
+        )
+        for port in word:
+            assert np.array_equal(packed[port], word[port])
+
+    def test_scalar_only_falls_back_to_word_mode(self):
+        netlist = build_netlist(enumerate_adders(4, 1)[0])
+        out = simulate(netlist, {"a": 3, "b": 5}, packed=True)
+        assert all(np.isscalar(v) or v.ndim == 0 for v in out.values())
+
+
+class TestErrors:
+    def test_missing_input_packed(self):
+        netlist = build_netlist(enumerate_adders(4, 1)[0])
+        with pytest.raises(NetlistError, match="missing"):
+            simulate(netlist, {"a": np.zeros(256)}, packed=True)
+
+    def test_macro_not_simulatable_packed(self):
+        nl = Netlist()
+        a = nl.add_input("a", 2)
+        cell = macro_cell("M", 1.0, 0.1, 1.0, 2, 1)
+        outs = nl.add_gate(cell, a)
+        nl.add_output("y", outs)
+        with pytest.raises(NetlistError, match="macro"):
+            simulate(nl, {"a": np.zeros(256, dtype=np.int64)},
+                     packed=True)

@@ -91,6 +91,43 @@ class TestCommands:
         assert lines[0] == "ssim,area"
         assert len(lines) >= 2
 
+    def test_generate_library_workers_byte_identical(self, tmp_path):
+        paths = {}
+        for workers in ("1", "2", "4"):
+            paths[workers] = tmp_path / f"lib_w{workers}.json"
+            assert main(
+                ["generate-library", "--scale", "0.0005", "--workers",
+                 workers, "--out", str(paths[workers])]
+            ) == 0
+        reference = paths["1"].read_bytes()
+        assert paths["2"].read_bytes() == reference
+        assert paths["4"].read_bytes() == reference
+
+    def test_generate_library_store_json_and_warm(self, tmp_path,
+                                                  monkeypatch,
+                                                  capsys):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+        argv = ["generate-library", "--scale", "0.0005", "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        doc = cold["generate_library"]
+        assert cold["version"] == 1
+        assert doc["stats"]["characterized"] == doc["components"]
+        assert doc["run_id"]
+
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)["generate_library"]
+        assert warm["stats"]["characterized"] == 0
+        assert warm["stats"]["synthesized"] == 0
+        assert warm["stats"]["store_hits"] == warm["components"]
+        assert warm["summary"] == doc["summary"]
+
+    def test_generate_library_requires_out_or_store(self, capsys):
+        assert main(
+            ["generate-library", "--scale", "0.0005", "--no-store"]
+        ) == 2
+        assert "--out" in capsys.readouterr().err
+
     def test_profile(self, capsys):
         assert main(["profile", "--images", "1"]) == 0
         out = capsys.readouterr().out
