@@ -72,13 +72,17 @@ class ErrorStats:
 
 
 def _stats_from_outputs(
-    approx: np.ndarray, exact: np.ndarray, exhaustive: bool
+    approx: np.ndarray,
+    exact: np.ndarray,
+    exhaustive: bool,
+    denom: Optional[np.ndarray] = None,
 ) -> ErrorStats:
     global _RUNS
     _RUNS += 1
     signed_err = (approx - exact).astype(np.float64)
     abs_err = np.abs(signed_err)
-    denom = np.maximum(np.abs(exact).astype(np.float64), 1.0)
+    if denom is None:
+        denom = np.maximum(np.abs(exact).astype(np.float64), 1.0)
     return ErrorStats(
         med=float(abs_err.mean()),
         wce=int(abs_err.max()),
@@ -146,6 +150,7 @@ def characterize_many(
     exact_luts: dict = {}
     operands: dict = {}
     exact_outputs: dict = {}
+    denoms: dict = {}
     stats: List[ErrorStats] = []
     for circuit in circuits:
         key = (circuit.op.value, circuit.width)
@@ -155,7 +160,7 @@ def characterize_many(
                 exact = build_exact_lut(circuit)
                 exact_luts[key] = exact
             approx = build_lut(circuit)
-            stats.append(_stats_from_outputs(approx, exact, True))
+            exhaustive = True
         else:
             if circuit.width not in operands:
                 # A seed re-seeds per width (matching characterize's
@@ -170,5 +175,15 @@ def characterize_many(
                 exact = np.asarray(circuit.exact(a, b), dtype=np.int64)
                 exact_outputs[key] = exact
             approx = np.asarray(circuit.evaluate(a, b), dtype=np.int64)
-            stats.append(_stats_from_outputs(approx, exact, False))
+            exhaustive = False
+        # The MRE denominator depends only on the shared exact
+        # reference, so it too is computed once per (operation, width) —
+        # same float64 array, hence bit-identical statistics.
+        denom = denoms.get(key)
+        if denom is None:
+            denom = np.maximum(np.abs(exact).astype(np.float64), 1.0)
+            denoms[key] = denom
+        stats.append(
+            _stats_from_outputs(approx, exact, exhaustive, denom=denom)
+        )
     return stats

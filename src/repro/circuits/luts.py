@@ -17,6 +17,35 @@ from repro.utils.bitops import bit_mask
 #: Widest operands for which an exhaustive LUT is reasonable (2**20 entries).
 MAX_LUT_WIDTH = 10
 
+#: Per-width exhaustive operand grids, built once per process.  Every
+#: characterised circuit of a given width enumerates the same
+#: ``4**width`` operand pairs, so the grids are cached as read-only
+#: views instead of being re-materialised (three fresh arrays) per LUT
+#: build — the dominant allocation of exhaustive characterisation.
+_OPERAND_GRIDS: dict = {}
+
+
+def operand_grid(width: int):
+    """The exhaustive ``(a, b)`` operand arrays of ``width``-bit pairs.
+
+    Cached and read-only: all LUT builds of the same width share one
+    grid.  ``a`` varies in the high bits (index ``(a << width) | b``).
+    """
+    if width > MAX_LUT_WIDTH:
+        raise CircuitError(
+            f"width {width} exceeds LUT limit {MAX_LUT_WIDTH}"
+        )
+    grid = _OPERAND_GRIDS.get(width)
+    if grid is None:
+        size = 1 << width
+        pairs = np.arange(size * size, dtype=np.int64)
+        a = pairs >> width
+        b = pairs & bit_mask(width)
+        a.flags.writeable = False
+        b.flags.writeable = False
+        _OPERAND_GRIDS[width] = grid = (a, b)
+    return grid
+
 
 def lut_index(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
     """Flat LUT index of operand pair ``(a, b)`` at the given width."""
@@ -34,10 +63,7 @@ def build_lut(circuit: ArithmeticCircuit) -> np.ndarray:
             f"LUT for {n}-bit operands would need {4**n} entries; "
             f"widths above {MAX_LUT_WIDTH} must use evaluate()"
         )
-    size = 1 << n
-    pairs = np.arange(size * size, dtype=np.int64)
-    a = pairs >> n
-    b = pairs & bit_mask(n)
+    a, b = operand_grid(n)
     return np.asarray(circuit.evaluate(a, b), dtype=np.int64)
 
 
@@ -46,8 +72,5 @@ def build_exact_lut(circuit: ArithmeticCircuit) -> np.ndarray:
     n = circuit.width
     if n > MAX_LUT_WIDTH:
         raise CircuitError(f"width {n} exceeds LUT limit {MAX_LUT_WIDTH}")
-    size = 1 << n
-    pairs = np.arange(size * size, dtype=np.int64)
-    a = pairs >> n
-    b = pairs & bit_mask(n)
+    a, b = operand_grid(n)
     return np.asarray(circuit.exact(a, b), dtype=np.int64)

@@ -31,7 +31,7 @@ serial path for any row-independent regressor.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -100,18 +100,10 @@ class EvaluationBudget:
 #: overhead dwarfs the prediction work.
 _MIN_CHUNK = 64
 
-#: Per-process models of the parallel-prediction workers (set in the
-#: parent before a fork-context pool starts, or via the initializer).
-_PREDICT_MODELS: Optional[Tuple[object, object]] = None
 
-
-def _init_predict_worker(qor_model, hw_model) -> None:  # pragma: no cover
-    global _PREDICT_MODELS
-    _PREDICT_MODELS = (qor_model, hw_model)
-
-
-def _predict_chunk(genomes: np.ndarray) -> np.ndarray:
-    qor_model, hw_model = _PREDICT_MODELS
+def _predict_chunk(context, genomes: np.ndarray) -> np.ndarray:
+    """Runtime task: fused QoR + hardware predict of one genome chunk."""
+    qor_model, hw_model = context
     return np.stack(
         [qor_model.predict(genomes), hw_model.predict(genomes)], axis=1
     )
@@ -125,10 +117,15 @@ class MeteredEstimator:
     evaluations to the budget *first* — a batch that would overdraw the
     budget raises before any model call is issued.
 
-    ``workers > 1`` predicts large batches in parallel worker processes
-    (fork start method; chunk results are concatenated in order, so the
-    output is bit-identical to the serial path).  Use as a context
-    manager — or call :meth:`close` — to tear the pool down.
+    Each batch runs both models through one fused pass over a genome
+    matrix built once.  With ``workers > 1`` large batches are chunked
+    through the shared :class:`~repro.core.runtime.ParallelRuntime`
+    (models published to the persistent pool via shared memory; chunk
+    results concatenate in submission order, so the output is
+    bit-identical to the serial path for any row-independent
+    regressor — and the runtime's cost model keeps small batches
+    serial).  :meth:`close` remains for API compatibility; the pool is
+    process-wide and outlives the estimator.
     """
 
     def __init__(
@@ -144,35 +141,11 @@ class MeteredEstimator:
         self.count = 0  # configurations this estimator charged
         self.calls = 0  # estimate() invocations
         self._workers = workers if workers and workers > 1 else None
-        self._pool = None
 
-    # -- pool lifecycle ------------------------------------------------------
-
-    def _ensure_pool(self):
-        if self._pool is None and self._workers:
-            import multiprocessing as mp
-
-            global _PREDICT_MODELS
-            try:
-                ctx = mp.get_context("fork")
-            except ValueError:  # pragma: no cover - non-posix fallback
-                ctx = mp.get_context()
-            if ctx.get_start_method() == "fork":
-                _PREDICT_MODELS = (self.qor_model, self.hw_model)
-                self._pool = ctx.Pool(processes=self._workers)
-            else:  # pragma: no cover - non-posix fallback
-                self._pool = ctx.Pool(
-                    processes=self._workers,
-                    initializer=_init_predict_worker,
-                    initargs=(self.qor_model, self.hw_model),
-                )
-        return self._pool
+    # -- lifecycle (the pool is owned by the shared runtime) -----------------
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Kept for API compatibility; the shared pool persists."""
 
     def __enter__(self) -> "MeteredEstimator":
         return self
@@ -190,13 +163,21 @@ class MeteredEstimator:
         self.budget.charge(n)
         self.count += n
         self.calls += 1
+        # One genome matrix for the whole generation; both models (and
+        # any parallel chunks) predict from the same compiled array.
+        genomes = np.asarray(configs)
         if self._workers and n >= 2 * _MIN_CHUNK:
-            pool = self._ensure_pool()
-            if pool is not None:
-                arr = np.asarray(configs)
-                n_chunks = min(self._workers * 2, n // _MIN_CHUNK)
-                chunks = np.array_split(arr, max(1, n_chunks))
-                return np.vstack(pool.map(_predict_chunk, chunks))
-        qor = self.qor_model.predict(configs)
-        cost = self.hw_model.predict(configs)
-        return np.stack([qor, cost], axis=1)
+            from repro.core.runtime import get_runtime
+
+            n_chunks = min(self._workers * 2, n // _MIN_CHUNK)
+            chunks = np.array_split(genomes, max(1, n_chunks))
+            return np.vstack(
+                get_runtime().map(
+                    _predict_chunk,
+                    chunks,
+                    context=(self.qor_model, self.hw_model),
+                    workers=self._workers,
+                    label="model-predict",
+                )
+            )
+        return _predict_chunk((self.qor_model, self.hw_model), genomes)

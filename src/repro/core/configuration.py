@@ -12,7 +12,7 @@ arrays the estimation models consume:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -72,6 +72,20 @@ class ConfigurationSpace:
                 dtype=np.float64,
             )
             self._hw.append(table)
+        # Compiled feature tables: the per-slot candidate tables laid
+        # out flat with per-slot offsets, so a whole (m, n_slots) batch
+        # gathers its features in one indexing pass instead of a Python
+        # loop over slots.  The gathered values are the same float64
+        # entries, so features — and every model predict built on them —
+        # stay bit-identical to the per-slot path.
+        sizes = np.asarray(self.slot_sizes(), dtype=np.int64)
+        self._sizes = sizes
+        self._offsets = np.concatenate(
+            ([0], np.cumsum(sizes[:-1]))
+        ).astype(np.int64)
+        self._wmed_flat = np.concatenate(self.wmeds)
+        self._hw_flat = np.vstack(self._hw)
+        self._stat_flat: Dict[str, np.ndarray] = {}
 
     # -- basic queries ------------------------------------------------------
 
@@ -199,13 +213,22 @@ class ConfigurationSpace:
             )
         return arr
 
+    def _flat_indices(self, configs) -> np.ndarray:
+        """Genes shifted into the flat candidate tables, bounds-checked.
+
+        The flat layout would silently read a neighbouring slot's entry
+        for an out-of-range gene, so the whole batch is range-checked
+        first (one vectorised compare — the per-slot path raised an
+        ``IndexError`` here instead).
+        """
+        arr = self._as_matrix(configs)
+        if np.any((arr < 0) | (arr >= self._sizes)):
+            raise DSEError("configuration gene out of range")
+        return arr + self._offsets
+
     def qor_features(self, configs) -> np.ndarray:
         """(m, n_slots) WMED feature matrix for a batch of configurations."""
-        arr = self._as_matrix(configs)
-        cols = [
-            self.wmeds[k][arr[:, k]] for k in range(self.n_slots)
-        ]
-        return np.stack(cols, axis=1)
+        return self._wmed_flat[self._flat_indices(configs)]
 
     def error_stat_features(self, configs, stat: str) -> np.ndarray:
         """(m, n_slots) matrix of a uniform-input error statistic.
@@ -216,37 +239,39 @@ class ConfigurationSpace:
         the paper reports that adding the error variance to the WMED
         features does not improve QoR-model fidelity (§4.1.2).
         """
-        arr = self._as_matrix(configs)
-        tables = []
-        for group in self.choices:
-            try:
-                tables.append(
-                    np.asarray(
-                        [getattr(r.errors, stat) for r in group],
-                        dtype=np.float64,
+        flat = self._stat_flat.get(stat)
+        if flat is None:
+            tables = []
+            for group in self.choices:
+                try:
+                    tables.append(
+                        np.asarray(
+                            [getattr(r.errors, stat) for r in group],
+                            dtype=np.float64,
+                        )
                     )
-                )
-            except AttributeError:
-                raise DSEError(f"unknown error statistic {stat!r}")
-        cols = [tables[k][arr[:, k]] for k in range(self.n_slots)]
-        return np.stack(cols, axis=1)
+                except AttributeError:
+                    raise DSEError(f"unknown error statistic {stat!r}")
+            flat = np.concatenate(tables)
+            self._stat_flat[stat] = flat
+        return flat[self._flat_indices(configs)]
 
     def hw_features(
         self, configs, features: Sequence[str] = HW_FEATURES
     ) -> np.ndarray:
         """(m, n_slots * len(features)) hardware feature matrix."""
-        arr = self._as_matrix(configs)
         indices = []
         for f in features:
             if f not in HW_FEATURES:
                 raise DSEError(f"unknown hardware feature {f!r}")
             indices.append(HW_FEATURES.index(f))
-        cols = []
-        for k in range(self.n_slots):
-            table = self._hw[k][arr[:, k]]
-            for i in indices:
-                cols.append(table[:, i])
-        return np.stack(cols, axis=1)
+        gathered = self._hw_flat[self._flat_indices(configs)]
+        # (m, n_slots, features) -> slot-major columns, same order as
+        # the old per-slot loop: slot0 features, slot1 features, ...
+        selected = gathered[:, :, indices]
+        return np.ascontiguousarray(
+            selected.reshape(selected.shape[0], -1)
+        )
 
     def area_columns(
         self, features: Sequence[str] = HW_FEATURES

@@ -29,7 +29,6 @@ differs), and hardware reports are exactly those of
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -37,12 +36,15 @@ import numpy as np
 
 from repro.accelerators.base import ImageAccelerator
 from repro.core.configuration import Configuration, ConfigurationSpace
+from repro.core.runtime import (  # noqa: F401 - re-exported conventions
+    WORKERS_ENV,
+    default_workers,
+    get_runtime,
+    validate_workers,
+)
 from repro.imaging.metrics import BatchedSsim
 from repro.library.component import ComponentRecord
 from repro.synthesis.synthesizer import SynthesisReport, synthesize
-
-#: Environment knob: default worker-process count for ``evaluate_many``.
-WORKERS_ENV = "REPRO_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -57,43 +59,6 @@ class EvaluationResult:
     @property
     def energy(self) -> float:
         return self.power * self.delay
-
-
-def validate_workers(value, source: str = "workers") -> Optional[int]:
-    """Normalise a worker-count setting to ``None`` (serial) or ``>= 2``.
-
-    Accepts ``None``, integers and integer-valued strings; 0 and 1 mean
-    in-process evaluation.  Non-integer or negative values raise a
-    ``ValueError`` naming ``source`` (the knob the value came from) —
-    silently falling back to serial evaluation would hide the
-    misconfiguration for the entire (expensive) run.
-    """
-    if value is None:
-        return None
-    if isinstance(value, bool) or isinstance(value, float):
-        raise ValueError(
-            f"{source} must be an integer worker count, got {value!r}"
-        )
-    try:
-        count = int(str(value).strip())
-    except ValueError:
-        raise ValueError(
-            f"{source} must be an integer worker count, got {value!r}"
-        ) from None
-    if count < 0:
-        raise ValueError(
-            f"{source} must be >= 0 (0 or 1 run in-process), "
-            f"got {count}"
-        )
-    return count if count > 1 else None
-
-
-def default_workers() -> Optional[int]:
-    """Worker count from ``REPRO_WORKERS`` (values <= 1 mean in-process)."""
-    raw = os.environ.get(WORKERS_ENV, "").strip()
-    if not raw:
-        return None
-    return validate_workers(raw, source=WORKERS_ENV)
 
 
 class EvaluationEngine:
@@ -330,37 +295,21 @@ class EvaluationEngine:
         configs: List[Configuration],
         workers: int,
     ) -> List[EvaluationResult]:
-        import multiprocessing as mp
-
-        global _WORKER
         workers = min(workers, len(configs))
-        try:
-            ctx = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-posix fallback
-            ctx = mp.get_context()
         # Contiguous chunks, a few per worker so stragglers even out.
         n_chunks = min(len(configs), workers * 4)
-        chunks = [list(c) for c in np.array_split(
-            np.arange(len(configs)), n_chunks
-        ) if len(c)]
-        if ctx.get_start_method() == "fork":
-            # Children inherit the module global copy-on-write — no
-            # pickling of the (potentially large) input/golden batches.
-            _WORKER = (self, space)
-            pool_kwargs = {}
-        else:  # pragma: no cover - non-posix fallback
-            pool_kwargs = {
-                "initializer": _init_worker,
-                "initargs": (self, space),
-            }
-        try:
-            with ctx.Pool(processes=workers, **pool_kwargs) as pool:
-                chunk_results = pool.map(
-                    _evaluate_chunk,
-                    [[configs[i] for i in chunk] for chunk in chunks],
-                )
-        finally:
-            _WORKER = None
+        chunks = [
+            [configs[i] for i in part]
+            for part in np.array_split(np.arange(len(configs)), n_chunks)
+            if len(part)
+        ]
+        chunk_results = get_runtime().map(
+            _evaluate_chunk,
+            chunks,
+            context=(self, space),
+            workers=workers,
+            label="evaluate_many",
+        )
         flat: List[EvaluationResult] = []
         for part, memo_updates in chunk_results:
             flat.extend(part)
@@ -371,20 +320,9 @@ class EvaluationEngine:
         return flat
 
 
-#: Per-process state of the multiprocessing workers (set in the parent
-#: before a fork-context pool starts, or via the pool initializer).
-_WORKER: Optional[Tuple[EvaluationEngine, ConfigurationSpace]] = None
-
-
-def _init_worker(
-    engine: EvaluationEngine, space: ConfigurationSpace
-) -> None:  # pragma: no cover - only used without fork
-    global _WORKER
-    _WORKER = (engine, space)
-
-
-def _evaluate_chunk(chunk: List[Configuration]):
-    engine, space = _WORKER
+def _evaluate_chunk(context, chunk: List[Configuration]):
+    """Runtime task: analyse one chunk on the (shared) engine context."""
+    engine, space = context
     known = set(engine._synth_memo)
     results = [engine.evaluate(space, config) for config in chunk]
     memo_updates = {

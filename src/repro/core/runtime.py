@@ -1,0 +1,715 @@
+"""Shared parallel runtime: persistent workers, shared memory, auto-serial.
+
+Before this module existed, every parallel stage (``evaluate_many``
+chunks, library-build chunks, portfolio islands, chunked model predicts)
+carried its own copy of the same fork-pool boilerplate: create a fresh
+``multiprocessing`` pool per call, smuggle bulk state to the children
+through fork copy-on-write globals (or re-pickle it per worker on
+non-fork platforms), and hope the work outweighed the fork tax.  On
+small machines it often did not — ``BENCH_library.json`` recorded a
+4-worker build *losing* to serial (0.87x).
+
+:class:`ParallelRuntime` replaces all of those call sites with one
+process-wide runtime that makes ``workers=N`` safe by construction:
+
+* **one persistent worker pool** reused across pipeline stages — the
+  pool-startup cost is paid once per process, not once per call;
+* **shared-memory publishing** — stage context (engines, libraries,
+  models, stores) is pickled *once* per stage with every large numpy
+  array (operand LUTs, stacked image batches, golden SSIM statistics)
+  hoisted into a ``multiprocessing.shared_memory`` segment.  Workers
+  attach zero-copy read-only views; nothing bulk ever crosses the task
+  pipe.  Segments are tracked and unlinked on :meth:`close` and at
+  interpreter exit (crash or ``KeyboardInterrupt`` included);
+* **a cost model with a serial floor** — the first task of every batch
+  is probed in-process; the measured per-task cost is extrapolated and
+  compared against the pool-startup + publish + IPC overhead.  When the
+  estimated win is not there (tiny batches, single-core machines), the
+  batch runs serially on the exact same code path — so a larger
+  ``workers`` setting can never be *slower* than ``workers=1``;
+* **one start-method story** — context travels the same shared-memory
+  route under ``fork``, ``forkserver`` and ``spawn``
+  (``REPRO_START_METHOD``), so non-fork platforms produce bit-identical
+  results instead of exercising a divergent fallback path.
+
+Task functions must be module-level callables of the form
+``fn(context, task) -> result`` with deterministic, task-independent
+behaviour; under that contract results are **bit-identical for any
+worker count** (serial, probed, and pooled execution run the same
+function on the same values).
+
+Environment knobs
+-----------------
+``REPRO_WORKERS``            default worker count (shared convention)
+``REPRO_START_METHOD``       fork | forkserver | spawn (default: fork
+                             where available)
+``REPRO_PARALLEL``           auto | always | never (cost-model override)
+``REPRO_PARALLEL_THRESHOLD`` minimum estimated serial seconds before a
+                             batch may go parallel (default 0.05)
+``REPRO_NO_SHM``             set to disable shared-memory publishing
+                             (contexts then travel inline per task)
+"""
+
+from __future__ import annotations
+
+import atexit
+import io
+import os
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+#: Environment knob: default worker-process count (shared convention).
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment knob: multiprocessing start method for the worker pool.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: Environment knob: force ("always"), forbid ("never") or let the cost
+#: model decide ("auto", default) parallel execution.
+PARALLEL_MODE_ENV = "REPRO_PARALLEL"
+
+#: Environment knob: minimum estimated serial seconds before the cost
+#: model considers fanning a batch out.
+THRESHOLD_ENV = "REPRO_PARALLEL_THRESHOLD"
+
+#: Environment knob: disable shared-memory publishing when set.
+NO_SHM_ENV = "REPRO_NO_SHM"
+
+#: Arrays at least this large are hoisted into shared memory when a
+#: context is published; smaller ones ride along in the pickle.
+MIN_SHARED_ARRAY_BYTES = 1 << 14
+
+#: Default cost-model floor: batches whose estimated *remaining* serial
+#: time is below this many seconds always stay serial.
+DEFAULT_PARALLEL_THRESHOLD = 0.05
+
+#: Cost-model constants (rough, deliberately conservative: the penalty
+#: for wrongly staying serial is bounded; wrongly going parallel on a
+#: tiny batch is exactly the fork tax this module exists to kill).
+_FORK_STARTUP_PER_WORKER = 0.02
+_SPAWN_STARTUP_PER_WORKER = 0.35
+_PUBLISH_SECONDS = 0.05
+_IPC_PER_TASK = 0.002
+
+#: Required predicted advantage before parallel is chosen.
+_PARALLEL_MARGIN = 0.9
+
+
+# ---------------------------------------------------------------------------
+# Worker-count validation (the one shared copy; re-exported by
+# repro.core.engine for backward compatibility).
+# ---------------------------------------------------------------------------
+
+def validate_workers(value, source: str = "workers") -> Optional[int]:
+    """Normalise a worker-count setting to ``None`` (serial) or ``>= 2``.
+
+    Accepts ``None``, integers and integer-valued strings; 0 and 1 mean
+    in-process evaluation.  Non-integer or negative values raise a
+    ``ValueError`` naming ``source`` (the knob the value came from) —
+    silently falling back to serial evaluation would hide the
+    misconfiguration for the entire (expensive) run.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or isinstance(value, float):
+        raise ValueError(
+            f"{source} must be an integer worker count, got {value!r}"
+        )
+    try:
+        count = int(str(value).strip())
+    except ValueError:
+        raise ValueError(
+            f"{source} must be an integer worker count, got {value!r}"
+        ) from None
+    if count < 0:
+        raise ValueError(
+            f"{source} must be >= 0 (0 or 1 run in-process), "
+            f"got {count}"
+        )
+    return count if count > 1 else None
+
+
+def default_workers() -> Optional[int]:
+    """Worker count from ``REPRO_WORKERS`` (values <= 1 mean in-process)."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if not raw:
+        return None
+    return validate_workers(raw, source=WORKERS_ENV)
+
+
+def usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory array publishing.
+# ---------------------------------------------------------------------------
+
+#: Worker-side cache of attached segments: name -> (SharedMemory, array).
+#: The SharedMemory object must stay referenced while views exist.
+_ATTACHED: Dict[str, Tuple[object, np.ndarray]] = {}
+
+
+def _rebuild_shared_array(
+    name: str, shape: Tuple[int, ...], dtype: str
+) -> np.ndarray:
+    """Unpickle hook: attach a published array as a read-only view."""
+    cached = _ATTACHED.get(name)
+    if cached is not None:
+        return cached[1]
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    _ATTACHED[name] = (shm, view)
+    return view
+
+
+class _ShmPickler(pickle.Pickler):
+    """Pickler that hoists large numpy arrays into shared memory."""
+
+    def __init__(self, file, runtime: "ParallelRuntime", segments: List[str]):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._runtime = runtime
+        self._segments = segments
+
+    def reducer_override(self, obj):
+        if (
+            type(obj) is np.ndarray
+            and obj.dtype != object
+            and obj.nbytes >= MIN_SHARED_ARRAY_BYTES
+        ):
+            name = self._runtime._create_segment_for(obj)
+            if name is not None:
+                self._segments.append(name)
+                return (
+                    _rebuild_shared_array,
+                    (name, obj.shape, obj.dtype.str),
+                )
+        return NotImplemented
+
+
+class _ContextRef:
+    """Picklable pointer to a published stage context.
+
+    ``shm_name`` names the segment holding the pickled context bytes;
+    when shared memory is unavailable the bytes ride inline in ``blob``
+    instead.  Workers cache the unpickled context by ``token``.
+    """
+
+    __slots__ = ("token", "shm_name", "size", "blob")
+
+    def __init__(self, token, shm_name=None, size=0, blob=None):
+        self.token = token
+        self.shm_name = shm_name
+        self.size = size
+        self.blob = blob
+
+    def __reduce__(self):
+        return (
+            _ContextRef,
+            (self.token, self.shm_name, self.size, self.blob),
+        )
+
+
+#: Worker-side cache of resolved contexts, newest last.
+_CONTEXTS: "OrderedDict[int, object]" = OrderedDict()
+
+#: Worker-side context cache size (stage contexts are few per run).
+_MAX_WORKER_CONTEXTS = 4
+
+#: True inside a runtime worker process (set by the pool initializer).
+_IN_WORKER = False
+
+
+def _worker_init() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _resolve_context(ref: Optional[_ContextRef]):
+    if ref is None:
+        return None
+    cached = _CONTEXTS.get(ref.token)
+    if cached is not None or ref.token in _CONTEXTS:
+        _CONTEXTS.move_to_end(ref.token)
+        return cached
+    if ref.blob is not None:
+        payload = ref.blob
+    else:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=ref.shm_name)
+        try:
+            payload = bytes(shm.buf[: ref.size])
+        finally:
+            shm.close()
+    context = pickle.loads(payload)
+    _CONTEXTS[ref.token] = context
+    while len(_CONTEXTS) > _MAX_WORKER_CONTEXTS:
+        _CONTEXTS.popitem(last=False)
+    return context
+
+
+def _call_task(payload):
+    fn, ref, task = payload
+    context = _resolve_context(ref)
+    return fn(context, task)
+
+
+# ---------------------------------------------------------------------------
+# Run decisions (telemetry consumed by benchmarks and tests).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunDecision:
+    """How one batch was executed and why."""
+
+    label: str
+    n_tasks: int
+    requested_workers: Optional[int]
+    effective_workers: int
+    mode: str  # "serial" | "parallel"
+    reason: str
+    probe_seconds: float = 0.0
+    est_serial_seconds: float = 0.0
+    est_parallel_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "n_tasks": self.n_tasks,
+            "requested_workers": self.requested_workers,
+            "effective_workers": self.effective_workers,
+            "mode": self.mode,
+            "reason": self.reason,
+            "probe_seconds": round(self.probe_seconds, 6),
+            "est_serial_seconds": round(self.est_serial_seconds, 6),
+            "est_parallel_seconds": round(self.est_parallel_seconds, 6),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The runtime.
+# ---------------------------------------------------------------------------
+
+class ParallelRuntime:
+    """Process-wide parallel execution service (see module docstring)."""
+
+    def __init__(
+        self,
+        start_method: Optional[str] = None,
+        max_contexts: int = 8,
+    ):
+        self._owner_pid = os.getpid()
+        self._lock = threading.RLock()
+        self._start_method = self._pick_start_method(start_method)
+        self._executor = None
+        self._executor_size = 0
+        self._segments: Dict[str, object] = {}  # name -> SharedMemory
+        self._segment_seq = 0
+        self._ctx_cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self._ctx_segments: Dict[int, List[str]] = {}
+        self._ctx_token = 0
+        self._max_contexts = max_contexts
+        self._shm_ok = not os.environ.get(NO_SHM_ENV, "").strip()
+        self.decisions: List[RunDecision] = []
+        self.stats: Dict[str, int] = {
+            "serial_batches": 0,
+            "parallel_batches": 0,
+            "contexts_published": 0,
+            "context_cache_hits": 0,
+            "segments_created": 0,
+        }
+
+    # -- configuration -------------------------------------------------------
+
+    @staticmethod
+    def _pick_start_method(start_method: Optional[str]) -> str:
+        import multiprocessing as mp
+
+        requested = start_method or os.environ.get(
+            START_METHOD_ENV, ""
+        ).strip()
+        available = mp.get_all_start_methods()
+        if requested:
+            if requested not in available:
+                raise ValueError(
+                    f"{START_METHOD_ENV} must be one of {available}, "
+                    f"got {requested!r}"
+                )
+            return requested
+        return "fork" if "fork" in available else available[0]
+
+    @property
+    def start_method(self) -> str:
+        return self._start_method
+
+    @property
+    def last_decision(self) -> Optional[RunDecision]:
+        return self.decisions[-1] if self.decisions else None
+
+    def tracked_segments(self) -> List[str]:
+        """Names of live shared-memory segments this runtime owns."""
+        return sorted(self._segments)
+
+    @staticmethod
+    def threshold_seconds() -> float:
+        raw = os.environ.get(THRESHOLD_ENV, "").strip()
+        if not raw:
+            return DEFAULT_PARALLEL_THRESHOLD
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{THRESHOLD_ENV} must be a number of seconds, got {raw!r}"
+            ) from None
+        if value < 0:
+            raise ValueError(
+                f"{THRESHOLD_ENV} must be >= 0, got {value}"
+            )
+        return value
+
+    @staticmethod
+    def _parallel_mode() -> str:
+        mode = os.environ.get(PARALLEL_MODE_ENV, "auto").strip() or "auto"
+        if mode not in ("auto", "always", "never"):
+            raise ValueError(
+                f"{PARALLEL_MODE_ENV} must be auto, always or never, "
+                f"got {mode!r}"
+            )
+        return mode
+
+    # -- shared-memory segments ---------------------------------------------
+
+    def _segment_name(self) -> str:
+        self._segment_seq += 1
+        return f"repro-{self._owner_pid}-{self._segment_seq}"
+
+    def _create_segment(self, size: int):
+        """A fresh tracked segment, or ``None`` if shm is unavailable."""
+        if not self._shm_ok:
+            return None
+        from multiprocessing import shared_memory
+
+        for _ in range(16):
+            name = self._segment_name()
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, size), name=name
+                )
+            except FileExistsError:  # pragma: no cover - pid reuse race
+                continue
+            except OSError:
+                # No usable /dev/shm (or segment limit hit): degrade to
+                # inline context payloads for the rest of the process.
+                self._shm_ok = False
+                return None
+            self._segments[shm.name] = shm
+            self.stats["segments_created"] += 1
+            return shm
+        self._shm_ok = False  # pragma: no cover - pathological
+        return None  # pragma: no cover
+
+    def _create_segment_for(self, arr: np.ndarray) -> Optional[str]:
+        shm = self._create_segment(arr.nbytes)
+        if shm is None:
+            return None
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        return shm.name
+
+    def _unlink_segment(self, name: str) -> None:
+        shm = self._segments.pop(name, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+            shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
+
+    # -- context publishing --------------------------------------------------
+
+    @staticmethod
+    def _context_key(context) -> tuple:
+        if isinstance(context, tuple):
+            return tuple(id(item) for item in context)
+        return (id(context),)
+
+    def publish(self, context) -> Optional[_ContextRef]:
+        """Publish a stage context for the workers (cached by identity).
+
+        The context is pickled once with every large array hoisted into
+        shared memory; repeat calls with the *same objects* reuse the
+        published payload.  Returns ``None`` for a ``None`` context.
+        """
+        if context is None:
+            return None
+        with self._lock:
+            key = self._context_key(context)
+            cached = self._ctx_cache.get(key)
+            if cached is not None:
+                self._ctx_cache.move_to_end(key)
+                self.stats["context_cache_hits"] += 1
+                return cached[0]
+
+            self._ctx_token += 1
+            token = self._ctx_token
+            segments: List[str] = []
+            buffer = io.BytesIO()
+            _ShmPickler(buffer, self, segments).dump(context)
+            payload = buffer.getvalue()
+
+            shm = self._create_segment(len(payload))
+            if shm is not None:
+                shm.buf[: len(payload)] = payload
+                segments.append(shm.name)
+                ref = _ContextRef(
+                    token, shm_name=shm.name, size=len(payload)
+                )
+            else:
+                ref = _ContextRef(token, blob=payload)
+
+            self._ctx_cache[key] = (ref, context)
+            self._ctx_segments[token] = segments
+            self.stats["contexts_published"] += 1
+            while len(self._ctx_cache) > self._max_contexts:
+                _, (old_ref, _) = self._ctx_cache.popitem(last=False)
+                for name in self._ctx_segments.pop(old_ref.token, []):
+                    self._unlink_segment(name)
+            return ref
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    def _get_executor(self, workers: int):
+        from concurrent.futures import ProcessPoolExecutor
+        import multiprocessing as mp
+
+        if self._executor is not None and self._executor_size != workers:
+            self._shutdown_executor()
+        if self._executor is None:
+            ctx = mp.get_context(self._start_method)
+            self._executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=_worker_init,
+            )
+            self._executor_size = workers
+        return self._executor
+
+    def _shutdown_executor(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=wait, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+            self._executor = None
+            self._executor_size = 0
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every tracked shm segment.
+
+        Safe to call repeatedly; a no-op in processes that merely
+        inherited this runtime object (forked workers must never unlink
+        the parent's segments).
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        with self._lock:
+            self._shutdown_executor()
+            for name in list(self._segments):
+                self._unlink_segment(name)
+            self._ctx_cache.clear()
+            self._ctx_segments.clear()
+
+    # -- cost model ----------------------------------------------------------
+
+    def _decide(
+        self,
+        label: str,
+        n_tasks: int,
+        requested: Optional[int],
+        context_cached: bool,
+        probe_seconds: float,
+    ) -> RunDecision:
+        mode = self._parallel_mode()
+        cores = usable_cores()
+        workers = requested or 0
+        effective = max(1, min(workers, cores, n_tasks))
+
+        def decision(run_mode: str, reason: str, est_s=0.0, est_p=0.0):
+            d = RunDecision(
+                label=label,
+                n_tasks=n_tasks,
+                requested_workers=requested,
+                effective_workers=effective if run_mode == "parallel"
+                else 1,
+                mode=run_mode,
+                reason=reason,
+                probe_seconds=probe_seconds,
+                est_serial_seconds=est_s,
+                est_parallel_seconds=est_p,
+            )
+            self.decisions.append(d)
+            if len(self.decisions) > 256:
+                del self.decisions[:128]
+            self.stats[f"{run_mode}_batches"] += 1
+            return d
+
+        if _IN_WORKER:
+            return decision("serial", "nested-in-worker")
+        if not workers or workers <= 1:
+            return decision("serial", "workers<=1")
+        if n_tasks < 2:
+            return decision("serial", "single-task")
+        if mode == "never":
+            return decision("serial", "REPRO_PARALLEL=never")
+        if mode == "always":
+            return decision("parallel", "REPRO_PARALLEL=always")
+        if min(workers, n_tasks) > 1 and cores < 2:
+            # One usable core: extra processes only add overhead, so the
+            # serial floor is exact — workers=N runs the workers=1 path.
+            return decision("serial", "single-core")
+
+        est_serial = probe_seconds * (n_tasks - 1)
+        overhead = _IPC_PER_TASK * (n_tasks - 1)
+        if self._executor is None or self._executor_size != effective:
+            per_worker = (
+                _SPAWN_STARTUP_PER_WORKER
+                if self._start_method == "spawn"
+                else _FORK_STARTUP_PER_WORKER
+            )
+            overhead += per_worker * effective
+        if not context_cached:
+            overhead += _PUBLISH_SECONDS
+        est_parallel = overhead + est_serial / effective
+
+        if est_serial < self.threshold_seconds():
+            return decision(
+                "serial", "below-threshold", est_serial, est_parallel
+            )
+        if est_parallel >= est_serial * _PARALLEL_MARGIN:
+            return decision(
+                "serial", "overhead-dominates", est_serial, est_parallel
+            )
+        return decision(
+            "parallel", "cost-model", est_serial, est_parallel
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    def imap(
+        self,
+        fn: Callable,
+        tasks: Iterable,
+        context=None,
+        workers: Optional[int] = None,
+        label: str = "",
+    ) -> Iterator:
+        """Apply ``fn(context, task)`` to every task, yielding in order.
+
+        ``fn`` must be a module-level function; results stream back in
+        task order.  The first task is probed in-process to feed the
+        cost model, then the batch either stays serial or fans out over
+        the persistent pool — the results are identical either way.
+        """
+        tasks = list(tasks)
+        if workers is None:
+            workers = default_workers()
+        else:
+            workers = validate_workers(workers)
+        label = label or getattr(fn, "__name__", "batch")
+
+        if not tasks:
+            self._decide(label, 0, workers, True, 0.0)
+            return
+        # Probe: run the first task in-process on the live context.
+        start = time.perf_counter()
+        first = fn(context, tasks[0])
+        probe_seconds = time.perf_counter() - start
+
+        key = self._context_key(context) if context is not None else None
+        context_cached = (
+            key is not None and key in self._ctx_cache
+        ) or context is None
+        decision = self._decide(
+            label, len(tasks), workers, context_cached, probe_seconds
+        )
+        yield first
+        rest = tasks[1:]
+        if not rest:
+            return
+        if decision.mode == "serial":
+            for task in rest:
+                yield fn(context, task)
+            return
+        yield from self._run_parallel(fn, rest, context, decision)
+
+    def map(
+        self,
+        fn: Callable,
+        tasks: Iterable,
+        context=None,
+        workers: Optional[int] = None,
+        label: str = "",
+    ) -> List:
+        """:meth:`imap`, collected into a list."""
+        return list(
+            self.imap(fn, tasks, context=context, workers=workers,
+                      label=label)
+        )
+
+    def _run_parallel(self, fn, tasks, context, decision) -> Iterator:
+        from concurrent.futures.process import BrokenProcessPool
+
+        ref = self.publish(context)
+        executor = self._get_executor(decision.effective_workers)
+        payloads = [(fn, ref, task) for task in tasks]
+        try:
+            yield from executor.map(_call_task, payloads)
+        except (BrokenProcessPool, KeyboardInterrupt):
+            # A dead worker (or an interrupt) poisons the pool; discard
+            # it so the next batch starts from a clean one.  Tracked
+            # segments stay owned by this runtime and are unlinked on
+            # close()/exit.
+            self._shutdown_executor(wait=False)
+            raise
+
+
+# ---------------------------------------------------------------------------
+# Process-wide singleton.
+# ---------------------------------------------------------------------------
+
+_RUNTIME: Optional[ParallelRuntime] = None
+_RUNTIME_LOCK = threading.Lock()
+
+
+def get_runtime() -> ParallelRuntime:
+    """The process-wide :class:`ParallelRuntime` (created on first use)."""
+    global _RUNTIME
+    with _RUNTIME_LOCK:
+        if _RUNTIME is None or _RUNTIME._owner_pid != os.getpid():
+            _RUNTIME = ParallelRuntime()
+            atexit.register(_RUNTIME.close)
+        return _RUNTIME
+
+
+def reset_runtime() -> None:
+    """Close and forget the singleton (test isolation helper)."""
+    global _RUNTIME
+    with _RUNTIME_LOCK:
+        if _RUNTIME is not None:
+            _RUNTIME.close()
+            _RUNTIME = None

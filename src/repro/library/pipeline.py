@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.circuits.luts import MAX_LUT_WIDTH
 from repro.library.component import (
@@ -120,26 +120,17 @@ class LibraryBuildResult:
     run_id: Optional[str] = None
 
 
-#: Per-process chunk context: (store, sample_size).  Set in the parent
-#: before a fork pool starts, or via the pool initializer elsewhere.
-_CONTEXT: Optional[Tuple] = None
+def _run_chunk(context, task):
+    """Characterise + synthesise one chunk (a shared-runtime task).
 
-
-def _init_context(context) -> None:  # pragma: no cover - non-fork only
-    global _CONTEXT
-    _CONTEXT = context
-
-
-def _run_chunk(task):
-    """Characterise + synthesise one chunk; runs in-process or forked.
-
-    Components already present in the store are decoded from their memo
-    entry; the rest are characterised through the batched
-    ``characterize_many`` and written back.  Returns serialisable
-    payload dicts — records cross process boundaries (and the store) in
-    their ``to_dict`` form, which round-trips exactly.
+    ``context`` is ``(store, sample_size)``.  Components already present
+    in the store are decoded from their memo entry; the rest are
+    characterised through the batched ``characterize_many`` and written
+    back.  Returns serialisable payload dicts — records cross process
+    boundaries (and the store) in their ``to_dict`` form, which
+    round-trips exactly.
     """
-    store, sample_size = _CONTEXT
+    store, sample_size = context
     index, specs = task
     payloads: List[Optional[Dict]] = [None] * len(specs)
     miss_slots: List[int] = []
@@ -174,38 +165,24 @@ def _run_chunk(task):
 
 
 def _execute_chunks(tasks, context, workers: Optional[int]):
-    """Yield chunk results in order, serially or across fork workers."""
-    global _CONTEXT
+    """Yield chunk results in order through the shared runtime.
+
+    The runtime streams results back in task order, probes the first
+    chunk in-process, and stays serial whenever its cost model says the
+    fan-out would not pay for itself — so any ``workers`` setting is at
+    least as fast as serial and produces the identical library.
+    """
+    from repro.core.runtime import get_runtime
+
     if workers is not None:
         workers = min(workers, len(tasks))
-    if workers is None or workers <= 1 or len(tasks) < 2:
-        _CONTEXT = context
-        try:
-            for task in tasks:
-                yield _run_chunk(task)
-        finally:
-            _CONTEXT = None
-        return
-    import multiprocessing as mp
-
-    try:
-        ctx = mp.get_context("fork")
-    except ValueError:  # pragma: no cover - non-posix fallback
-        ctx = mp.get_context()
-    if ctx.get_start_method() == "fork":
-        _CONTEXT = context
-        pool_kwargs = {}
-    else:  # pragma: no cover - non-posix fallback
-        pool_kwargs = {
-            "initializer": _init_context,
-            "initargs": (context,),
-        }
-    try:
-        with ctx.Pool(processes=workers, **pool_kwargs) as pool:
-            for result in pool.imap(_run_chunk, tasks):
-                yield result
-    finally:
-        _CONTEXT = None
+    yield from get_runtime().imap(
+        _run_chunk,
+        tasks,
+        context=context,
+        workers=workers,
+        label="library-build",
+    )
 
 
 def build_library(
@@ -225,7 +202,7 @@ def build_library(
     off).  ``progress`` receives one human-readable line per completed
     chunk.
     """
-    from repro.core.engine import default_workers, validate_workers
+    from repro.core.runtime import default_workers, validate_workers
 
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")

@@ -27,14 +27,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.budget import EvaluationBudget
 from repro.core.configuration import Configuration, ConfigurationSpace
 from repro.core.dse import DSEResult
-from repro.core.engine import default_workers, validate_workers
+from repro.core.runtime import default_workers, validate_workers
 from repro.core.modeling import EstimationModel
 from repro.core.pareto import ParetoArchive
 from repro.errors import DSEError, StoreError
@@ -101,19 +101,13 @@ def _split_evenly(total: int, parts: int) -> List[int]:
     return [base + (1 if i < extra else 0) for i in range(parts)]
 
 
-#: Per-process island context (set in the parent before a fork pool
-#: starts, or via the pool initializer on non-fork platforms).
-_ISLANDS: Optional[Tuple] = None
+def _run_island(context, task):
+    """Run one island for one round (a shared-runtime task).
 
-
-def _init_islands(context) -> None:  # pragma: no cover - non-fork only
-    global _ISLANDS
-    _ISLANDS = context
-
-
-def _run_island(task):
-    """Run one island for one round; executed in-process or in a worker."""
-    space, qor_model, hw_model, strategies = _ISLANDS
+    All RNG state travels inside ``task`` (restored explicitly below),
+    so execution is bit-identical in-process, forked, or spawned.
+    """
+    space, qor_model, hw_model, strategies = context
     idx, rng_state, front_points, front_configs, state, slice_n = task
     strategy = strategies[idx]
     gen = np.random.default_rng(0)
@@ -461,36 +455,19 @@ class PortfolioRunner:
         )
 
     def _execute(self, tasks) -> List:
-        """Run the round's island tasks, in processes when asked."""
-        global _ISLANDS
+        """Run the round's island tasks through the shared runtime."""
+        from repro.core.runtime import get_runtime
+
         context = (
             self.space, self.qor_model, self.hw_model, self.strategies,
         )
         workers = self.workers
         if workers is not None:
             workers = min(workers, len(tasks))
-        if workers is None or workers <= 1 or len(tasks) < 2:
-            _ISLANDS = context
-            try:
-                return [_run_island(task) for task in tasks]
-            finally:
-                _ISLANDS = None
-        import multiprocessing as mp
-
-        try:
-            ctx = mp.get_context("fork")
-        except ValueError:  # pragma: no cover - non-posix fallback
-            ctx = mp.get_context()
-        if ctx.get_start_method() == "fork":
-            _ISLANDS = context
-            pool_kwargs = {}
-        else:  # pragma: no cover - non-posix fallback
-            pool_kwargs = {
-                "initializer": _init_islands,
-                "initargs": (context,),
-            }
-        try:
-            with ctx.Pool(processes=workers, **pool_kwargs) as pool:
-                return pool.map(_run_island, tasks)
-        finally:
-            _ISLANDS = None
+        return get_runtime().map(
+            _run_island,
+            tasks,
+            context=context,
+            workers=workers,
+            label="portfolio-islands",
+        )
