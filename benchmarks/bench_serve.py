@@ -1,0 +1,218 @@
+"""Serving-layer benchmark — coalescing, warm answers, clean shutdown.
+
+Starts an in-process ``repro serve`` server on a fresh store and drives
+it like N impatient clients:
+
+1. **cold** — one job pays the full pipeline;
+2. **coalesced** — N concurrent identical submissions while a pass is
+   in flight must produce exactly one additional pipeline pass;
+3. **warm** — a fresh server process (same store, empty memory cache)
+   must answer from store-cached stages with zero synthesis and zero
+   model refits, and a repeat submission must be a memory hit.
+
+Asserted contract (also the PR's acceptance bar): N concurrent
+identical submissions cost one engine pass; warm answers recompute
+nothing; the server shuts down without leaking shared-memory segments.
+
+Results land in ``results/serve.txt``; the machine-readable doc of each
+run is appended to the ``BENCH_serve.json`` trajectory (a JSON array)
+in the working tree.
+
+Run ``python benchmarks/bench_serve.py --smoke`` for the tiny CI
+variant (fewer clients, smaller budget).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+from benchmarks._common import write_result
+
+#: Bench trajectory file (machine-readable, one doc per run).
+BENCH_JSON = Path("BENCH_serve.json")
+
+WORKLOAD = "sobel"
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SERVE_SMOKE", "0") not in (
+        "0", "", "false",
+    )
+
+
+def _api(base, path, method="GET", body=None, key="sk-bench"):
+    request = urllib.request.Request(
+        base + path, method=method,
+        data=None if body is None else json.dumps(body).encode(),
+        headers={"Authorization": f"Bearer {key}"},
+    )
+    with urllib.request.urlopen(request, timeout=600) as response:
+        return json.loads(response.read())
+
+
+def _run_job(base, payload, wait=600):
+    job = _api(base, "/v1/jobs", "POST", payload)["job"]
+    return _api(base, f"/v1/jobs/{job['job_id']}?wait={wait}")["job"]
+
+
+def _make_server(store_dir):
+    from repro.serve import (
+        ApiKeyRegistry,
+        Coordinator,
+        ServeApp,
+        ServerThread,
+    )
+    from repro.store import ArtifactStore
+
+    app = ServeApp(
+        Coordinator(store=ArtifactStore(store_dir)),
+        ApiKeyRegistry("bench=sk-bench"),
+    )
+    return ServerThread(app).start()
+
+
+def test_serve_roundtrip():
+    smoke = _smoke()
+    clients = 4 if smoke else 8
+    payload = {
+        "workload": WORKLOAD,
+        "scale": 0.001 if smoke else 0.002,
+        "images": 1 if smoke else 2,
+        "train": 12 if smoke else 24,
+        "evals": 300 if smoke else 2_000,
+        "quality_target": 0.8,
+    }
+
+    with tempfile.TemporaryDirectory(
+        prefix="repro-bench-serve-"
+    ) as tmp:
+        server = _make_server(tmp)
+        base = server.base_url
+
+        # 1. cold: one job pays the pipeline
+        start = time.perf_counter()
+        cold = _run_job(base, payload)
+        cold_s = time.perf_counter() - start
+        assert cold["status"] == "done", cold
+        assert cold["source"] == "cold", cold["source"]
+
+        # 2. coalesced: N racing submissions of a *new* computation
+        race = dict(payload, seed=1)
+        jobs = []
+
+        def submit():
+            jobs.append(_run_job(base, race))
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=submit) for _ in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        race_s = time.perf_counter() - start
+        assert all(j["status"] == "done" for j in jobs)
+        sources = sorted(j["source"] for j in jobs)
+        stats = _api(base, "/v1/stats")["stats"]
+        # the acceptance bar: one pass for the whole crowd
+        assert stats["pipeline_passes"] == 2, stats
+        assert sources.count("coalesced") == clients - 1, sources
+        fronts = {json.dumps(j["result"]["front"]) for j in jobs}
+        assert len(fronts) == 1  # every client got the same answer
+
+        # 3a. memory-warm repeat on the live server
+        start = time.perf_counter()
+        warm_memory = _run_job(base, payload)
+        memory_s = time.perf_counter() - start
+        assert warm_memory["source"] == "memory"
+        assert warm_memory["result"]["front"] == cold["result"]["front"]
+
+        ledger_runs = _api(base, "/v1/ledger")["runs"]
+        assert len(ledger_runs) == clients + 2
+        server.stop()
+
+        # 3b. store-warm on a fresh server (empty memory cache)
+        server = _make_server(tmp)
+        base = server.base_url
+        start = time.perf_counter()
+        warm_store = _run_job(base, payload)
+        store_s = time.perf_counter() - start
+        assert warm_store["source"] == "store", warm_store["source"]
+        cache = warm_store["result"]["stage_cache"]
+        assert set(cache.values()) == {"hit"}, cache
+        engine_stats = warm_store["result"]["engine_stats"]
+        assert engine_stats["synth_misses"] == 0, engine_stats
+        assert engine_stats["model_fits"] == 0, engine_stats
+        assert (warm_store["result"]["front"]
+                == cold["result"]["front"])
+        server.stop()
+
+        # clean shutdown: no shared-memory segments left behind
+        from repro.core.runtime import get_runtime
+
+        segments = get_runtime().tracked_segments()
+        assert segments == [], segments
+
+    speedup_memory = cold_s / max(memory_s, 1e-9)
+    speedup_store = cold_s / max(store_s, 1e-9)
+    lines = [
+        f"workload {WORKLOAD}: cold {cold_s:.2f}s",
+        f"{clients} concurrent clients: 1 pass, {race_s:.2f}s wall",
+        f"memory-warm repeat: {memory_s*1e3:.1f} ms "
+        f"({speedup_memory:.0f}x)",
+        f"store-warm (fresh server): {store_s:.2f}s "
+        f"({speedup_store:.1f}x)",
+        "no leaked shm segments after shutdown",
+    ]
+    write_result(
+        "serve",
+        "\n".join(lines) + f"\n({'smoke' if smoke else 'full'} mode)",
+    )
+
+    doc = {
+        "mode": "smoke" if smoke else "full",
+        "workload": WORKLOAD,
+        "clients": clients,
+        "cold_seconds": round(cold_s, 3),
+        "race_seconds": round(race_s, 3),
+        "memory_seconds": round(memory_s, 4),
+        "store_seconds": round(store_s, 3),
+        "memory_speedup": round(speedup_memory, 1),
+        "store_speedup": round(speedup_store, 2),
+        "pipeline_passes": stats["pipeline_passes"],
+        "coalesced": stats["coalesced"],
+        "ledger_runs": len(ledger_runs),
+    }
+    trajectory = []
+    if BENCH_JSON.is_file():
+        try:
+            trajectory = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            trajectory = []
+    trajectory.append(doc)
+    BENCH_JSON.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+    # a warm answer must be dramatically cheaper than the cold pass
+    assert speedup_memory >= 10, (cold_s, memory_s)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI convenience
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny-budget variant for CI",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.smoke:
+        os.environ["REPRO_SERVE_SMOKE"] = "1"
+    test_serve_roundtrip()
+    print("bench_serve: OK")

@@ -26,11 +26,18 @@ Commands
   manifest references.
 * ``export-verilog`` — lower an accelerator with exact components and
   write structural Verilog.
+* ``serve`` — approximation-as-a-service: a stdlib HTTP server where
+  clients submit (workload, quality-target, budget) jobs; concurrent
+  identical requests coalesce into one pipeline pass, warm queries are
+  answered from the store, and every job is metered per API key and
+  recorded in the run ledger (``repro runs list --kind serve-job``).
 
 ``run`` and ``workloads run`` accept ``--store``/``--no-store`` to
 enable the persistent stage cache (default: on when ``REPRO_STORE_DIR``
-is set); ``workloads run`` and every ``runs`` command accept ``--json``
-for machine-readable output (stable key order, ``version`` field).
+is set); ``run``, ``workloads run``, ``search`` and every ``runs``
+command accept ``--json`` for machine-readable output (stable key
+order, ``version`` field).  With ``--json``, stdout carries the JSON
+document and nothing else — progress and diagnostics go to stderr.
 """
 
 from __future__ import annotations
@@ -254,6 +261,27 @@ def _result_doc(result, label_key: str, label: str) -> Dict:
     }
 
 
+def _write_front_csv(result, out: str) -> None:
+    """Write the final Pareto front as ``ssim,area`` CSV rows."""
+    order = result.final_points[:, 1].argsort()
+    with open(out, "w") as handle:
+        handle.write("ssim,area\n")
+        for s, a in result.final_points[order]:
+            handle.write(f"{s},{a}\n")
+
+
+def _emit_pipeline_json(result, doc: Dict, out: Optional[str]) -> None:
+    """``--json`` output of a pipeline run: pure JSON on stdout.
+
+    ``--out`` still writes the CSV front; the confirmation goes to
+    stderr so stdout stays machine-parseable.
+    """
+    if out:
+        _write_front_csv(result, out)
+        print(f"front written to {out}", file=sys.stderr)
+    _emit_json(doc)
+
+
 def _print_pipeline_result(result, out: Optional[str]) -> None:
     """Shared result reporting of the ``run`` commands."""
     sizes = result.summary_row()
@@ -284,10 +312,7 @@ def _print_pipeline_result(result, out: Optional[str]) -> None:
          for s, a in result.final_points[order]],
     ))
     if out:
-        with open(out, "w") as handle:
-            handle.write("ssim,area\n")
-            for s, a in result.final_points[order]:
-                handle.write(f"{s},{a}\n")
+        _write_front_csv(result, out)
         print(f"front written to {out}")
 
 
@@ -345,7 +370,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.train, args.evals, args.seed, args.workers,
         _resolve_store(args.store), out=args.out,
     )
-    _print_pipeline_result(result, args.out)
+    if args.json:
+        _emit_pipeline_json(
+            result,
+            _result_doc(result, "accelerator", args.accelerator),
+            args.out,
+        )
+    else:
+        _print_pipeline_result(result, args.out)
     return 0
 
 
@@ -360,40 +392,14 @@ def _run_workload_pipeline(
     store,
     out: Optional[str] = None,
 ):
-    from repro.core.pipeline import AutoAx, AutoAxConfig
-    from repro.experiments.setup import workload_setup
+    # Shared with `runs resume` and the serving layer: one entry point
+    # guarantees byte-identical results and common stage-cache keys.
+    from repro.experiments.setup import run_workload_pipeline
 
-    setup = workload_setup(
-        name, scale=scale, n_images=n_images, seed=seed,
+    return run_workload_pipeline(
+        name, scale=scale, n_images=n_images, train=train, evals=evals,
+        seed=seed, workers=workers, store=store, out=out,
     )
-    config = AutoAxConfig(
-        n_train=train,
-        n_test=max(2, train // 2),
-        max_evaluations=evals,
-        seed=seed,
-        workers=workers,
-    )
-    pipeline = AutoAx(
-        setup.accelerator,
-        setup.library,
-        setup.images,
-        scenarios=setup.scenarios,
-        config=config,
-        store=store,
-        run_kind="workload",
-        run_label=name,
-        run_params={
-            "command": "workloads",
-            "name": name,
-            "scale": scale,
-            "images": n_images,
-            "train": train,
-            "evals": evals,
-            "seed": seed,
-            "out": out,
-        },
-    )
-    return setup, pipeline.run()
 
 
 def _cmd_workloads(args: argparse.Namespace) -> int:
@@ -432,7 +438,7 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     if args.json:
         doc = _result_doc(result, "workload", args.name)
         doc["runs_per_config"] = setup.bundle.run_count
-        _emit_json(doc)
+        _emit_pipeline_json(result, doc, args.out)
     else:
         print(
             f"workload {args.name}: {setup.bundle.run_count} "
@@ -598,7 +604,7 @@ def _stage_hits(manifest: Dict) -> str:
 
 def _cmd_runs_list(args: argparse.Namespace) -> int:
     _, ledger = _runs_ledger(args)
-    manifests = ledger.runs()
+    manifests = ledger.runs(kind=args.kind)
     if args.json:
         _emit_json({"runs": manifests})
         return 0
@@ -727,6 +733,54 @@ def _cmd_runs(args: argparse.Namespace) -> int:
     }[args.runs_command](args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.serve import (
+        SERVE_KEYS_ENV,
+        ApiKeyRegistry,
+        Coordinator,
+        ServeApp,
+        default_port,
+        serve_forever,
+    )
+
+    keys = ApiKeyRegistry(
+        args.keys if args.keys is not None
+        else os.environ.get(SERVE_KEYS_ENV)
+    )
+    coordinator = Coordinator(
+        store=_resolve_store(args.store),
+        workers=args.workers,
+        parallel_jobs=args.parallel_jobs,
+    )
+    app = ServeApp(coordinator, keys)
+    port = args.port if args.port is not None else default_port()
+
+    def ready(actual_port: int) -> None:
+        mode = (
+            f"{len(keys.accounts)} API key(s)" if keys.enabled
+            else "open (no API keys)"
+        )
+        where = (
+            str(coordinator.store.root) if coordinator.store else "none"
+        )
+        print(
+            f"repro serve on http://{args.host}:{actual_port} "
+            f"[auth: {mode}, store: {where}]",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(
+            serve_forever(app, host=args.host, port=port, ready=ready)
+        )
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    return 0
+
+
 def _cmd_export_verilog(args: argparse.Namespace) -> int:
     from repro.circuits.base import (
         ExactAdder,
@@ -798,6 +852,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     _add_workers_arg(run)
     _add_store_arg(run)
+    run.add_argument("--json", action="store_true",
+                     help="machine-readable result document")
     run.add_argument("--out", help="CSV file for the final front")
 
     workloads = sub.add_parser("workloads",
@@ -870,6 +926,12 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument("--json", action="store_true",
                          help="machine-readable output")
+        if name == "list":
+            cmd.add_argument(
+                "--kind", default=None,
+                help="only manifests of this kind "
+                     "(e.g. workload, search, serve-job)",
+            )
         if name in ("show", "resume"):
             cmd.add_argument("run_id", help="ledger run id")
         if name == "resume":
@@ -880,6 +942,29 @@ def build_parser() -> argparse.ArgumentParser:
                 help="also drop unreferenced shared pools "
                      "(synthesis reports, libraries)",
             )
+
+    serve = sub.add_parser(
+        "serve", help="HTTP approximation service (submit/poll jobs)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: REPRO_SERVE_PORT env or 8035; "
+             "0 picks a free port)",
+    )
+    serve.add_argument(
+        "--keys", default=None,
+        help="comma-separated API keys '[name=]secret[:budget]' "
+             "(default: REPRO_SERVE_KEYS env; none => open server)",
+    )
+    serve.add_argument(
+        "--parallel-jobs", type=int, default=1,
+        help="concurrent pipeline passes (default: 1; parallelism "
+             "lives inside a pass via --workers)",
+    )
+    _add_workers_arg(serve)
+    _add_store_arg(serve)
 
     export = sub.add_parser("export-verilog",
                             help="structural Verilog of an accelerator")
@@ -899,6 +984,7 @@ _COMMANDS = {
     "workloads": _cmd_workloads,
     "search": _cmd_search,
     "runs": _cmd_runs,
+    "serve": _cmd_serve,
     "export-verilog": _cmd_export_verilog,
 }
 

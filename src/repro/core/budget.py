@@ -31,6 +31,7 @@ serial path for any row-independent regressor.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Optional
 
 import numpy as np
@@ -46,9 +47,18 @@ class EvaluationBudget:
     reserving anything; ``charge`` commits the spend and raises when it
     would exceed the cap — callers are expected to ``grant`` first and
     size their batch accordingly.
+
+    The ledger is **thread-safe**: one budget may be shared by several
+    coordinator threads (the serving layer meters every API key through
+    one budget).  ``charge`` is atomic under an internal lock, and
+    concurrent grant-then-charge callers should use :meth:`reserve`,
+    which grants and commits in one locked step — two threads
+    interleaving ``grant``/``charge`` could otherwise both observe the
+    same ``remaining`` and jointly overspend the exact-accounting
+    contract.
     """
 
-    __slots__ = ("total", "_spent")
+    __slots__ = ("total", "_spent", "_lock")
 
     def __init__(self, total: Optional[int] = None):
         if total is not None:
@@ -57,6 +67,17 @@ class EvaluationBudget:
                 raise DSEError("evaluation budget must be >= 1")
         self.total = total
         self._spent = 0
+        self._lock = threading.Lock()
+
+    # Budgets travel inside worker-task payloads (portfolio islands);
+    # locks do not pickle, so rebuild one on the other side.
+    def __getstate__(self):
+        return {"total": self.total, "spent": self._spent}
+
+    def __setstate__(self, state):
+        self.total = state["total"]
+        self._spent = state["spent"]
+        self._lock = threading.Lock()
 
     @property
     def spent(self) -> int:
@@ -84,12 +105,37 @@ class EvaluationBudget:
         """Commit ``count`` evaluations; raise instead of overdrawing."""
         if count < 0:
             raise DSEError("cannot charge a negative evaluation count")
-        if self.total is not None and self._spent + count > self.total:
-            raise BudgetExceededError(
-                f"charging {count} evaluations would exceed the budget "
-                f"({self._spent}/{self.total} spent)"
-            )
-        self._spent += count
+        with self._lock:
+            if (
+                self.total is not None
+                and self._spent + count > self.total
+            ):
+                raise BudgetExceededError(
+                    f"charging {count} evaluations would exceed the "
+                    f"budget ({self._spent}/{self.total} spent)"
+                )
+            self._spent += count
+
+    def reserve(self, requested: int) -> int:
+        """Atomically grant *and* charge up to ``requested`` evaluations.
+
+        Returns the number actually committed (possibly 0 when the
+        budget is exhausted).  This is the concurrency-safe form of the
+        ``grant``-then-``charge`` idiom: the check and the commit happen
+        under one lock, so N threads hammering one budget can never
+        jointly spend past ``total``.
+        """
+        if requested < 0:
+            raise DSEError("cannot request a negative batch")
+        with self._lock:
+            if self.total is None:
+                granted = int(requested)
+            else:
+                granted = int(
+                    min(requested, max(0, self.total - self._spent))
+                )
+            self._spent += granted
+            return granted
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cap = "inf" if self.total is None else str(self.total)
@@ -141,6 +187,22 @@ class MeteredEstimator:
         self.count = 0  # configurations this estimator charged
         self.calls = 0  # estimate() invocations
         self._workers = workers if workers and workers > 1 else None
+        # Guards the charge-then-count sequence: concurrent estimate()
+        # callers must observe spend == count at every instant, and two
+        # threads must never interleave their budget checks.
+        self._meter_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = {
+            slot: getattr(self, slot)
+            for slot in self.__dict__
+            if slot != "_meter_lock"
+        }
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._meter_lock = threading.Lock()
 
     # -- lifecycle (the pool is owned by the shared runtime) -----------------
 
@@ -160,9 +222,10 @@ class MeteredEstimator:
         n = len(configs)
         if n == 0:
             return np.empty((0, 2), dtype=float)
-        self.budget.charge(n)
-        self.count += n
-        self.calls += 1
+        with self._meter_lock:
+            self.budget.charge(n)
+            self.count += n
+            self.calls += 1
         # One genome matrix for the whole generation; both models (and
         # any parallel chunks) predict from the same compiled array.
         genomes = np.asarray(configs)

@@ -111,24 +111,27 @@ def validate_workers(value, source: str = "workers") -> Optional[int]:
 
     Accepts ``None``, integers and integer-valued strings; 0 and 1 mean
     in-process evaluation.  Non-integer or negative values raise a
-    ``ValueError`` naming ``source`` (the knob the value came from) —
-    silently falling back to serial evaluation would hide the
-    misconfiguration for the entire (expensive) run.
+    :class:`~repro.errors.ValidationError` (a ``ValueError`` subclass)
+    naming ``source`` (the knob the value came from) — silently falling
+    back to serial evaluation would hide the misconfiguration for the
+    entire (expensive) run.
     """
+    from repro.errors import ValidationError
+
     if value is None:
         return None
     if isinstance(value, bool) or isinstance(value, float):
-        raise ValueError(
+        raise ValidationError(
             f"{source} must be an integer worker count, got {value!r}"
         )
     try:
         count = int(str(value).strip())
     except ValueError:
-        raise ValueError(
+        raise ValidationError(
             f"{source} must be an integer worker count, got {value!r}"
         ) from None
     if count < 0:
-        raise ValueError(
+        raise ValidationError(
             f"{source} must be >= 0 (0 or 1 run in-process), "
             f"got {count}"
         )
@@ -342,10 +345,12 @@ class ParallelRuntime:
         requested = start_method or os.environ.get(
             START_METHOD_ENV, ""
         ).strip()
+        from repro.errors import ValidationError
+
         available = mp.get_all_start_methods()
         if requested:
             if requested not in available:
-                raise ValueError(
+                raise ValidationError(
                     f"{START_METHOD_ENV} must be one of {available}, "
                     f"got {requested!r}"
                 )
@@ -366,26 +371,23 @@ class ParallelRuntime:
 
     @staticmethod
     def threshold_seconds() -> float:
-        raw = os.environ.get(THRESHOLD_ENV, "").strip()
-        if not raw:
+        raw = os.environ.get(THRESHOLD_ENV)
+        if raw is None:
             return DEFAULT_PARALLEL_THRESHOLD
-        try:
-            value = float(raw)
-        except ValueError:
-            raise ValueError(
-                f"{THRESHOLD_ENV} must be a number of seconds, got {raw!r}"
-            ) from None
-        if value < 0:
-            raise ValueError(
-                f"{THRESHOLD_ENV} must be >= 0, got {value}"
-            )
-        return value
+        from repro.utils.validation import check_env_float
+
+        # Set-but-blank is a configuration error (the knob was clearly
+        # meant to do something), not a silent fallback — the same
+        # contract as check_env_dir for REPRO_STORE_DIR.
+        return check_env_float(raw, source=THRESHOLD_ENV, minimum=0.0)
 
     @staticmethod
     def _parallel_mode() -> str:
+        from repro.errors import ValidationError
+
         mode = os.environ.get(PARALLEL_MODE_ENV, "auto").strip() or "auto"
         if mode not in ("auto", "always", "never"):
-            raise ValueError(
+            raise ValidationError(
                 f"{PARALLEL_MODE_ENV} must be auto, always or never, "
                 f"got {mode!r}"
             )

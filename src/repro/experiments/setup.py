@@ -37,6 +37,24 @@ from repro.workloads import WorkloadBundle, WorkloadRegistry, build_bundle
 #: Default library scale relative to Table 2 (0.02 => ~800 components).
 DEFAULT_SCALE = 0.02
 
+#: Environment knob overriding the default library scale.
+SCALE_ENV = "REPRO_SCALE"
+
+
+def default_scale() -> float:
+    """Library scale from ``REPRO_SCALE`` (validated), else the default.
+
+    Blank or non-numeric values raise a
+    :class:`~repro.errors.ValidationError` naming the knob instead of a
+    raw ``float()`` traceback mid-setup.
+    """
+    raw = os.environ.get(SCALE_ENV)
+    if raw is None:
+        return DEFAULT_SCALE
+    from repro.utils.validation import check_env_float
+
+    return check_env_float(raw, source=SCALE_ENV, minimum=0.0)
+
 #: Default benchmark image geometry (rows, cols).  The paper uses
 #: 384x256 px; benches default to quarter-size for turnaround and accept
 #: the paper geometry via ``paper_scale=True``.
@@ -215,7 +233,7 @@ def workload_setup(
     pipeline with ``workers`` processes (``None``: ``REPRO_WORKERS``).
     """
     if scale is None:
-        scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+        scale = default_scale()
     if image_shape is None:
         image_shape = DEFAULT_SHAPE
     bundle = build_bundle(
@@ -235,6 +253,63 @@ def workload_setup(
         workers=workers,
     )
     return WorkloadSetup(bundle=bundle, library=library, seed=seed)
+
+
+def run_workload_pipeline(
+    name: str,
+    scale: Optional[float] = None,
+    n_images: int = 4,
+    train: int = 150,
+    evals: int = 10_000,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    store: Optional[ArtifactStore] = None,
+    out: Optional[str] = None,
+    command: str = "workloads",
+):
+    """Run the full autoAx pipeline on a registered workload.
+
+    The one shared entry point of ``repro workloads run``, ``repro runs
+    resume`` and the serving layer: all three build the identical
+    :class:`~repro.core.pipeline.AutoAxConfig` from the same parameters,
+    so their results are byte-identical and they share the same
+    store-stage cache keys.  ``command`` only labels the run-ledger
+    manifest (``"workloads"`` keeps the run resumable by ``repro runs
+    resume``).  Returns ``(setup, result)``.
+    """
+    from repro.core.pipeline import AutoAx, AutoAxConfig
+
+    setup = workload_setup(
+        name, scale=scale, n_images=n_images, seed=seed,
+    )
+    config = AutoAxConfig(
+        n_train=train,
+        n_test=max(2, train // 2),
+        max_evaluations=evals,
+        seed=seed,
+        workers=workers,
+    )
+    pipeline = AutoAx(
+        setup.accelerator,
+        setup.library,
+        setup.images,
+        scenarios=setup.scenarios,
+        config=config,
+        store=store,
+        run_kind="workload",
+        run_label=name,
+        run_params={
+            "command": command,
+            "name": name,
+            "scale": scale,
+            "images": n_images,
+            "train": train,
+            "evals": evals,
+            "seed": seed,
+            "out": out,
+        },
+    )
+    return setup, pipeline.run()
 
 
 def build_workload_engine(
@@ -338,7 +413,7 @@ def default_setup(
 ) -> ExperimentSetup:
     """Build (or load from the store) the default experiment setup."""
     if scale is None:
-        scale = float(os.environ.get("REPRO_SCALE", DEFAULT_SCALE))
+        scale = default_scale()
     if image_shape is None:
         image_shape = DEFAULT_SHAPE
     store = experiment_store() if use_cache else None

@@ -1,0 +1,51 @@
+"""Approximation-as-a-service: the ``repro serve`` HTTP layer.
+
+Clients submit (workload, quality-target, budget) jobs over a small
+JSON API; the coordinator coalesces concurrent identical requests into
+single pipeline passes, answers warm queries from the in-memory and
+persistent caches, meters every API key through a thread-safe
+:class:`~repro.core.budget.EvaluationBudget`, and records each job in
+the :class:`~repro.store.ledger.RunLedger`.
+"""
+
+from repro.serve.auth import (
+    SERVE_KEYS_ENV,
+    ApiKeyRegistry,
+    ClientAccount,
+    parse_key_spec,
+)
+from repro.serve.coordinator import Coordinator
+from repro.serve.jobs import (
+    Job,
+    JobBoard,
+    JobRequest,
+    job_result_doc,
+    select_operating_point,
+)
+from repro.serve.server import (
+    DEFAULT_PORT,
+    SERVE_PORT_ENV,
+    ServeApp,
+    ServerThread,
+    default_port,
+    serve_forever,
+)
+
+__all__ = [
+    "SERVE_KEYS_ENV",
+    "SERVE_PORT_ENV",
+    "DEFAULT_PORT",
+    "ApiKeyRegistry",
+    "ClientAccount",
+    "Coordinator",
+    "Job",
+    "JobBoard",
+    "JobRequest",
+    "ServeApp",
+    "ServerThread",
+    "default_port",
+    "job_result_doc",
+    "parse_key_spec",
+    "select_operating_point",
+    "serve_forever",
+]

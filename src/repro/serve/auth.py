@@ -1,0 +1,146 @@
+"""API-key authentication and per-key metering for ``repro serve``.
+
+Keys are declared as comma-separated specs (CLI ``--keys`` or the
+``REPRO_SERVE_KEYS`` environment variable)::
+
+    name=secret:budget,name2=secret2,secret3
+
+Each entry is ``[name=]secret[:budget]``.  ``name`` labels the account
+in job documents and ledger manifests (default: a short digest of the
+secret, so the secret itself never appears anywhere persistent);
+``budget`` caps the account's total model evaluations through one
+shared, thread-safe :class:`~repro.core.budget.EvaluationBudget`
+(absent: unlimited, spend still tracked).
+
+With no keys configured the server runs *open*: every request maps to
+one anonymous unlimited account.  With keys configured, requests must
+present a known secret via ``Authorization: Bearer <secret>`` or
+``X-Api-Key: <secret>`` — anything else is a 401.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.budget import EvaluationBudget
+from repro.errors import ValidationError
+
+#: Environment knob: comma-separated API-key specs.
+SERVE_KEYS_ENV = "REPRO_SERVE_KEYS"
+
+
+def _key_id(secret: str) -> str:
+    """Short stable digest identifying a secret without revealing it."""
+    return hashlib.sha256(secret.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class ClientAccount:
+    """One authenticated API client and its evaluation meter."""
+
+    name: str
+    key_id: str
+    budget: EvaluationBudget = field(default_factory=EvaluationBudget)
+    jobs_submitted: int = 0
+
+    @property
+    def unlimited(self) -> bool:
+        return self.budget.total is None
+
+    def doc(self) -> Dict[str, object]:
+        """The account's public (secret-free) JSON view."""
+        return {
+            "name": self.name,
+            "key_id": self.key_id,
+            "budget": self.budget.total,
+            "spent": self.budget.spent,
+            "jobs_submitted": self.jobs_submitted,
+        }
+
+
+def parse_key_spec(entry: str) -> tuple:
+    """Parse one ``[name=]secret[:budget]`` spec into its parts.
+
+    Raises :class:`~repro.errors.ValidationError` on empty secrets or
+    non-integer budgets, naming the offending entry.
+    """
+    text = entry.strip()
+    name = None
+    if "=" in text:
+        name, text = text.split("=", 1)
+        name = name.strip()
+        if not name:
+            raise ValidationError(
+                f"API-key spec {entry!r} has an empty account name"
+            )
+    budget = None
+    if ":" in text:
+        text, raw_budget = text.rsplit(":", 1)
+        from repro.utils.validation import check_env_int
+
+        budget = check_env_int(
+            raw_budget, source=f"API-key budget in {entry!r}", minimum=1
+        )
+    secret = text.strip()
+    if not secret:
+        raise ValidationError(
+            f"API-key spec {entry!r} has an empty secret"
+        )
+    return name or _key_id(secret), secret, budget
+
+
+class ApiKeyRegistry:
+    """Secrets -> accounts; constant accounts, constant-time compare."""
+
+    def __init__(self, specs: Optional[str] = None):
+        self._accounts: Dict[str, ClientAccount] = {}
+        self._anonymous = ClientAccount(
+            name="anonymous", key_id="anonymous"
+        )
+        for entry in (specs or "").split(","):
+            if not entry.strip():
+                continue
+            name, secret, budget = parse_key_spec(entry)
+            if secret in self._accounts:
+                raise ValidationError(
+                    f"duplicate API-key secret for account {name!r}"
+                )
+            self._accounts[secret] = ClientAccount(
+                name=name,
+                key_id=_key_id(secret),
+                budget=EvaluationBudget(budget),
+            )
+
+    @classmethod
+    def from_env(cls) -> "ApiKeyRegistry":
+        return cls(os.environ.get(SERVE_KEYS_ENV))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether authentication is required (any key configured)."""
+        return bool(self._accounts)
+
+    @property
+    def accounts(self) -> List[ClientAccount]:
+        return list(self._accounts.values())
+
+    def authenticate(self, secret: Optional[str]) -> Optional[ClientAccount]:
+        """The account of ``secret``, or ``None`` (=> 401).
+
+        Open mode (no keys configured) maps every request — with or
+        without a credential — to the shared anonymous account.
+        """
+        if not self.enabled:
+            return self._anonymous
+        if not secret:
+            return None
+        for known, account in self._accounts.items():
+            if hmac.compare_digest(
+                known.encode("utf-8"), secret.encode("utf-8")
+            ):
+                return account
+        return None

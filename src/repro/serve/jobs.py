@@ -1,0 +1,318 @@
+"""Job model of the serving layer: requests, lifecycle, result docs.
+
+A *job* is one client submission — a (workload, quality-target,
+evaluation-budget) triple plus the pipeline parameters that identify
+its inputs.  Jobs are content-addressed by :meth:`JobRequest.job_key`,
+the coalescing and warm-cache unit: two jobs with the same key are the
+same computation, however many clients ask for it.
+
+State machine::
+
+    queued -> running -> done
+                      -> failed
+
+All mutation happens on the server's event-loop thread (the coordinator
+marshals executor results back onto the loop), so async handlers can
+read jobs without locking; :class:`JobBoard` provides the loop-side
+registry plus an :class:`asyncio.Condition` for pollers and streamers
+to wait on transitions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workloads import WORKLOADS
+
+#: Terminal-or-not job states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+TERMINAL = (DONE, FAILED)
+
+#: How a finished job got its result (the cache temperature).
+SOURCE_COLD = "cold"          # this job triggered the pipeline pass
+SOURCE_COALESCED = "coalesced"  # shared a concurrent identical pass
+SOURCE_MEMORY = "memory"      # answered from the coordinator cache
+SOURCE_STORE = "store"        # pipeline ran, every stage store-hit
+
+
+def _check_number(payload: Dict, key: str, default, kind, minimum=None,
+                  maximum=None):
+    """One validated numeric field of a submission payload."""
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(
+            f"job field {key!r} must be a number, got {value!r}"
+        )
+    if kind is int and not float(value).is_integer():
+        raise ValidationError(
+            f"job field {key!r} must be an integer, got {value!r}"
+        )
+    value = kind(value)
+    if minimum is not None and value < minimum:
+        raise ValidationError(
+            f"job field {key!r} must be >= {minimum}, got {value}"
+        )
+    if maximum is not None and value > maximum:
+        raise ValidationError(
+            f"job field {key!r} must be <= {maximum}, got {value}"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated submission: what to run and how hard to try."""
+
+    workload: str
+    quality_target: Optional[float] = None
+    evals: int = 2_000
+    scale: Optional[float] = None
+    images: int = 2
+    train: int = 24
+    seed: int = 0
+
+    #: Fields accepted from a submission payload (anything else is a
+    #: client error — catching typos like "budgets" early beats running
+    #: the wrong job).
+    FIELDS = (
+        "workload", "quality_target", "evals", "scale", "images",
+        "train", "seed",
+    )
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JobRequest":
+        if not isinstance(payload, dict):
+            raise ValidationError(
+                f"job submission must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - set(cls.FIELDS))
+        if unknown:
+            raise ValidationError(
+                f"unknown job field(s) {unknown}; accepted: "
+                f"{list(cls.FIELDS)}"
+            )
+        workload = payload.get("workload")
+        if not isinstance(workload, str) or workload not in WORKLOADS:
+            raise ValidationError(
+                f"job field 'workload' must name a registered workload "
+                f"(see /v1/workloads), got {workload!r}"
+            )
+        return cls(
+            workload=workload,
+            quality_target=_check_number(
+                payload, "quality_target", None, float,
+                minimum=0.0, maximum=1.0,
+            ),
+            evals=_check_number(payload, "evals", 2_000, int, minimum=1),
+            scale=_check_number(payload, "scale", None, float, minimum=0.0),
+            images=_check_number(payload, "images", 2, int, minimum=1),
+            train=_check_number(payload, "train", 24, int, minimum=4),
+            seed=_check_number(payload, "seed", 0, int, minimum=0),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload,
+            "quality_target": self.quality_target,
+            "evals": self.evals,
+            "scale": self.scale,
+            "images": self.images,
+            "train": self.train,
+            "seed": self.seed,
+        }
+
+    def job_key(self) -> str:
+        """Content address of the computation (coalescing/cache unit).
+
+        The quality target is deliberately excluded: it is a cheap
+        post-filter over the Pareto front, so clients asking for
+        different targets on the same pipeline inputs share one pass.
+        """
+        from repro.store.hashing import content_hash
+
+        payload = self.as_dict()
+        payload.pop("quality_target")
+        return content_hash({"serve-job": payload})
+
+
+def select_operating_point(
+    front: List[List[float]], quality_target: Optional[float]
+) -> Dict[str, object]:
+    """The front member a quality target selects.
+
+    Picks the smallest-area configuration whose SSIM meets the target;
+    when nothing on the front qualifies, reports the best-quality point
+    with ``target_met: false`` so clients still get an actionable
+    answer.
+    """
+    if not front:
+        return {"target_met": False, "point": None}
+    points = np.asarray(front, dtype=float)
+    if quality_target is None:
+        best = int(points[:, 1].argmin())
+        return {
+            "target_met": True,
+            "point": [float(points[best, 0]), float(points[best, 1])],
+        }
+    meets = points[:, 0] >= quality_target
+    if meets.any():
+        eligible = np.where(meets)[0]
+        best = int(eligible[points[eligible, 1].argmin()])
+        return {
+            "target_met": True,
+            "point": [float(points[best, 0]), float(points[best, 1])],
+        }
+    best = int(points[:, 0].argmax())
+    return {
+        "target_met": False,
+        "point": [float(points[best, 0]), float(points[best, 1])],
+    }
+
+
+def job_result_doc(request: JobRequest, setup, result) -> Dict[str, object]:
+    """The client-facing result document of one finished pipeline run.
+
+    The ``front`` rows are exactly those of the offline ``repro
+    workloads run --json`` path (same ordering, same floats), so a
+    client cannot tell whether its answer was computed cold, coalesced
+    or served warm.
+    """
+    order = result.final_points[:, 1].argsort()
+    front = [
+        [float(s), float(a)] for s, a in result.final_points[order]
+    ]
+    return {
+        "workload": request.workload,
+        "run_id": result.run_id,
+        "runs_per_config": setup.bundle.run_count,
+        "space": result.summary_row(),
+        "models": {
+            "qor": {
+                "name": result.qor_model.name,
+                "fidelity_test": result.qor_model.fidelity_test,
+            },
+            "hw": {
+                "name": result.hw_model.name,
+                "fidelity_test": result.hw_model.fidelity_test,
+            },
+        },
+        "stage_cache": result.stage_cache,
+        "engine_stats": result.engine_stats,
+        "front": front,
+        "selected": select_operating_point(
+            front, request.quality_target
+        ),
+    }
+
+
+@dataclass
+class Job:
+    """One submission's lifecycle record."""
+
+    id: str
+    request: JobRequest
+    account_name: str
+    key_id: str
+    status: str = QUEUED
+    source: Optional[str] = None
+    result: Optional[Dict] = None
+    error: Optional[str] = None
+    created_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL
+
+    def doc(self, include_result: bool = True) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "job_id": self.id,
+            "status": self.status,
+            "workload": self.request.workload,
+            "request": self.request.as_dict(),
+            "account": self.account_name,
+            "source": self.source,
+            "error": self.error,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "seconds": (
+                round(self.finished_at - self.created_at, 6)
+                if self.finished_at is not None else None
+            ),
+        }
+        if include_result:
+            doc["result"] = self.result
+        return doc
+
+
+class JobBoard:
+    """Loop-side job registry with transition signalling."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, Job] = {}
+        self._seq = 0
+        self.changed = asyncio.Condition()
+
+    def new_id(self) -> str:
+        self._seq += 1
+        return f"job-{self._seq:06d}"
+
+    def add(self, job: Job) -> None:
+        self._jobs[job.id] = job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def jobs_for(self, key_id: Optional[str] = None) -> List[Job]:
+        """Jobs newest-first, optionally restricted to one API key."""
+        jobs = [
+            job for job in self._jobs.values()
+            if key_id is None or job.key_id == key_id
+        ]
+        jobs.sort(key=lambda j: j.created_at, reverse=True)
+        return jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    async def notify(self) -> None:
+        """Wake everything waiting on a job transition."""
+        async with self.changed:
+            self.changed.notify_all()
+
+    async def wait_for_terminal(
+        self, job: Job, timeout: Optional[float]
+    ) -> bool:
+        """Block until ``job`` finishes (or ``timeout`` seconds pass)."""
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while not job.terminal:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+            async with self.changed:
+                try:
+                    await asyncio.wait_for(
+                        self.changed.wait(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    return False
+        return True

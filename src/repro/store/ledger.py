@@ -86,8 +86,12 @@ class RunLedger:
 
     # -- enumeration --------------------------------------------------------
 
-    def runs(self) -> List[Dict]:
-        """All manifests, oldest first (undecodable files are skipped)."""
+    def runs(self, kind: Optional[str] = None) -> List[Dict]:
+        """All manifests, oldest first (undecodable files are skipped).
+
+        ``kind`` restricts the listing to one manifest kind (e.g.
+        ``"serve-job"`` — the serving layer's audit log).
+        """
         if not self.runs_dir.is_dir():
             return []
         manifests = []
@@ -95,9 +99,12 @@ class RunLedger:
             if path.name.startswith("."):
                 continue  # in-flight atomic write of another process
             try:
-                manifests.append(json.loads(path.read_text()))
+                manifest = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
                 continue
+            if kind is not None and manifest.get("kind") != kind:
+                continue
+            manifests.append(manifest)
         manifests.sort(
             key=lambda m: (m.get("created_ts", 0.0),
                            m.get("run_id", ""))

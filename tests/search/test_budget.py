@@ -75,3 +75,118 @@ class TestMeteredEstimator:
         estimator = MeteredEstimator(_Flat(), _Flat(), budget)
         assert estimator.estimate([]).shape == (0, 2)
         assert budget.spent == 0
+
+
+class TestBudgetConcurrency:
+    """The serving layer shares one budget across threads; spend must
+    land on the nominal total exactly — never past it, never short of
+    what was granted."""
+
+    def test_hammered_charge_never_overspends(self):
+        import threading
+
+        budget = EvaluationBudget(1_000)
+        overdrafts = []
+
+        def worker():
+            for _ in range(100):
+                try:
+                    budget.charge(1)
+                except BudgetExceededError:
+                    overdrafts.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(20)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 20 x 100 = 2000 attempted, cap 1000: exactly 1000 land.
+        assert budget.spent == 1_000
+        assert len(overdrafts) == 1_000
+        assert budget.exhausted
+
+    def test_hammered_reserve_spends_budget_exactly(self):
+        import threading
+
+        budget = EvaluationBudget(997)  # prime: no lucky alignment
+        granted = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                got = budget.reserve(13)
+                if got == 0:
+                    return
+                with lock:
+                    granted.append(got)
+
+        threads = [threading.Thread(target=worker) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(granted) == 997
+        assert budget.spent == 997
+
+    def test_reserve_caps_and_commits(self):
+        budget = EvaluationBudget(10)
+        assert budget.reserve(7) == 7
+        assert budget.reserve(7) == 3
+        assert budget.reserve(7) == 0
+        assert budget.spent == 10
+        with pytest.raises(DSEError):
+            budget.reserve(-1)
+
+    def test_unlimited_reserve_grants_everything(self):
+        budget = EvaluationBudget(None)
+        assert budget.reserve(1_000_000) == 1_000_000
+        assert budget.spent == 1_000_000
+
+    def test_budget_pickles_without_lock(self):
+        import pickle
+
+        budget = EvaluationBudget(50)
+        budget.charge(20)
+        clone = pickle.loads(pickle.dumps(budget))
+        assert clone.total == 50
+        assert clone.spent == 20
+        clone.charge(30)  # the rebuilt lock works
+        with pytest.raises(BudgetExceededError):
+            clone.charge(1)
+
+    def test_metered_estimator_hammered_spend_matches_count(self):
+        import threading
+
+        budget = EvaluationBudget(600)
+        estimator = MeteredEstimator(_Flat(), _Flat(), budget)
+        rejected = []
+
+        def worker():
+            for _ in range(50):
+                try:
+                    estimator.estimate([(0,), (1,)])
+                except BudgetExceededError:
+                    rejected.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 8 x 50 x 2 = 800 attempted; exactly the 600 cap lands, and
+        # the estimator's own count agrees with the ledger.
+        assert budget.spent == 600
+        assert estimator.count == 600
+        assert len(rejected) == 100
+
+    def test_metered_estimator_pickles_without_lock(self):
+        import pickle
+
+        estimator = MeteredEstimator(
+            _Flat(), _Flat(), EvaluationBudget(10)
+        )
+        estimator.estimate([(0,)])
+        clone = pickle.loads(pickle.dumps(estimator))
+        assert clone.count == 1
+        clone.estimate([(1,)])
+        assert clone.budget.spent == 2

@@ -1,0 +1,93 @@
+"""Unit tests of the serve API-key registry and metering accounts."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve.auth import (
+    ApiKeyRegistry,
+    ClientAccount,
+    parse_key_spec,
+)
+
+
+class TestParseKeySpec:
+    def test_full_spec(self):
+        name, secret, budget = parse_key_spec("alice=sk-123:5000")
+        assert (name, secret, budget) == ("alice", "sk-123", 5000)
+
+    def test_bare_secret_gets_digest_name(self):
+        name, secret, budget = parse_key_spec("sk-123")
+        assert secret == "sk-123"
+        assert budget is None
+        assert len(name) == 12
+        assert "sk-123" not in name  # never leak the secret
+
+    def test_secret_without_budget(self):
+        assert parse_key_spec("bob=hunter2") == ("bob", "hunter2", None)
+
+    @pytest.mark.parametrize("spec", ["=secret", "name=", "name=:5",
+                                      ":100"])
+    def test_empty_parts_rejected(self, spec):
+        with pytest.raises(ValidationError, match="API-key"):
+            parse_key_spec(spec)
+
+    @pytest.mark.parametrize("spec", ["a=s:none", "a=s:", "a=s:1.5",
+                                      "a=s:0"])
+    def test_bad_budget_rejected(self, spec):
+        with pytest.raises(ValidationError):
+            parse_key_spec(spec)
+
+
+class TestApiKeyRegistry:
+    def test_open_mode_maps_everyone_to_anonymous(self):
+        registry = ApiKeyRegistry()
+        assert not registry.enabled
+        account = registry.authenticate(None)
+        assert account is registry.authenticate("whatever")
+        assert account.name == "anonymous"
+        assert account.unlimited
+
+    def test_enabled_mode_requires_known_secret(self):
+        registry = ApiKeyRegistry("alice=sk-a:100,bob=sk-b")
+        assert registry.enabled
+        assert registry.authenticate(None) is None
+        assert registry.authenticate("") is None
+        assert registry.authenticate("sk-x") is None
+        alice = registry.authenticate("sk-a")
+        assert alice.name == "alice"
+        assert alice.budget.total == 100
+        bob = registry.authenticate("sk-b")
+        assert bob.unlimited
+
+    def test_blank_entries_skipped(self):
+        registry = ApiKeyRegistry(" , alice=sk-a , ")
+        assert [a.name for a in registry.accounts] == ["alice"]
+
+    def test_duplicate_secret_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            ApiKeyRegistry("a=same,b=same")
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_KEYS", "ci=sk-ci:42")
+        registry = ApiKeyRegistry.from_env()
+        assert registry.authenticate("sk-ci").budget.total == 42
+
+    def test_account_doc_is_secret_free(self):
+        registry = ApiKeyRegistry("alice=topsecret:10")
+        doc = registry.authenticate("topsecret").doc()
+        assert "topsecret" not in str(doc)
+        assert doc["budget"] == 10
+        assert doc["spent"] == 0
+
+    def test_accounts_persist_across_requests(self):
+        registry = ApiKeyRegistry("alice=sk-a:100")
+        first = registry.authenticate("sk-a")
+        first.budget.charge(60)
+        again = registry.authenticate("sk-a")
+        assert again is first
+        assert again.budget.spent == 60
+
+
+class TestClientAccount:
+    def test_unlimited_property(self):
+        assert ClientAccount(name="x", key_id="y").unlimited

@@ -1,0 +1,115 @@
+"""Unit tests of the serve job model: validation, keys, selection."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve.jobs import (
+    Job,
+    JobRequest,
+    select_operating_point,
+)
+
+
+class TestJobRequest:
+    def test_minimal_payload_defaults(self):
+        request = JobRequest.from_payload({"workload": "sobel"})
+        assert request.workload == "sobel"
+        assert request.quality_target is None
+        assert request.evals == 2_000
+        assert request.seed == 0
+
+    def test_full_payload(self):
+        request = JobRequest.from_payload({
+            "workload": "gaussian5",
+            "quality_target": 0.9,
+            "evals": 500,
+            "scale": 0.001,
+            "images": 1,
+            "train": 12,
+            "seed": 7,
+        })
+        assert request.quality_target == 0.9
+        assert request.train == 12
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError, match="JSON object"):
+            JobRequest.from_payload([1, 2])
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValidationError, match="budgets"):
+            JobRequest.from_payload(
+                {"workload": "sobel", "budgets": 3}
+            )
+
+    def test_unregistered_workload_rejected(self):
+        with pytest.raises(ValidationError, match="workload"):
+            JobRequest.from_payload({"workload": "frobnicate"})
+
+    @pytest.mark.parametrize("field,value", [
+        ("evals", 0), ("evals", "many"), ("evals", 1.5),
+        ("quality_target", 1.5), ("quality_target", -0.1),
+        ("images", 0), ("train", 2), ("seed", -1),
+        ("scale", -0.5), ("evals", True),
+    ])
+    def test_bad_numbers_rejected(self, field, value):
+        with pytest.raises(ValidationError, match=field):
+            JobRequest.from_payload(
+                {"workload": "sobel", field: value}
+            )
+
+    def test_job_key_ignores_quality_target(self):
+        base = JobRequest.from_payload(
+            {"workload": "sobel", "quality_target": 0.8}
+        )
+        other = JobRequest.from_payload(
+            {"workload": "sobel", "quality_target": 0.95}
+        )
+        assert base.job_key() == other.job_key()
+
+    def test_job_key_separates_computations(self):
+        a = JobRequest.from_payload({"workload": "sobel"})
+        b = JobRequest.from_payload({"workload": "sobel", "seed": 1})
+        c = JobRequest.from_payload({"workload": "gaussian5"})
+        assert len({a.job_key(), b.job_key(), c.job_key()}) == 3
+
+    def test_as_dict_round_trips(self):
+        request = JobRequest.from_payload(
+            {"workload": "sobel", "evals": 99}
+        )
+        assert JobRequest.from_payload(request.as_dict()) == request
+
+
+class TestSelectOperatingPoint:
+    FRONT = [[0.70, 100.0], [0.85, 150.0], [0.95, 300.0]]
+
+    def test_no_target_picks_cheapest(self):
+        selected = select_operating_point(self.FRONT, None)
+        assert selected == {"target_met": True, "point": [0.70, 100.0]}
+
+    def test_target_picks_cheapest_meeting_it(self):
+        selected = select_operating_point(self.FRONT, 0.8)
+        assert selected == {"target_met": True, "point": [0.85, 150.0]}
+
+    def test_unreachable_target_reports_best_quality(self):
+        selected = select_operating_point(self.FRONT, 0.99)
+        assert selected == {
+            "target_met": False, "point": [0.95, 300.0],
+        }
+
+    def test_empty_front(self):
+        assert select_operating_point([], 0.9) == {
+            "target_met": False, "point": None,
+        }
+
+
+class TestJobDoc:
+    def test_doc_shape(self):
+        request = JobRequest.from_payload({"workload": "sobel"})
+        job = Job(id="job-000001", request=request,
+                  account_name="alice", key_id="abc")
+        doc = job.doc()
+        assert doc["job_id"] == "job-000001"
+        assert doc["status"] == "queued"
+        assert doc["result"] is None
+        assert not job.terminal
+        assert "result" not in job.doc(include_result=False)

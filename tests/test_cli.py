@@ -328,3 +328,86 @@ class TestStoreCommands:
         )
         with pytest.raises(StoreError, match="no experiment store"):
             main(["runs", "list"])
+
+
+class TestJsonStdoutPurity:
+    """With ``--json``, stdout carries one JSON document and nothing
+    else; progress and diagnostics go to stderr."""
+
+    @staticmethod
+    def _pure_json(capsys):
+        """stdout must parse as exactly one JSON document."""
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)  # raises on any stray prose
+        assert doc["version"] == 1
+        return doc, captured.err
+
+    def test_workloads_run_json_with_out(self, store_env, tmp_path,
+                                         capsys):
+        front_path = tmp_path / "front.csv"
+        assert main(
+            WORKLOAD_RUN + ["--json", "--out", str(front_path)]
+        ) == 0
+        doc, err = self._pure_json(capsys)
+        assert doc["workload"] == "sobel"
+        # --out is honoured in json mode; the note goes to stderr
+        lines = front_path.read_text().splitlines()
+        assert lines[0] == "ssim,area"
+        assert len(lines) == len(doc["front"]) + 1
+        assert str(front_path) in err
+
+    def test_run_json_with_out(self, store_env, tmp_path, capsys):
+        front_path = tmp_path / "front.csv"
+        assert main([
+            "run", "--scale", "0.0005", "--images", "1",
+            "--train", "12", "--evals", "150", "--json",
+            "--out", str(front_path),
+        ]) == 0
+        doc, _ = self._pure_json(capsys)
+        assert doc["accelerator"] == "sobel"
+        assert doc["front"]
+        assert front_path.read_text().startswith("ssim,area")
+
+    def test_search_json(self, store_env, capsys):
+        assert main([
+            "search", "--workload", "sobel", "--scale", "0.0005",
+            "--images", "1", "--train", "12", "--test", "6",
+            "--budget", "120", "--json",
+        ]) == 0
+        doc, _ = self._pure_json(capsys)
+        assert doc["search"]["evaluations"] == 120
+
+    def test_runs_commands_json(self, store_env, capsys):
+        assert main(WORKLOAD_RUN + ["--json"]) == 0
+        run_id = self._pure_json(capsys)[0]["run_id"]
+        for argv in (
+            ["runs", "list", "--json"],
+            ["runs", "show", run_id, "--json"],
+            ["runs", "resume", run_id, "--json"],
+            ["runs", "gc", "--json"],
+        ):
+            assert main(argv) == 0
+            self._pure_json(capsys)
+
+    def test_generate_library_json(self, store_env, capsys):
+        assert main([
+            "generate-library", "--scale", "0.0005", "--store",
+            "--json",
+        ]) == 0
+        doc, err = self._pure_json(capsys)
+        assert doc["generate_library"]["components"] > 0
+        assert "generating" in err  # progress went to stderr
+
+    def test_runs_list_kind_filter(self, store_env, capsys):
+        assert main(WORKLOAD_RUN + ["--json"]) == 0
+        self._pure_json(capsys)
+        assert main(
+            ["runs", "list", "--json", "--kind", "workload"]
+        ) == 0
+        doc, _ = self._pure_json(capsys)
+        assert len(doc["runs"]) == 1
+        assert main(
+            ["runs", "list", "--json", "--kind", "serve-job"]
+        ) == 0
+        doc, _ = self._pure_json(capsys)
+        assert doc["runs"] == []

@@ -49,3 +49,117 @@ class TestProbabilityVector:
     def test_scalar_rejected(self):
         with pytest.raises(ValueError):
             check_probability_vector(np.asarray(1.0))
+
+
+class TestEnvNumberKnobs:
+    """Numeric environment knobs must fail loudly, naming the knob."""
+
+    def test_env_int_parses(self):
+        from repro.utils.validation import check_env_int
+
+        assert check_env_int("8035", source="REPRO_SERVE_PORT") == 8035
+        assert check_env_int(" 42 ", source="K") == 42
+
+    @pytest.mark.parametrize("raw", ["", "   ", "abc", "8.5", "0x10"])
+    def test_env_int_rejects_non_integers(self, raw):
+        from repro.errors import ValidationError
+        from repro.utils.validation import check_env_int
+
+        with pytest.raises(ValidationError, match="REPRO_SERVE_PORT"):
+            check_env_int(raw, source="REPRO_SERVE_PORT")
+
+    def test_env_int_bounds(self):
+        from repro.errors import ValidationError
+        from repro.utils.validation import check_env_int
+
+        with pytest.raises(ValidationError, match="PORT"):
+            check_env_int("70000", source="PORT", minimum=0,
+                          maximum=65535)
+        with pytest.raises(ValidationError, match="PORT"):
+            check_env_int("-1", source="PORT", minimum=0)
+
+    def test_env_float_parses(self):
+        from repro.utils.validation import check_env_float
+
+        assert check_env_float("0.25", source="T") == 0.25
+
+    @pytest.mark.parametrize("raw", ["", "  ", "soon", "nan"])
+    def test_env_float_rejects_junk(self, raw):
+        from repro.errors import ValidationError
+        from repro.utils.validation import check_env_float
+
+        with pytest.raises(ValidationError,
+                           match="REPRO_PARALLEL_THRESHOLD"):
+            check_env_float(raw, source="REPRO_PARALLEL_THRESHOLD")
+
+    def test_env_float_minimum(self):
+        from repro.errors import ValidationError
+        from repro.utils.validation import check_env_float
+
+        with pytest.raises(ValidationError, match="T"):
+            check_env_float("-0.1", source="T", minimum=0.0)
+
+    def test_validation_error_is_a_value_error(self):
+        # Pre-existing callers catch ValueError; the subclass keeps
+        # that contract.
+        from repro.errors import ReproError, ValidationError
+
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(ValidationError, ReproError)
+
+
+class TestKnobConsumers:
+    """The real knobs route through the validated parsers."""
+
+    def test_parallel_threshold_blank_rejected(self, monkeypatch):
+        from repro.core.runtime import ParallelRuntime
+        from repro.errors import ValidationError
+
+        monkeypatch.setenv("REPRO_PARALLEL_THRESHOLD", "")
+        with pytest.raises(ValidationError,
+                           match="REPRO_PARALLEL_THRESHOLD"):
+            ParallelRuntime.threshold_seconds()
+
+    def test_parallel_threshold_unset_defaults(self, monkeypatch):
+        from repro.core.runtime import (
+            DEFAULT_PARALLEL_THRESHOLD,
+            ParallelRuntime,
+        )
+
+        monkeypatch.delenv("REPRO_PARALLEL_THRESHOLD", raising=False)
+        assert (ParallelRuntime.threshold_seconds()
+                == DEFAULT_PARALLEL_THRESHOLD)
+
+    @pytest.mark.parametrize("raw", ["", "http", "8035.5", "-2"])
+    def test_serve_port_rejects_junk(self, monkeypatch, raw):
+        from repro.errors import ValidationError
+        from repro.serve.server import default_port
+
+        monkeypatch.setenv("REPRO_SERVE_PORT", raw)
+        with pytest.raises(ValidationError, match="REPRO_SERVE_PORT"):
+            default_port()
+
+    def test_serve_port_parses_and_defaults(self, monkeypatch):
+        from repro.serve.server import DEFAULT_PORT, default_port
+
+        monkeypatch.setenv("REPRO_SERVE_PORT", "9000")
+        assert default_port() == 9000
+        monkeypatch.delenv("REPRO_SERVE_PORT")
+        assert default_port() == DEFAULT_PORT
+
+    @pytest.mark.parametrize("raw", ["", "big", "nan"])
+    def test_scale_rejects_junk(self, monkeypatch, raw):
+        from repro.errors import ValidationError
+        from repro.experiments.setup import default_scale
+
+        monkeypatch.setenv("REPRO_SCALE", raw)
+        with pytest.raises(ValidationError, match="REPRO_SCALE"):
+            default_scale()
+
+    def test_scale_parses_and_defaults(self, monkeypatch):
+        from repro.experiments.setup import DEFAULT_SCALE, default_scale
+
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        assert default_scale() == 0.5
+        monkeypatch.delenv("REPRO_SCALE")
+        assert default_scale() == DEFAULT_SCALE
