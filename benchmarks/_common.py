@@ -26,7 +26,7 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.experiments.setup import (
     DEFAULT_SHAPE,
@@ -36,6 +36,7 @@ from repro.experiments.setup import (
     default_setup,
     experiment_store,
 )
+from repro.telemetry import get_metrics
 
 __all__ = [
     "RESULTS_DIR",
@@ -46,6 +47,9 @@ __all__ = [
     "build_engine",
     "experiment_store",
     "throughput",
+    "timed",
+    "metrics_mark",
+    "bench_metrics",
 ]
 
 RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
@@ -84,11 +88,51 @@ def write_result(name: str, text: str) -> None:
     print(text)
 
 
+class timed:
+    """Time one block on the monotonic clock, into the metrics registry.
+
+    ``with timed("cold") as t: ...`` leaves the elapsed wall seconds in
+    ``t.seconds`` and records the same value as a
+    ``bench.<name>_seconds`` histogram observation, so the telemetry
+    snapshot attached to every ``BENCH_*.json`` doc carries each
+    measured phase alongside the subsystem counters it triggered.
+    """
+
+    __slots__ = ("name", "seconds", "_start")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.seconds = 0.0
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start
+        get_metrics().observe(
+            f"bench.{self.name}_seconds", self.seconds
+        )
+
+
+def metrics_mark() -> Dict:
+    """Counter checkpoint; pass to :func:`bench_metrics` to diff."""
+    return get_metrics().mark()
+
+
+def bench_metrics(mark: Optional[Dict] = None) -> Dict:
+    """The telemetry ``metrics`` sub-object of a ``BENCH_*.json`` doc.
+
+    Counters are diffed against ``mark`` (when given) so the doc only
+    reports what the benchmark itself did; histograms are absolute.
+    """
+    return get_metrics().snapshot(since=mark)
+
+
 def throughput(fn: Callable[[object], object], items) -> float:
     """Apply ``fn`` to every item and return items/second."""
     items = list(items)
-    start = time.perf_counter()
-    for item in items:
-        fn(item)
-    elapsed = time.perf_counter() - start
-    return len(items) / elapsed if elapsed > 0 else float("inf")
+    with timed("throughput") as t:
+        for item in items:
+            fn(item)
+    return len(items) / t.seconds if t.seconds > 0 else float("inf")

@@ -30,13 +30,17 @@ import json
 import os
 import pickle
 import sys
-import time
 from pathlib import Path
 
 if __package__ in (None, ""):  # `python benchmarks/bench_runtime.py`
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from benchmarks._common import write_result
+from benchmarks._common import (
+    bench_metrics,
+    metrics_mark,
+    timed,
+    write_result,
+)
 from repro.accelerators.profiler import profile_accelerator
 from repro.core.preprocessing import reduce_library
 from repro.core.runtime import get_runtime, reset_runtime
@@ -91,9 +95,9 @@ def _run_site(name, run, fingerprint, worker_counts, repeats):
         out = None
         for _ in range(repeats):
             reset_runtime()
-            start = time.perf_counter()
-            out = run(w)
-            best = min(best, time.perf_counter() - start)
+            with timed(f"runtime.{name}.w{w}") as t:
+                out = run(w)
+            best = min(best, t.seconds)
         decisions = list(get_runtime().decisions)
         parallel_ran[w] = any(d.mode == "parallel" for d in decisions)
         decision_reasons[w] = sorted(
@@ -140,6 +144,7 @@ def test_runtime_bench():
     worker_counts = [1, 2] if smoke else [1, 2, TENTPOLE_WORKERS]
     repeats = 2
     cores = _cores()
+    mark = metrics_mark()
 
     # Shared experiment material (built once, outside every timing).
     setup = workload_setup(
@@ -291,6 +296,7 @@ def test_runtime_bench():
         "parallel_speedup": round(min_speedup, 3),
         "tentpole_speedup": round(tentpole_speedup, 3),
         "tentpole_enforced": tentpole_enforced,
+        "metrics": bench_metrics(mark),
     }
     trajectory = []
     if BENCH_JSON.is_file():

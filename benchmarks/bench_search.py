@@ -27,7 +27,6 @@ from __future__ import annotations
 import json
 import os
 import sys
-import time
 from pathlib import Path
 
 if __package__ in (None, ""):  # `python benchmarks/bench_search.py`
@@ -35,7 +34,12 @@ if __package__ in (None, ""):  # `python benchmarks/bench_search.py`
 
 import numpy as np
 
-from benchmarks._common import write_result
+from benchmarks._common import (
+    bench_metrics,
+    metrics_mark,
+    timed,
+    write_result,
+)
 from repro.accelerators.profiler import profile_accelerator
 from repro.core.budget import EvaluationBudget
 from repro.core.pareto import hypervolume_2d
@@ -87,24 +91,25 @@ def test_search_portfolio():
         0.02 if smoke else 0.05
     )
     workers = min(4, os.cpu_count() or 1)
+    mark = metrics_mark()
 
     hv_serial_all, hv_portfolio_all, rows = [], [], []
     serial_s = portfolio_s = 0.0
     for seed in seeds:
-        start = time.perf_counter()
-        serial = HillClimbStrategy().run(
-            space, qor_model, hw_model,
-            budget=EvaluationBudget(budget), rng=seed,
-        )
-        serial_s += time.perf_counter() - start
+        with timed("search.serial") as t:
+            serial = HillClimbStrategy().run(
+                space, qor_model, hw_model,
+                budget=EvaluationBudget(budget), rng=seed,
+            )
+        serial_s += t.seconds
 
-        start = time.perf_counter()
-        portfolio = PortfolioRunner(
-            space, qor_model, hw_model,
-            strategies=STRATEGIES, rounds=2, seed=seed,
-            workers=workers,
-        ).run(budget)
-        portfolio_s += time.perf_counter() - start
+        with timed("search.portfolio") as t:
+            portfolio = PortfolioRunner(
+                space, qor_model, hw_model,
+                strategies=STRATEGIES, rounds=2, seed=seed,
+                workers=workers,
+            ).run(budget)
+        portfolio_s += t.seconds
 
         # Exact budget accounting: both spend precisely the asked
         # budget (the fixed hill climber counts discarded batch tails,
@@ -174,6 +179,7 @@ def test_search_portfolio():
         "hypervolume_ratio": round(ratio, 4),
         "hv_per_second_ratio": round(rate_ratio, 4),
         "strategies": list(STRATEGIES),
+        "metrics": bench_metrics(mark),
     }
     trajectory = []
     if BENCH_JSON.is_file():

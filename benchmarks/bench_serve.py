@@ -28,11 +28,15 @@ import json
 import os
 import tempfile
 import threading
-import time
 import urllib.request
 from pathlib import Path
 
-from benchmarks._common import write_result
+from benchmarks._common import (
+    bench_metrics,
+    metrics_mark,
+    timed,
+    write_result,
+)
 
 #: Bench trajectory file (machine-readable, one doc per run).
 BENCH_JSON = Path("BENCH_serve.json")
@@ -94,11 +98,12 @@ def test_serve_roundtrip():
     ) as tmp:
         server = _make_server(tmp)
         base = server.base_url
+        mark = metrics_mark()
 
         # 1. cold: one job pays the pipeline
-        start = time.perf_counter()
-        cold = _run_job(base, payload)
-        cold_s = time.perf_counter() - start
+        with timed("serve.cold") as t:
+            cold = _run_job(base, payload)
+        cold_s = t.seconds
         assert cold["status"] == "done", cold
         assert cold["source"] == "cold", cold["source"]
 
@@ -109,15 +114,15 @@ def test_serve_roundtrip():
         def submit():
             jobs.append(_run_job(base, race))
 
-        start = time.perf_counter()
         threads = [
             threading.Thread(target=submit) for _ in range(clients)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        race_s = time.perf_counter() - start
+        with timed("serve.race") as t:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        race_s = t.seconds
         assert all(j["status"] == "done" for j in jobs)
         sources = sorted(j["source"] for j in jobs)
         stats = _api(base, "/v1/stats")["stats"]
@@ -128,9 +133,9 @@ def test_serve_roundtrip():
         assert len(fronts) == 1  # every client got the same answer
 
         # 3a. memory-warm repeat on the live server
-        start = time.perf_counter()
-        warm_memory = _run_job(base, payload)
-        memory_s = time.perf_counter() - start
+        with timed("serve.memory") as t:
+            warm_memory = _run_job(base, payload)
+        memory_s = t.seconds
         assert warm_memory["source"] == "memory"
         assert warm_memory["result"]["front"] == cold["result"]["front"]
 
@@ -141,9 +146,9 @@ def test_serve_roundtrip():
         # 3b. store-warm on a fresh server (empty memory cache)
         server = _make_server(tmp)
         base = server.base_url
-        start = time.perf_counter()
-        warm_store = _run_job(base, payload)
-        store_s = time.perf_counter() - start
+        with timed("serve.store") as t:
+            warm_store = _run_job(base, payload)
+        store_s = t.seconds
         assert warm_store["source"] == "store", warm_store["source"]
         cache = warm_store["result"]["stage_cache"]
         assert set(cache.values()) == {"hit"}, cache
@@ -189,6 +194,7 @@ def test_serve_roundtrip():
         "pipeline_passes": stats["pipeline_passes"],
         "coalesced": stats["coalesced"],
         "ledger_runs": len(ledger_runs),
+        "metrics": bench_metrics(mark),
     }
     trajectory = []
     if BENCH_JSON.is_file():

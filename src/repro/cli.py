@@ -43,6 +43,7 @@ document and nothing else — progress and diagnostics go to stderr.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Dict, List, Optional
@@ -50,6 +51,7 @@ from typing import Dict, List, Optional
 from repro.accelerators.gaussian_fixed import FixedGaussianFilter
 from repro.accelerators.gaussian_generic import GenericGaussianFilter
 from repro.accelerators.sobel import SobelEdgeDetector
+from repro.telemetry import get_logger, setup_logging
 from repro.utils.tabulate import format_table
 
 ACCELERATORS = {
@@ -66,6 +68,56 @@ def _emit_json(doc: Dict) -> None:
     """Print a machine-readable result (sorted keys, version field)."""
     doc = {"version": JSON_VERSION, **doc}
     print(json.dumps(doc, sort_keys=True, indent=2))
+
+
+@contextlib.contextmanager
+def _tracing(command: str, trace_path: Optional[str]):
+    """Span-trace one CLI command when ``--trace``/``REPRO_TRACE`` asks.
+
+    Installs a process-wide :class:`~repro.telemetry.tracing.Tracer`,
+    wraps the whole command in one top-level ``cli.<command>`` span
+    (worker spans parent under it through the runtime piggyback), and
+    writes the Chrome trace-event JSON on the way out — including when
+    the command raises, so a failed run still leaves its timeline.
+    """
+    import os
+
+    from repro.telemetry import TRACE_ENV, Tracer, install_tracer
+    from repro.telemetry import uninstall_tracer
+
+    if trace_path is None:
+        raw = os.environ.get(TRACE_ENV)
+        if raw is not None:
+            if not raw.strip():
+                from repro.errors import ValidationError
+
+                raise ValidationError(
+                    f"{TRACE_ENV} must name a trace output file, "
+                    f"got {raw!r}"
+                )
+            trace_path = raw.strip()
+    if trace_path is None:
+        yield
+        return
+    tracer = Tracer()
+    install_tracer(tracer)
+    try:
+        with tracer.span(f"cli.{command}", cat="cli"):
+            yield
+    finally:
+        uninstall_tracer()
+        tracer.write(trace_path)
+        get_logger("cli").info(
+            "trace written", extra={"data": {"file": trace_path}}
+        )
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON timeline of this "
+             "command (default: REPRO_TRACE env, else off)",
+    )
 
 
 def _workers_arg(text: str) -> int:
@@ -146,24 +198,24 @@ def _cmd_generate_library(args: argparse.Namespace) -> int:
     from repro.library.io import save_library
     from repro.library.pipeline import build_library
 
+    log = get_logger("library")
     store = _resolve_store(args.store)
     if not args.out and store is None:
-        print(
-            "generate-library needs --out and/or --store",
-            file=sys.stderr,
-        )
+        log.error("generate-library needs --out and/or --store")
         return 2
     plan = scaled_plan(args.scale, seed=args.seed)
-    print(
-        f"generating {plan.total()} components "
-        f"({'store-backed' if store else 'no store'})...",
-        file=sys.stderr,
+    log.info(
+        "generating components",
+        extra={"data": {
+            "components": plan.total(),
+            "store": str(store.root) if store else None,
+        }},
     )
     result = build_library(
         plan,
         workers=args.workers,
         store=store,
-        progress=lambda line: print(line, file=sys.stderr),
+        progress=log.info,
     )
     library, stats = result.library, result.stats
     if store is not None:
@@ -278,7 +330,9 @@ def _emit_pipeline_json(result, doc: Dict, out: Optional[str]) -> None:
     """
     if out:
         _write_front_csv(result, out)
-        print(f"front written to {out}", file=sys.stderr)
+        get_logger("cli").info(
+            "front written", extra={"data": {"file": out}}
+        )
     _emit_json(doc)
 
 
@@ -640,19 +694,58 @@ def _cmd_runs_show(args: argparse.Namespace) -> int:
                 "seed", "config_hash", "total_seconds"):
         print(f"{key}: {manifest.get(key)}")
     print(f"params: {json.dumps(manifest.get('params', {}), sort_keys=True)}")
+    stages = manifest.get("stages", [])
+    total = sum(s.get("seconds", 0.0) for s in stages) or 1.0
     rows = [
         [
             stage.get("name", "?"),
             stage.get("cache", "?"),
             f"{stage.get('seconds', 0.0):.3f}",
+            f"{100.0 * stage.get('seconds', 0.0) / total:.1f}%",
             ", ".join(
                 f"{a['kind']}:{a['key'][:12]}"
                 for a in stage.get("artifacts", [])
             ),
         ]
-        for stage in manifest.get("stages", [])
+        for stage in stages
     ]
-    print(format_table(["stage", "cache", "seconds", "artifacts"], rows))
+    print(format_table(
+        ["stage", "cache", "seconds", "% of total", "artifacts"], rows
+    ))
+    hits = sum(1 for s in stages if s.get("cache") == "hit")
+    print(f"cache: {hits}/{len(stages)} stages hit")
+    extra = manifest.get("extra") or {}
+    engine_stats = extra.get("engine_stats")
+    if engine_stats:
+        print(
+            "engine: "
+            + " ".join(
+                f"{key}={value}"
+                for key, value in sorted(engine_stats.items())
+            )
+        )
+    metrics = extra.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        print(format_table(
+            ["metric", "count"],
+            [[name, counters[name]] for name in sorted(counters)],
+        ))
+    histograms = metrics.get("histograms") or {}
+    if histograms:
+        print(format_table(
+            ["histogram", "count", "p50", "p95", "p99"],
+            [
+                [
+                    name,
+                    h.get("count", 0),
+                    f"{h.get('p50') or 0.0:.4g}",
+                    f"{h.get('p95') or 0.0:.4g}",
+                    f"{h.get('p99') or 0.0:.4g}",
+                ]
+                for name, h in sorted(histograms.items())
+            ],
+        ))
     return 0
 
 
@@ -758,6 +851,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     app = ServeApp(coordinator, keys)
     port = args.port if args.port is not None else default_port()
 
+    log = get_logger("serve")
+
     def ready(actual_port: int) -> None:
         mode = (
             f"{len(keys.accounts)} API key(s)" if keys.enabled
@@ -766,10 +861,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         where = (
             str(coordinator.store.root) if coordinator.store else "none"
         )
-        print(
+        log.info(
             f"repro serve on http://{args.host}:{actual_port} "
-            f"[auth: {mode}, store: {where}]",
-            file=sys.stderr,
+            f"[auth: {mode}, store: {where}]"
         )
 
     try:
@@ -777,7 +871,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             serve_forever(app, host=args.host, port=port, ready=ready)
         )
     except KeyboardInterrupt:
-        print("repro serve: shutting down", file=sys.stderr)
+        log.info("repro serve: shutting down")
     return 0
 
 
@@ -852,6 +946,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     _add_workers_arg(run)
     _add_store_arg(run)
+    _add_trace_arg(run)
     run.add_argument("--json", action="store_true",
                      help="machine-readable result document")
     run.add_argument("--out", help="CSV file for the final front")
@@ -873,6 +968,7 @@ def build_parser() -> argparse.ArgumentParser:
     wl_run.add_argument("--seed", type=int, default=0)
     _add_workers_arg(wl_run)
     _add_store_arg(wl_run)
+    _add_trace_arg(wl_run)
     wl_run.add_argument("--json", action="store_true",
                         help="machine-readable result document")
     wl_run.add_argument("--out", help="CSV file for the final front")
@@ -904,6 +1000,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated learning engines")
     _add_workers_arg(search)
     _add_store_arg(search)
+    _add_trace_arg(search)
     search.add_argument("--json", action="store_true",
                         help="machine-readable result document")
 
@@ -965,6 +1062,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_arg(serve)
     _add_store_arg(serve)
+    _add_trace_arg(serve)
 
     export = sub.add_parser("export-verilog",
                             help="structural Verilog of an accelerator")
@@ -992,7 +1090,9 @@ _COMMANDS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    setup_logging()
+    with _tracing(args.command, getattr(args, "trace", None)):
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

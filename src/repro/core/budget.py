@@ -37,6 +37,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import BudgetExceededError, DSEError
+from repro.telemetry import get_metrics
 
 
 class EvaluationBudget:
@@ -226,6 +227,10 @@ class MeteredEstimator:
             self.budget.charge(n)
             self.count += n
             self.calls += 1
+        metrics = get_metrics()
+        metrics.inc("search.evaluations", n)
+        metrics.inc("search.estimate_calls")
+        metrics.observe("search.estimate_batch", n)
         # One genome matrix for the whole generation; both models (and
         # any parallel chunks) predict from the same compiled array.
         genomes = np.asarray(configs)

@@ -45,6 +45,7 @@ from repro.core.runtime import (  # noqa: F401 - re-exported conventions
 from repro.imaging.metrics import BatchedSsim
 from repro.library.component import ComponentRecord
 from repro.synthesis.synthesizer import SynthesisReport, synthesize
+from repro.telemetry import get_metrics, maybe_span
 
 
 @dataclass(frozen=True)
@@ -232,14 +233,17 @@ class EvaluationEngine:
         cached = self._synth_memo.get(key)
         if cached is not None:
             self.synth_hits += 1
+            get_metrics().inc("engine.synth_hits")
             return cached
         if self.synth_cache is not None:
             cached = self.synth_cache.get(key)
             if cached is not None:
                 self.synth_store_hits += 1
+                get_metrics().inc("engine.synth_store_hits")
                 self._synth_memo[key] = cached
                 return cached
         self.synth_misses += 1
+        get_metrics().inc("engine.synth_misses")
         netlist = self.accelerator.to_netlist(records)
         rep = synthesize(netlist, in_place=True)
         self._synth_memo[key] = rep
@@ -253,6 +257,7 @@ class EvaluationEngine:
         self, space: ConfigurationSpace, config: Configuration
     ) -> EvaluationResult:
         """Full analysis of one configuration (simulation + synthesis)."""
+        get_metrics().inc("engine.evaluations")
         impls = space.assignment_callables(config)
         quality = self.qor(impls)
         rep = self.hardware(space.records(config))
@@ -278,15 +283,24 @@ class EvaluationEngine:
             if config not in unique:
                 unique[config] = len(unique)
         ordered = list(unique)
+        metrics = get_metrics()
+        metrics.inc("engine.evaluate_batches")
+        metrics.observe("engine.batch_size", len(configs))
 
         if workers is None:
             workers = self.workers
         else:
             workers = validate_workers(workers)
-        if workers is None or workers <= 1 or len(ordered) < 2:
-            results = [self.evaluate(space, c) for c in ordered]
-        else:
-            results = self._evaluate_parallel(space, ordered, workers)
+        with maybe_span(
+            "engine.evaluate_many", cat="engine",
+            args={"configs": len(configs), "unique": len(ordered)},
+        ):
+            if workers is None or workers <= 1 or len(ordered) < 2:
+                results = [self.evaluate(space, c) for c in ordered]
+            else:
+                results = self._evaluate_parallel(
+                    space, ordered, workers
+                )
         return [results[unique[c]] for c in configs]
 
     def _evaluate_parallel(

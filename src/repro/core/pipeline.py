@@ -57,6 +57,7 @@ from repro.core.pareto import pareto_front_indices
 from repro.core.preprocessing import reduce_library
 from repro.library.component import ComponentRecord
 from repro.library.library import ComponentLibrary
+from repro.telemetry import complete_event, get_metrics
 from repro.utils.rng import spawn_rngs
 
 #: Ledger stage names, in execution order.  The heavy stages a warm
@@ -308,6 +309,9 @@ class AutoAx:
         stage_cache: Dict[str, str] = {}
         stage_records: List[Dict] = []
         fits_before = fit_count()
+        metrics = get_metrics()
+        metrics_mark = metrics.mark()
+        metrics.inc("pipeline.runs")
 
         # Independent per-stage RNG streams: skipping a cached stage
         # must not shift the randomness of the stages that still run.
@@ -358,6 +362,12 @@ class AutoAx:
                     "cache": cache,
                     "artifacts": artifacts,
                 }
+            )
+            metrics.observe(f"pipeline.stage_seconds.{name}", seconds)
+            metrics.inc(f"pipeline.stage_{cache}")
+            complete_event(
+                f"pipeline.{name}", seconds, cat="pipeline",
+                args={"cache": cache},
             )
 
         # ---- stage 1: characterize + reduce (preprocessing) -------------
@@ -621,7 +631,10 @@ class AutoAx:
                 config_hash=config_hash or "",
                 stages=stage_records,
                 seed=cfg.seed,
-                extra={"engine_stats": engine_stats},
+                extra={
+                    "engine_stats": engine_stats,
+                    "metrics": metrics.snapshot(since=metrics_mark),
+                },
             )
 
         return AutoAxResult(

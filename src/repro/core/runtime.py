@@ -64,6 +64,13 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.telemetry import (
+    absorb_worker_delta,
+    collect_worker_delta,
+    get_metrics,
+)
+from repro.telemetry.tracing import current_tracer, worker_tracer
+
 #: Environment knob: default worker-process count (shared convention).
 WORKERS_ENV = "REPRO_WORKERS"
 
@@ -266,9 +273,25 @@ def _resolve_context(ref: Optional[_ContextRef]):
 
 
 def _call_task(payload):
-    fn, ref, task = payload
+    """Worker-side task wrapper.
+
+    Returns ``(result, telemetry_delta)``: the runtime strips the
+    piggybacked delta before yielding, so callers observe results that
+    are bit-identical to the serial path.  ``trace_ctx`` (trace id,
+    parent span id, span name) is ``None`` unless a tracer is active
+    in the parent.
+    """
+    fn, ref, task, trace_ctx = payload
     context = _resolve_context(ref)
-    return fn(context, task)
+    if trace_ctx is None:
+        result = fn(context, task)
+    else:
+        tracer = worker_tracer(trace_ctx[0])
+        with tracer.span(
+            trace_ctx[2], cat="worker", parent=trace_ctx[1]
+        ):
+            result = fn(context, task)
+    return result, collect_worker_delta()
 
 
 # ---------------------------------------------------------------------------
@@ -420,6 +443,9 @@ class ParallelRuntime:
                 return None
             self._segments[shm.name] = shm
             self.stats["segments_created"] += 1
+            metrics = get_metrics()
+            metrics.inc("runtime.segments_created")
+            metrics.inc("runtime.shm_bytes", max(1, size))
             return shm
         self._shm_ok = False  # pragma: no cover - pathological
         return None  # pragma: no cover
@@ -465,6 +491,7 @@ class ParallelRuntime:
             if cached is not None:
                 self._ctx_cache.move_to_end(key)
                 self.stats["context_cache_hits"] += 1
+                get_metrics().inc("runtime.context_cache_hits")
                 return cached[0]
 
             self._ctx_token += 1
@@ -487,6 +514,7 @@ class ParallelRuntime:
             self._ctx_cache[key] = (ref, context)
             self._ctx_segments[token] = segments
             self.stats["contexts_published"] += 1
+            get_metrics().inc("runtime.contexts_published")
             while len(self._ctx_cache) > self._max_contexts:
                 _, (old_ref, _) = self._ctx_cache.popitem(last=False)
                 for name in self._ctx_segments.pop(old_ref.token, []):
@@ -509,6 +537,9 @@ class ParallelRuntime:
                 initializer=_worker_init,
             )
             self._executor_size = workers
+            get_metrics().inc("runtime.pool_starts")
+        else:
+            get_metrics().inc("runtime.pool_reuse")
         return self._executor
 
     def _shutdown_executor(self, wait: bool = True) -> None:
@@ -568,6 +599,9 @@ class ParallelRuntime:
             if len(self.decisions) > 256:
                 del self.decisions[:128]
             self.stats[f"{run_mode}_batches"] += 1
+            metrics = get_metrics()
+            metrics.inc(f"runtime.{run_mode}_batches")
+            metrics.inc(f"runtime.decision.{reason}")
             return d
 
         if _IN_WORKER:
@@ -637,10 +671,31 @@ class ParallelRuntime:
         if not tasks:
             self._decide(label, 0, workers, True, 0.0)
             return
+        tracer = current_tracer()
+        if tracer is None:
+            yield from self._run_batch(
+                fn, tasks, context, workers, label, None
+            )
+            return
+        with tracer.span(
+            f"runtime.{label}", cat="runtime",
+            args={"n_tasks": len(tasks)},
+        ) as batch_span:
+            trace_ctx = (
+                tracer.trace_id, batch_span.id, f"task:{label}"
+            )
+            yield from self._run_batch(
+                fn, tasks, context, workers, label, trace_ctx
+            )
+
+    def _run_batch(
+        self, fn, tasks, context, workers, label, trace_ctx
+    ) -> Iterator:
         # Probe: run the first task in-process on the live context.
         start = time.perf_counter()
         first = fn(context, tasks[0])
         probe_seconds = time.perf_counter() - start
+        get_metrics().observe("runtime.probe_seconds", probe_seconds)
 
         key = self._context_key(context) if context is not None else None
         context_cached = (
@@ -657,7 +712,9 @@ class ParallelRuntime:
             for task in rest:
                 yield fn(context, task)
             return
-        yield from self._run_parallel(fn, rest, context, decision)
+        yield from self._run_parallel(
+            fn, rest, context, decision, trace_ctx
+        )
 
     def map(
         self,
@@ -673,14 +730,19 @@ class ParallelRuntime:
                       label=label)
         )
 
-    def _run_parallel(self, fn, tasks, context, decision) -> Iterator:
+    def _run_parallel(
+        self, fn, tasks, context, decision, trace_ctx=None
+    ) -> Iterator:
         from concurrent.futures.process import BrokenProcessPool
 
         ref = self.publish(context)
         executor = self._get_executor(decision.effective_workers)
-        payloads = [(fn, ref, task) for task in tasks]
+        payloads = [(fn, ref, task, trace_ctx) for task in tasks]
         try:
-            yield from executor.map(_call_task, payloads)
+            for result, delta in executor.map(_call_task, payloads):
+                if delta is not None:
+                    absorb_worker_delta(delta)
+                yield result
         except (BrokenProcessPool, KeyboardInterrupt):
             # A dead worker (or an interrupt) poisons the pool; discard
             # it so the next batch starts from a clean one.  Tracked

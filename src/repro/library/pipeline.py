@@ -47,6 +47,7 @@ from repro.library.component import (
 )
 from repro.library.generation import GenerationPlan, enumerate_plan
 from repro.library.library import ComponentLibrary
+from repro.telemetry import get_logger, get_metrics, maybe_span
 
 #: Artifact kind of per-component memo entries in the experiment store.
 COMPONENT_KIND = "component"
@@ -200,7 +201,10 @@ def build_library(
     does not depend on it.  ``store`` enables per-component memoisation
     (and a ``library-build`` ledger manifest unless ``record_run`` is
     off).  ``progress`` receives one human-readable line per completed
-    chunk.
+    chunk; by default those lines go to the structured logger (stderr)
+    at DEBUG, keeping programmatic builds quiet and ``--json`` stdout
+    pure — the CLI passes the logger's INFO method for visible
+    progress.
     """
     from repro.core.runtime import default_workers, validate_workers
 
@@ -210,6 +214,8 @@ def build_library(
         workers = default_workers()
     else:
         workers = validate_workers(workers)
+    if progress is None:
+        progress = get_logger("library").debug
 
     start = time.perf_counter()
     inventory = enumerate_plan(plan)
@@ -230,39 +236,54 @@ def build_library(
     library = ComponentLibrary()
     cursor = 0
     done = 0
-    for index, payloads, hits, misses in _execute_chunks(
-        tasks, (store, plan.sample_size), workers
+    metrics = get_metrics()
+    metrics_mark = metrics.mark()
+    with maybe_span(
+        "library.build", cat="library",
+        args={"components": len(specs), "chunks": len(tasks)},
     ):
-        for payload in payloads:
-            record = ComponentRecord.from_dict(payload)
-            cursor += 1
-            library.add(record)
-            kind, width = record.signature
-            label = f"{kind}{width}"
-            stats.per_signature[label] = (
-                stats.per_signature.get(label, 0) + 1
-            )
-        stats.store_hits += hits
-        stats.characterized += misses
-        stats.synthesized += misses
-        done += 1
-        if progress is not None:
-            progress(
-                f"chunk {done}/{len(tasks)}: {cursor}/{len(specs)} "
-                f"components ({stats.store_hits} cached)"
-            )
+        for index, payloads, hits, misses in _execute_chunks(
+            tasks, (store, plan.sample_size), workers
+        ):
+            for payload in payloads:
+                record = ComponentRecord.from_dict(payload)
+                cursor += 1
+                library.add(record)
+                kind, width = record.signature
+                label = f"{kind}{width}"
+                stats.per_signature[label] = (
+                    stats.per_signature.get(label, 0) + 1
+                )
+            stats.store_hits += hits
+            stats.characterized += misses
+            stats.synthesized += misses
+            done += 1
+            if progress is not None:
+                progress(
+                    f"chunk {done}/{len(tasks)}: "
+                    f"{cursor}/{len(specs)} "
+                    f"components ({stats.store_hits} cached)"
+                )
     stats.seconds = time.perf_counter() - start
+    metrics.inc("library.components_built", stats.characterized)
+    metrics.inc("library.store_hits", stats.store_hits)
+    metrics.inc("library.chunks", stats.chunks)
 
     run_id = None
     if store is not None and record_run:
-        run_id = _record_build(store, plan, stats)
+        run_id = _record_build(
+            store, plan, stats, metrics_mark=metrics_mark
+        )
     return LibraryBuildResult(
         library=library, stats=stats, run_id=run_id
     )
 
 
 def _record_build(
-    store, plan: GenerationPlan, stats: LibraryBuildStats
+    store,
+    plan: GenerationPlan,
+    stats: LibraryBuildStats,
+    metrics_mark: Optional[Dict] = None,
 ) -> str:
     """Write the ledger manifest of one store-backed build."""
     from repro.store import RunLedger
@@ -303,6 +324,9 @@ def _record_build(
             }
         ],
         seed=plan.seed,
-        extra={"build": stats.as_dict()},
+        extra={
+            "build": stats.as_dict(),
+            "metrics": get_metrics().snapshot(since=metrics_mark),
+        },
     )
     return run_id

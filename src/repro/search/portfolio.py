@@ -39,6 +39,7 @@ from repro.core.modeling import EstimationModel
 from repro.core.pareto import ParetoArchive
 from repro.errors import DSEError, StoreError
 from repro.search.strategies import SearchStrategy, make_strategy
+from repro.telemetry import get_metrics, maybe_span
 from repro.utils.rng import spawn_rngs
 
 #: Artifact kind of portfolio checkpoints in the experiment store.
@@ -241,6 +242,7 @@ class PortfolioRunner:
         stages: List[Dict],
         status: str,
         resumed_from: Optional[str],
+        metrics_mark: Optional[Dict] = None,
     ) -> None:
         from repro.store import RunLedger, content_hash
 
@@ -253,6 +255,7 @@ class PortfolioRunner:
             "max_evaluations": payload["max_evaluations"],
             "round": payload["round"],
             "rounds": payload["rounds"],
+            "metrics": get_metrics().snapshot(since=metrics_mark),
         }
         if resumed_from:
             extra["resumed_from"] = resumed_from
@@ -335,6 +338,8 @@ class PortfolioRunner:
 
             run_id = RunLedger.new_run_id()
 
+        metrics = get_metrics()
+        metrics_mark = metrics.mark()
         stages: List[Dict] = []
         for round_i in range(start_round, self.rounds):
             remaining = max_evaluations - spent
@@ -360,8 +365,20 @@ class PortfolioRunner:
                 for i in range(n_islands)
                 if slices[i] > 0
             ]
+            metrics.inc("search.rounds")
+            if round_i > start_round and front_configs:
+                # The previous round's merged front migrated back into
+                # every island that runs this round.
+                metrics.inc(
+                    "search.migrations",
+                    len(front_configs) * len(tasks),
+                )
             round_start = time.perf_counter()
-            outcomes = self._execute(tasks)
+            with maybe_span(
+                "search.round", cat="search",
+                args={"round": round_i, "islands": len(tasks)},
+            ):
+                outcomes = self._execute(tasks)
             for idx, result, rng_state, state, seconds in outcomes:
                 generators[idx].bit_generator.state = rng_state
                 states[idx] = state
@@ -434,8 +451,12 @@ class PortfolioRunner:
                     else "partial"
                 )
                 self._record(
-                    run_id, payload, stages, status, resume_from
+                    run_id, payload, stages, status, resume_from,
+                    metrics_mark=metrics_mark,
                 )
+            metrics.set_gauge(
+                "search.front_size", len(merged.payloads)
+            )
 
         if run_id is not None and not stages:
             # Nothing ran (checkpoint already complete): the restored

@@ -57,6 +57,7 @@ from repro.serve.jobs import (
     JobRequest,
     job_result_doc,
 )
+from repro.telemetry import get_metrics, maybe_span
 
 #: Finished result documents kept for instant warm answers.
 MEMORY_CACHE_SIZE = 128
@@ -110,12 +111,15 @@ class Coordinator:
         self.board.add(job)
         account.jobs_submitted += 1
         self.stats["submitted"] += 1
+        metrics = get_metrics()
+        metrics.inc("serve.submitted")
 
         key = request.job_key()
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
             self.stats["memory_hits"] += 1
+            metrics.inc("serve.memory_hits")
             self._finish(job, result=dict(cached), source=SOURCE_MEMORY)
             await self.board.notify()
             return job
@@ -123,6 +127,7 @@ class Coordinator:
         group = self._inflight.get(key)
         if group is not None:
             self.stats["coalesced"] += 1
+            metrics.inc("serve.coalesced")
             group.append(job)
             if group[0].status == RUNNING:
                 job.status = RUNNING
@@ -146,6 +151,7 @@ class Coordinator:
                 job.started_at = time.time()
         await self.board.notify()
         self.stats["pipeline_passes"] += 1
+        get_metrics().inc("serve.pipeline_passes")
         try:
             doc = await loop.run_in_executor(
                 self._executor, self._run_pass, request, account
@@ -163,6 +169,7 @@ class Coordinator:
             )
             if warm:
                 self.stats["store_warm"] += 1
+                get_metrics().inc("serve.store_warm")
             self._memory[key] = doc
             while len(self._memory) > MEMORY_CACHE_SIZE:
                 self._memory.popitem(last=False)
@@ -187,16 +194,21 @@ class Coordinator:
         from repro.experiments.setup import run_workload_pipeline
 
         account.budget.charge(request.evals)
-        setup, result = run_workload_pipeline(
-            request.workload,
-            scale=request.scale,
-            n_images=request.images,
-            train=request.train,
-            evals=request.evals,
-            seed=request.seed,
-            workers=self.workers,
-            store=self.store,
-        )
+        with maybe_span(
+            "serve.pass", cat="serve",
+            args={"workload": request.workload,
+                  "evals": request.evals},
+        ):
+            setup, result = run_workload_pipeline(
+                request.workload,
+                scale=request.scale,
+                n_images=request.images,
+                train=request.train,
+                evals=request.evals,
+                seed=request.seed,
+                workers=self.workers,
+                store=self.store,
+            )
         return job_result_doc(request, setup, result)
 
     # -- completion (event-loop thread) --------------------------------------
@@ -211,15 +223,22 @@ class Coordinator:
         job.finished_at = time.time()
         if job.started_at is None:
             job.started_at = job.finished_at
+        metrics = get_metrics()
         if error is not None:
             job.status = FAILED
             job.error = error
             self.stats["failed"] += 1
+            metrics.inc("serve.failed")
         else:
             job.status = DONE
             job.result = result
             job.source = source
             self.stats["done"] += 1
+            metrics.inc("serve.done")
+        latency = job.finished_at - (job.created_at or job.finished_at)
+        metrics.observe(
+            f"serve.job_seconds.{job.source or 'failed'}", latency
+        )
         self._record(job)
 
     def _record(self, job: Job) -> None:
@@ -262,6 +281,7 @@ class Coordinator:
                 "error": job.error,
                 "pipeline_run_id": result.get("run_id"),
                 "engine_stats": result.get("engine_stats"),
+                "metrics": get_metrics().snapshot(),
             },
         )
 

@@ -15,6 +15,9 @@ GET    ``/v1/jobs/<id>``             poll one job (``?wait=SECONDS``
 GET    ``/v1/jobs/<id>/events``      server-sent-events status stream
 GET    ``/v1/account``               the caller's account + budget meter
 GET    ``/v1/stats``                 coordinator + cache statistics
+GET    ``/v1/metrics``               telemetry scrape (JSON; add
+                                     ``?format=prometheus`` for text
+                                     exposition)
 GET    ``/v1/ledger``                ``serve-job`` run-ledger manifests
 ====== ============================= =====================================
 
@@ -42,6 +45,7 @@ from repro.errors import BudgetExceededError, ValidationError
 from repro.serve.auth import ApiKeyRegistry
 from repro.serve.coordinator import Coordinator
 from repro.serve.jobs import JobRequest
+from repro.telemetry import get_metrics, render_prometheus
 
 #: Environment knob: default TCP port of ``repro serve``.
 SERVE_PORT_ENV = "REPRO_SERVE_PORT"
@@ -166,6 +170,22 @@ class ServeApp:
         )
         writer.write(head.encode("latin-1") + payload)
 
+    @staticmethod
+    def _respond_raw(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: bytes,
+        content_type: str,
+    ) -> None:
+        """Non-JSON response body (Prometheus text exposition)."""
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+
     # -- auth ----------------------------------------------------------------
 
     def _account_for(self, headers: Dict[str, str]):
@@ -194,17 +214,22 @@ class ServeApp:
                 )
             except ConnectionResetError:
                 return
+            metrics = get_metrics()
+            metrics.inc("serve.http_requests")
             try:
                 await self._route(
                     method, target, headers, body, writer
                 )
             except _HttpError as exc:
+                metrics.inc(f"serve.http_{exc.status}")
                 self._respond(
                     writer, exc.status, {"error": str(exc)}
                 )
             except BudgetExceededError as exc:
+                metrics.inc("serve.http_429")
                 self._respond(writer, 429, {"error": str(exc)})
             except ValidationError as exc:
+                metrics.inc("serve.http_400")
                 self._respond(writer, 400, {"error": str(exc)})
             except Exception as exc:  # noqa: BLE001 - keep serving
                 self._respond(
@@ -265,6 +290,8 @@ class ServeApp:
                 "inflight": len(self.coordinator._inflight),
                 "jobs": len(self.coordinator.board),
             })
+        elif path == "/v1/metrics" and method == "GET":
+            self._metrics_endpoint(query, writer)
         elif path == "/v1/ledger" and method == "GET":
             self._respond(writer, 200, self._ledger_doc())
         elif path.startswith("/v1/jobs/"):
@@ -290,6 +317,23 @@ class ServeApp:
                 for workload in WORKLOADS
             ]
         }
+
+    def _metrics_endpoint(self, query: Dict[str, str], writer) -> None:
+        """Live telemetry scrape: JSON snapshot or Prometheus text."""
+        fmt = query.get("format", "json").strip().lower()
+        snapshot = get_metrics().snapshot()
+        if fmt == "prometheus":
+            text = render_prometheus(snapshot)
+            self._respond_raw(
+                writer, 200, text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif fmt == "json":
+            self._respond(writer, 200, {"metrics": snapshot})
+        else:
+            raise _HttpError(
+                400, "format must be 'json' or 'prometheus'"
+            )
 
     def _ledger_doc(self) -> Dict:
         if self.coordinator.store is None:

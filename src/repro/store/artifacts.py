@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import StoreError
+from repro.telemetry import get_metrics
 from repro.utils.validation import check_env_dir
 
 #: Environment knobs: the store root, and the legacy library-cache root
@@ -303,6 +304,9 @@ class ArtifactStore:
         path = self._blob_path(kind, key)
         atomic_write_bytes(path, data)
         self._index(kind, key, path, digest, len(data), meta)
+        metrics = get_metrics()
+        metrics.inc("store.puts")
+        metrics.inc("store.bytes_written", len(data))
         return ArtifactRef(kind, key, path, digest, len(data))
 
     def get(self, kind: str, key: str):
@@ -326,20 +330,27 @@ class ArtifactStore:
         path = self._blob_path(kind, key)
         if row is not None:
             path = self.root / row[0]
+        metrics = get_metrics()
         try:
             data = path.read_bytes()
         except OSError:
             if row is not None:  # stale index entry: blob is gone
                 self._evict(kind, key)
+                metrics.inc("store.evictions")
+            metrics.inc("store.misses")
             return None
         try:
             obj = self._codec(kind).decode(data)
         except Exception:
             self._evict(kind, key)
+            metrics.inc("store.evictions")
+            metrics.inc("store.misses")
             return None
         digest = hashlib.sha256(data).hexdigest()
         if row is None or digest != row[1]:
             self._index(kind, key, path, digest, len(data), None)
+        metrics.inc("store.hits")
+        metrics.inc("store.bytes_read", len(data))
         return obj
 
     def has(self, kind: str, key: str) -> bool:
@@ -431,6 +442,10 @@ class ArtifactStore:
                         continue
                     removed += 1
                     freed += size
+        metrics = get_metrics()
+        metrics.inc("store.gc_runs")
+        metrics.inc("store.gc_removed", removed)
+        metrics.inc("store.gc_freed_bytes", freed)
         return {"removed": removed, "freed_bytes": freed, "kept": kept}
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

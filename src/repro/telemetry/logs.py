@@ -1,0 +1,159 @@
+"""Structured logging for the package: JSON-lines or text, to stderr.
+
+All ``repro`` loggers hang off one root logger configured lazily by
+:func:`get_logger`. Handlers always write to **stderr** so ``--json``
+stdout purity holds no matter how chatty a run is.
+
+Knobs (validated through the ``check_env_*`` helpers; a set-but-bogus
+value is a configuration error, never a silent fallback):
+
+- ``REPRO_LOG_LEVEL`` — ``debug|info|warning|error|critical``
+  (default ``info``).
+- ``REPRO_LOG_FORMAT`` — ``text`` (default) or ``json`` for one JSON
+  object per line.
+
+Extra structured fields ride on the standard ``extra=`` mechanism:
+``log.info("built", extra={"data": {"components": 8}})`` — the JSON
+formatter splices ``data`` into the emitted object, the text formatter
+appends it as ``key=value`` pairs.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+import os
+import sys
+from typing import Optional
+
+from repro.utils.validation import check_env_choice
+
+__all__ = [
+    "LOG_LEVEL_ENV",
+    "LOG_FORMAT_ENV",
+    "JsonLinesFormatter",
+    "TextFormatter",
+    "setup_logging",
+    "get_logger",
+]
+
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+LOG_FORMAT_ENV = "REPRO_LOG_FORMAT"
+
+_LEVELS = ("debug", "info", "warning", "error", "critical")
+_FORMATS = ("text", "json")
+
+#: Name of the package root logger every ``get_logger`` child joins.
+ROOT = "repro"
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, data."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": datetime.datetime.fromtimestamp(
+                record.created, tz=datetime.timezone.utc
+            ).isoformat(timespec="milliseconds"),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        data = getattr(record, "data", None)
+        if isinstance(data, dict):
+            doc.update(data)
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """``LEVEL logger: message key=value ...`` — greppable one-liners."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        line = (
+            f"{record.levelname} {record.name}: "
+            f"{record.getMessage()}"
+        )
+        data = getattr(record, "data", None)
+        if isinstance(data, dict):
+            line += "".join(
+                f" {key}={value}" for key, value in data.items()
+            )
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+class _LazyStderrHandler(logging.StreamHandler):
+    """A StreamHandler that resolves ``sys.stderr`` at emit time.
+
+    Binding the stream per record (instead of at handler construction)
+    keeps log output on whatever ``sys.stderr`` currently is — test
+    harnesses and CLIs routinely swap it after logging is configured.
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+
+def _env_level() -> int:
+    raw = os.environ.get(LOG_LEVEL_ENV)
+    if raw is None:
+        return logging.INFO
+    choice = check_env_choice(raw, LOG_LEVEL_ENV, _LEVELS)
+    return getattr(logging, choice.upper())
+
+
+def _env_format() -> str:
+    raw = os.environ.get(LOG_FORMAT_ENV)
+    if raw is None:
+        return "text"
+    return check_env_choice(raw, LOG_FORMAT_ENV, _FORMATS)
+
+
+def setup_logging(
+    level: Optional[int] = None,
+    fmt: Optional[str] = None,
+    stream=None,
+    force: bool = False,
+) -> logging.Logger:
+    """Configure the ``repro`` root logger (idempotent).
+
+    Call with ``force=True`` to reconfigure after changing the env
+    knobs (tests do); plain calls after the first are no-ops so
+    libraries embedding the package can install their own handlers.
+    """
+    root = logging.getLogger(ROOT)
+    if root.handlers and not force:
+        return root
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = (
+        logging.StreamHandler(stream)
+        if stream is not None
+        else _LazyStderrHandler()
+    )
+    resolved_format = fmt if fmt is not None else _env_format()
+    handler.setFormatter(
+        JsonLinesFormatter()
+        if resolved_format == "json"
+        else TextFormatter()
+    )
+    root.addHandler(handler)
+    root.setLevel(level if level is not None else _env_level())
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str = ROOT) -> logging.Logger:
+    """A configured logger under the ``repro`` root."""
+    setup_logging()
+    if name != ROOT and not name.startswith(ROOT + "."):
+        name = f"{ROOT}.{name}"
+    return logging.getLogger(name)

@@ -1,0 +1,265 @@
+"""Span tracing that writes Chrome trace-event JSON (Perfetto-viewable).
+
+A :class:`Tracer` collects complete (``"ph": "X"``) events; spans are
+context managers timed on ``perf_counter`` with wall-clock ``ts``
+microseconds so events from different processes line up on one
+timeline. Thread-local span stacks give parent/child linkage inside a
+process; across ``ParallelRuntime`` workers the *trace id* plus the
+submitting batch's span id travel with each task, and the worker's
+events come back piggybacked on the task result.
+
+No tracer installed (the default) costs one global read per
+instrumentation site: :func:`maybe_span` returns a shared no-op
+context manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+__all__ = [
+    "TRACE_ENV",
+    "Span",
+    "Tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "current_tracer",
+    "maybe_span",
+    "complete_event",
+    "worker_tracer",
+    "drain_worker_events",
+]
+
+#: Environment knob: path of a trace file to write (CLI ``--trace``
+#: takes precedence).
+TRACE_ENV = "REPRO_TRACE"
+
+_NULL_SPAN = nullcontext(None)
+
+
+class Span:
+    """A finished-on-exit span handle (exposed for parenting)."""
+
+    __slots__ = ("id", "name")
+
+    def __init__(self, span_id: str, name: str) -> None:
+        self.id = span_id
+        self.name = name
+
+
+class _SpanStack(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[str] = []
+
+
+class Tracer:
+    """Collects Chrome trace events; thread-safe; cheap when idle."""
+
+    def __init__(self, trace_id: Optional[str] = None) -> None:
+        self._lock = threading.Lock()
+        self._events: List[dict] = []
+        self._ids = itertools.count(1)
+        self._tls = _SpanStack()
+        self.pid = os.getpid()
+        self.trace_id = (
+            trace_id
+            if trace_id is not None
+            else f"{os.getpid():x}-{time.time_ns():x}"
+        )
+
+    # -- span API ----------------------------------------------------
+
+    def _next_id(self) -> str:
+        with self._lock:
+            return f"{self.pid:x}.{next(self._ids)}"
+
+    def current_span_id(self) -> Optional[str]:
+        stack = self._tls.stack
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        cat: str = "repro",
+        args: Optional[dict] = None,
+        parent: Optional[str] = None,
+    ) -> Iterator[Span]:
+        span_id = self._next_id()
+        if parent is None:
+            parent = self.current_span_id()
+        self._tls.stack.append(span_id)
+        wall_us = time.time_ns() // 1_000
+        start = time.perf_counter()
+        try:
+            yield Span(span_id, name)
+        finally:
+            duration_us = int(
+                (time.perf_counter() - start) * 1e6
+            )
+            self._tls.stack.pop()
+            event_args = {"span_id": span_id,
+                          "trace_id": self.trace_id}
+            if parent is not None:
+                event_args["parent"] = parent
+            if args:
+                event_args.update(args)
+            self._append({
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": wall_us,
+                "dur": duration_us,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "args": event_args,
+            })
+
+    def complete(
+        self,
+        name: str,
+        seconds: float,
+        cat: str = "repro",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a span retroactively (it just ended, lasting
+        ``seconds``) — for call sites that only know a duration."""
+        end_us = time.time_ns() // 1_000
+        event_args = {"span_id": self._next_id(),
+                      "trace_id": self.trace_id}
+        parent = self.current_span_id()
+        if parent is not None:
+            event_args["parent"] = parent
+        if args:
+            event_args.update(args)
+        self._append({
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": end_us - int(seconds * 1e6),
+            "dur": int(seconds * 1e6),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": event_args,
+        })
+
+    # -- event plumbing ----------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def extend(self, events: List[dict]) -> None:
+        """Absorb events recorded in another process."""
+        if events:
+            with self._lock:
+                self._events.extend(events)
+
+    def drain(self) -> List[dict]:
+        """Pop all collected events (worker-side piggyback)."""
+        with self._lock:
+            events, self._events = self._events, []
+        return events
+
+    def events(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    # -- output ------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        events = sorted(self.events(), key=lambda e: e["ts"])
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"trace_id": self.trace_id},
+        }
+
+    def write(self, path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_chrome(), indent=2) + "\n"
+        )
+
+
+# -- process-global tracer -------------------------------------------
+
+_TRACER: Optional[Tracer] = None
+_TRACER_PID: Optional[int] = None
+_TRACER_LOCK = threading.Lock()
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    global _TRACER, _TRACER_PID
+    with _TRACER_LOCK:
+        _TRACER = tracer
+        _TRACER_PID = os.getpid()
+    return tracer
+
+
+def uninstall_tracer() -> None:
+    global _TRACER, _TRACER_PID
+    with _TRACER_LOCK:
+        _TRACER = None
+        _TRACER_PID = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None``.
+
+    A forked worker inherits the parent's tracer object *including its
+    past events*; re-emitting those would duplicate the timeline, so in
+    a child process the inherited tracer is replaced by a fresh one
+    carrying the same trace id (this is how trace ids stitch across
+    fork).
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    if _TRACER_PID != os.getpid():
+        fresh = Tracer(trace_id=tracer.trace_id)
+        install_tracer(fresh)
+        return fresh
+    return tracer
+
+
+def maybe_span(name, cat="repro", args=None):
+    """A span if tracing is on, else a shared no-op context manager."""
+    tracer = _TRACER
+    if tracer is None:
+        return _NULL_SPAN
+    return current_tracer().span(name, cat=cat, args=args)
+
+
+def complete_event(name, seconds, cat="repro", args=None):
+    """Retroactive span if tracing is on; no-op otherwise."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.complete(name, seconds, cat=cat, args=args)
+
+
+# -- worker-side helpers ---------------------------------------------
+
+def worker_tracer(trace_id: str) -> Tracer:
+    """The worker process's tracer, created on demand.
+
+    Under ``fork`` the inherited global is rebuilt with the same trace
+    id by :func:`current_tracer`; under ``spawn`` there is no global at
+    all, so the trace id delivered in the task payload seeds one.
+    """
+    tracer = current_tracer()
+    if tracer is None or tracer.trace_id != trace_id:
+        tracer = install_tracer(Tracer(trace_id=trace_id))
+    return tracer
+
+
+def drain_worker_events() -> List[dict]:
+    """Pop this process's trace events for the result piggyback."""
+    tracer = current_tracer()
+    return tracer.drain() if tracer is not None else []

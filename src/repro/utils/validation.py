@@ -92,6 +92,27 @@ def check_env_float(
     return number
 
 
+def check_env_choice(
+    value: object,
+    source: str,
+    choices: tuple,
+) -> str:
+    """Validate an enumerated environment knob (or flag) value.
+
+    Matching is case-insensitive; the canonical (lower-case) choice is
+    returned. Blank or unknown values raise a
+    :class:`~repro.errors.ValidationError` naming ``source``, the same
+    contract as the other ``check_env_*`` helpers.
+    """
+    text = str(value).strip().lower() if value is not None else ""
+    if text not in choices:
+        options = "|".join(choices)
+        raise ValidationError(
+            f"{source} must be one of {options}, got {value!r}"
+        )
+    return text
+
+
 def check_positive(value: numbers.Real, name: str) -> None:
     """Raise ``ValueError`` unless ``value`` is strictly positive."""
     if not value > 0:

@@ -1,0 +1,127 @@
+"""``GET /v1/metrics``: live telemetry over HTTP, JSON and Prometheus.
+
+Reuses the tiny warm-store job of ``test_server.py`` so the scrape
+shows real engine/store/runtime/serve counters and per-source job
+latency percentiles — the observability acceptance bar.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import (
+    ApiKeyRegistry,
+    Coordinator,
+    ServeApp,
+    ServerThread,
+)
+
+JOB = {
+    "workload": "sobel", "scale": 0.0005, "images": 1,
+    "train": 12, "evals": 150,
+}
+
+KEYS = "alice=sk-alice:100000"
+
+
+@pytest.fixture()
+def server(tmp_path, monkeypatch):
+    from repro.store import open_store
+    from repro.telemetry import reset_metrics
+
+    # the registry is process-global; start each scrape test at zero
+    reset_metrics()
+    monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "store"))
+    app = ServeApp(
+        Coordinator(store=open_store()), ApiKeyRegistry(KEYS)
+    )
+    srv = ServerThread(app).start()
+    yield srv
+    srv.stop()
+
+
+def _request(srv, path, key="sk-alice"):
+    request = urllib.request.Request(srv.base_url + path)
+    if key is not None:
+        request.add_header("Authorization", f"Bearer {key}")
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return response.status, response.read(), response.headers
+    except urllib.error.HTTPError as error:
+        return error.code, error.read(), error.headers
+
+
+def _run_job(srv):
+    body = json.dumps(JOB).encode()
+    request = urllib.request.Request(
+        srv.base_url + "/v1/jobs", method="POST", data=body,
+        headers={"Authorization": "Bearer sk-alice"},
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        job = json.loads(response.read())["job"]
+    status, raw, _ = _request(
+        srv, f"/v1/jobs/{job['job_id']}?wait=240"
+    )
+    assert status == 200
+    return json.loads(raw)["job"]
+
+
+class TestMetricsEndpoint:
+    def test_requires_auth(self, server):
+        status, raw, _ = _request(server, "/v1/metrics", key=None)
+        assert status == 401
+
+    def test_json_scrape_after_job(self, server):
+        job = _run_job(server)
+        assert job["status"] == "done"
+
+        status, raw, headers = _request(server, "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        doc = json.loads(raw)
+        assert doc["version"] == 1
+        counters = doc["metrics"]["counters"]
+        # live counters from every instrumented layer
+        assert counters["engine.evaluations"] > 0
+        assert counters["store.puts"] > 0
+        assert counters["serve.submitted"] == 1
+        assert counters["serve.pipeline_passes"] == 1
+        assert counters["serve.http_requests"] >= 2
+        assert counters["pipeline.runs"] == 1
+        # per-source job latency histogram with percentiles
+        latency = doc["metrics"]["histograms"]["serve.job_seconds.cold"]
+        assert latency["count"] == 1
+        assert latency["p50"] > 0
+        assert latency["p99"] >= latency["p50"]
+
+    def test_prometheus_scrape(self, server):
+        _run_job(server)
+        status, raw, headers = _request(
+            server, "/v1/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = raw.decode()
+        assert "# TYPE repro_serve_submitted_total counter" in text
+        assert "repro_engine_evaluations_total" in text
+        assert 'repro_serve_job_seconds_cold{quantile="0.5"}' in text
+        assert "repro_serve_job_seconds_cold_count 1" in text
+
+    def test_unknown_format_is_400(self, server):
+        status, raw, _ = _request(server, "/v1/metrics?format=xml")
+        assert status == 400
+        assert b"format" in raw
+
+    def test_error_counters_track_status(self, server):
+        before_401 = self._counter(server, "serve.http_401")
+        status, _, _ = _request(server, "/v1/account", key="sk-wrong")
+        assert status == 401
+        assert self._counter(server, "serve.http_401") == before_401 + 1
+
+    @staticmethod
+    def _counter(server, name):
+        status, raw, _ = _request(server, "/v1/metrics")
+        assert status == 200
+        return json.loads(raw)["metrics"]["counters"].get(name, 0)

@@ -1,0 +1,177 @@
+"""Metrics registry: thread safety, percentiles, deltas, the kill switch."""
+
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.telemetry.metrics import (
+    RESERVOIR_CAPACITY,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_metrics,
+    render_prometheus,
+    reset_metrics,
+)
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestThreadSafety:
+    def test_hammered_counters_are_exact(self, registry):
+        threads_n, per_thread = 20, 500
+
+        def hammer():
+            for _ in range(per_thread):
+                registry.inc("hammer.count")
+                registry.inc("hammer.weighted", 3)
+                registry.observe("hammer.values", 1.0)
+
+        threads = [
+            threading.Thread(target=hammer) for _ in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = threads_n * per_thread
+        snap = registry.snapshot()
+        assert snap["counters"]["hammer.count"] == total
+        assert snap["counters"]["hammer.weighted"] == 3 * total
+        assert snap["histograms"]["hammer.values"]["count"] == total
+        assert snap["histograms"]["hammer.values"]["sum"] == total
+
+
+class TestHistograms:
+    def test_percentiles_exact_under_capacity(self, registry):
+        for value in range(1, 101):
+            registry.observe("h", float(value))
+        summary = registry.snapshot()["histograms"]["h"]
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
+
+    def test_reservoir_stays_bounded(self, registry):
+        for value in range(5 * RESERVOIR_CAPACITY):
+            registry.observe("big", float(value))
+        hist = registry._histograms["big"]
+        assert len(hist.samples) == RESERVOIR_CAPACITY
+        summary = hist.summary()
+        assert summary["count"] == 5 * RESERVOIR_CAPACITY
+        assert summary["min"] == 0.0
+        assert summary["max"] == float(5 * RESERVOIR_CAPACITY - 1)
+
+    def test_reservoir_is_deterministic(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry in (a, b):
+            for value in range(3 * RESERVOIR_CAPACITY):
+                registry.observe("h", float(value))
+        assert (
+            a.snapshot()["histograms"] == b.snapshot()["histograms"]
+        )
+
+    def test_timer_observes_seconds(self, registry):
+        with registry.timer("t"):
+            pass
+        summary = registry.snapshot()["histograms"]["t"]
+        assert summary["count"] == 1
+        assert summary["sum"] >= 0.0
+
+
+class TestSnapshotsAndDeltas:
+    def test_mark_diffs_counters(self, registry):
+        registry.inc("a", 5)
+        mark = registry.mark()
+        registry.inc("a", 2)
+        registry.inc("b")
+        snap = registry.snapshot(since=mark)
+        assert snap["counters"] == {"a": 2, "b": 1}
+
+    def test_export_delta_drains(self, registry):
+        registry.inc("x")
+        registry.observe("y", 1.5)
+        registry.set_gauge("z", 7)
+        delta = registry.export_delta()
+        assert delta["counters"] == {"x": 1}
+        assert delta["histograms"]["y"]["count"] == 1
+        assert registry.export_delta() is None
+        assert registry.snapshot()["counters"] == {}
+
+    def test_merge_accumulates(self, registry):
+        other = MetricsRegistry()
+        other.inc("x", 2)
+        other.observe("y", 1.0)
+        other.observe("y", 3.0)
+        registry.inc("x")
+        registry.observe("y", 5.0)
+        registry.merge(other.export_delta())
+        snap = registry.snapshot()
+        assert snap["counters"]["x"] == 3
+        assert snap["histograms"]["y"]["count"] == 3
+        assert snap["histograms"]["y"]["sum"] == 9.0
+        assert snap["histograms"]["y"]["min"] == 1.0
+        assert snap["histograms"]["y"]["max"] == 5.0
+
+    def test_merge_none_is_noop(self, registry):
+        registry.merge(None)
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestKillSwitch:
+    def test_disabled_registry_is_null(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        reset_metrics()
+        try:
+            registry = get_metrics()
+            assert isinstance(registry, NullMetricsRegistry)
+            assert registry.enabled is False
+            registry.inc("x")
+            registry.observe("y", 1.0)
+            with registry.timer("t"):
+                pass
+            assert registry.snapshot() == {
+                "counters": {}, "gauges": {}, "histograms": {},
+            }
+            assert registry.export_delta() is None
+        finally:
+            reset_metrics()
+
+    def test_enabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        reset_metrics()
+        try:
+            assert get_metrics().enabled is True
+        finally:
+            reset_metrics()
+
+    def test_bogus_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "maybe")
+        reset_metrics()
+        try:
+            with pytest.raises(
+                ValidationError, match="REPRO_TELEMETRY"
+            ):
+                get_metrics()
+        finally:
+            reset_metrics()
+
+
+class TestPrometheus:
+    def test_renders_all_kinds(self, registry):
+        registry.inc("engine.evaluations", 4)
+        registry.set_gauge("search.front_size", 9)
+        for value in (0.1, 0.2, 0.3):
+            registry.observe("serve.job_seconds.cold", value)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE repro_engine_evaluations_total counter" in text
+        assert "repro_engine_evaluations_total 4" in text
+        assert "repro_search_front_size 9" in text
+        assert 'repro_serve_job_seconds_cold{quantile="0.5"}' in text
+        assert "repro_serve_job_seconds_cold_count 3" in text
+        assert text.endswith("\n")

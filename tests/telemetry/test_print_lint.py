@@ -1,0 +1,48 @@
+"""Lint: no bare ``print()`` calls in library code.
+
+Everything under ``src/repro`` except the CLI (whose stdout *is* its
+product) must speak through the structured logger — a stray print
+breaks ``--json`` stdout purity and bypasses ``REPRO_LOG_*``.  AST-
+based, so docstrings and comments mentioning print don't trip it.
+"""
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Files whose prints are the product, not diagnostics.
+ALLOWED = {SRC / "cli.py"}
+
+
+def _print_calls(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield node.lineno
+
+
+def test_no_bare_print_outside_cli():
+    assert SRC.is_dir(), SRC
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        offenders.extend(
+            f"{path.relative_to(SRC)}:{line}"
+            for line in _print_calls(path)
+        )
+    assert offenders == [], (
+        "bare print() in library code (use repro.telemetry.get_logger):"
+        f" {offenders}"
+    )
+
+
+def test_lint_sees_the_tree():
+    # the lint is vacuous if the path computation ever breaks
+    assert (SRC / "cli.py").is_file()
+    assert sum(1 for _ in SRC.rglob("*.py")) > 30

@@ -1,0 +1,109 @@
+"""Tracer spans: nesting, schema, retroactive events, the no-op path."""
+
+import json
+
+import pytest
+
+from repro.telemetry.tracing import (
+    Tracer,
+    complete_event,
+    current_tracer,
+    install_tracer,
+    maybe_span,
+    uninstall_tracer,
+)
+
+
+@pytest.fixture()
+def tracer():
+    t = install_tracer(Tracer())
+    yield t
+    uninstall_tracer()
+
+
+class TestSpans:
+    def test_nested_spans_parent_correctly(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        events = {e["name"]: e for e in tracer.events()}
+        assert events["inner"]["args"]["parent"] == outer.id
+        assert "parent" not in events["outer"]["args"]
+        assert inner.id != outer.id
+
+    def test_event_schema_is_chrome_complete(self, tracer):
+        with tracer.span("work", cat="engine", args={"n": 3}):
+            pass
+        (event,) = tracer.events()
+        assert event["ph"] == "X"
+        assert isinstance(event["ts"], int)
+        assert isinstance(event["dur"], int)
+        assert event["cat"] == "engine"
+        assert event["args"]["n"] == 3
+        assert event["args"]["trace_id"] == tracer.trace_id
+
+    def test_explicit_parent_overrides_stack(self, tracer):
+        with tracer.span("a", parent="deadbeef.1"):
+            pass
+        (event,) = tracer.events()
+        assert event["args"]["parent"] == "deadbeef.1"
+
+    def test_complete_event_is_retroactive(self, tracer):
+        complete_event("stage", 0.25, cat="pipeline")
+        (event,) = tracer.events()
+        assert event["name"] == "stage"
+        assert event["dur"] == 250_000
+        assert event["cat"] == "pipeline"
+
+    def test_span_survives_exceptions(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert [e["name"] for e in tracer.events()] == ["boom"]
+        assert tracer.current_span_id() is None
+
+
+class TestGlobalTracer:
+    def test_maybe_span_without_tracer_is_noop(self):
+        uninstall_tracer()
+        with maybe_span("nothing") as span:
+            assert span is None
+        assert current_tracer() is None
+
+    def test_complete_event_without_tracer_is_noop(self):
+        uninstall_tracer()
+        complete_event("nothing", 1.0)  # must not raise
+
+    def test_install_and_read_back(self, tracer):
+        assert current_tracer() is tracer
+        with maybe_span("visible"):
+            pass
+        assert [e["name"] for e in tracer.events()] == ["visible"]
+
+
+class TestOutput:
+    def test_write_emits_valid_chrome_trace(self, tracer, tmp_path):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        tracer.write(path)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["trace_id"] == tracer.trace_id
+        names = [e["name"] for e in doc["traceEvents"]]
+        assert sorted(names) == ["inner", "outer"]
+        # events are sorted by wall timestamp
+        stamps = [e["ts"] for e in doc["traceEvents"]]
+        assert stamps == sorted(stamps)
+        for event in doc["traceEvents"]:
+            assert set(event) >= {
+                "name", "cat", "ph", "ts", "dur", "pid", "tid", "args",
+            }
+
+    def test_drain_empties_the_buffer(self, tracer):
+        with tracer.span("x"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.drain() == []
+        assert tracer.to_chrome()["traceEvents"] == []
