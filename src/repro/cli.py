@@ -19,7 +19,14 @@ Commands
   strategy islands (hill climber, NSGA-II, random sampling, capped
   exhaustive) over a workload's configuration space, with periodic
   front merging and (with ``--store``) per-round checkpoints that
-  ``runs resume`` continues.
+  ``runs resume`` continues.  ``--distributed N`` runs the islands on
+  a store-backed work queue serviced by N spawned ``search-worker``
+  processes (plus any externally started ones), with bit-identical
+  fronts for any topology.
+* ``search-worker`` — lease and execute ``search --distributed`` work
+  items from an experiment store (local path or ``http://`` URI of a
+  ``repro serve`` instance) until idle or killed; crashed workers'
+  leases expire and other workers pick the items up.
 * ``runs`` — the persistent experiment store's run ledger: ``list`` and
   ``show`` recorded pipeline runs, ``resume`` one against the warm
   store (including interrupted ``search`` runs), ``gc`` artifacts no
@@ -32,12 +39,15 @@ Commands
   answered from the store, and every job is metered per API key and
   recorded in the run ledger (``repro runs list --kind serve-job``).
 
-``run`` and ``workloads run`` accept ``--store``/``--no-store`` to
-enable the persistent stage cache (default: on when ``REPRO_STORE_DIR``
-is set); ``run``, ``workloads run``, ``search`` and every ``runs``
-command accept ``--json`` for machine-readable output (stable key
-order, ``version`` field).  With ``--json``, stdout carries the JSON
-document and nothing else — progress and diagnostics go to stderr.
+Store-aware commands accept ``--store [URI]``/``--no-store`` to enable
+the persistent stage cache (default: on when ``REPRO_STORE_DIR`` is
+set).  The optional URI selects a backend: ``sqlite:PATH`` (or a bare
+path), ``sharded:PATH?shards=N``, or ``http://host:port`` for the
+store API of a ``repro serve`` instance.  ``run``, ``workloads run``,
+``search`` and every ``runs`` command accept ``--json`` for
+machine-readable output (stable key order, ``version`` field).  With
+``--json``, stdout carries the JSON document and nothing else —
+progress and diagnostics go to stderr.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ import argparse
 import contextlib
 import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.accelerators.gaussian_fixed import FixedGaussianFilter
@@ -147,9 +158,15 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
 
 def _add_store_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--store", action=argparse.BooleanOptionalAction, default=None,
-        help="persist/reuse pipeline stages in the experiment store "
+        "--store", nargs="?", const=True, default=None, metavar="URI",
+        help="persist/reuse pipeline stages in the experiment store; "
+             "optionally a store URI (sqlite:PATH, "
+             "sharded:PATH?shards=N, http://host:port) "
              "(default: enabled when REPRO_STORE_DIR is set)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_const", const=False, dest="store",
+        help="disable the experiment store",
     )
 
 
@@ -162,12 +179,20 @@ def _add_accelerator_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _resolve_store(flag: Optional[bool]):
-    """Map the ``--store/--no-store`` tri-state to a store (or None)."""
+def _resolve_store(flag):
+    """Map ``--store [URI]`` / ``--no-store`` to a store (or None).
+
+    ``None`` (unset) enables the store iff ``REPRO_STORE_DIR`` is set;
+    ``True``/``False`` force it on/off; a string is a store URI
+    (``sqlite:PATH``, ``sharded:PATH?shards=N``, ``http://host:port``)
+    or plain path.
+    """
     import os
 
     from repro.store import STORE_ENV, open_store
 
+    if isinstance(flag, str):
+        return open_store(flag)
     if flag is None:
         flag = os.environ.get(STORE_ENV) is not None
     return open_store() if flag else None
@@ -208,7 +233,7 @@ def _cmd_generate_library(args: argparse.Namespace) -> int:
         "generating components",
         extra={"data": {
             "components": plan.total(),
-            "store": str(store.root) if store else None,
+            "store": store.uri if store else None,
         }},
     )
     result = build_library(
@@ -243,13 +268,13 @@ def _cmd_generate_library(args: argparse.Namespace) -> int:
                     },
                     "stats": stats.as_dict(),
                     "out": args.out,
-                    "store": str(store.root) if store else None,
+                    "store": store.uri if store else None,
                     "run_id": result.run_id,
                 }
             }
         )
     else:
-        where = args.out or f"store {store.root}"
+        where = args.out or f"store {store.uri}"
         print(
             f"wrote {len(library)} components to {where} "
             f"({stats.store_hits} cached, "
@@ -517,6 +542,7 @@ def _run_search(
     workers: Optional[int],
     store,
     resume_from: Optional[str] = None,
+    executor=None,
 ):
     """Fit estimation models for a workload and run the portfolio."""
     from repro.accelerators.profiler import profile_accelerator
@@ -549,6 +575,7 @@ def _run_search(
         seed=seed,
         workers=workers,
         store=store,
+        executor=executor,
         label=f"search:{workload}",
         run_params={
             "command": "search",
@@ -623,20 +650,111 @@ def _print_search_result(result, workload: str) -> None:
     )
 
 
+def _spawn_search_workers(count: int, store_uri: str):
+    """Start ``count`` detached ``repro search-worker`` processes."""
+    import os
+    import subprocess
+
+    import repro
+
+    env = dict(os.environ)
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src_dir, env.get("PYTHONPATH")) if p
+    )
+    return [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "search-worker",
+             "--store", store_uri],
+            env=env,
+        )
+        for _ in range(count)
+    ]
+
+
+def _reap_search_workers(procs) -> None:
+    for proc in procs:
+        proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except Exception:
+            proc.kill()
+            proc.wait()
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     strategies = [
         s.strip() for s in args.strategies.split(",") if s.strip()
     ]
     engines = [e.strip() for e in args.engines.split(",") if e.strip()]
-    result = _run_search(
-        args.workload, args.scale, args.images, args.train, args.test,
-        args.budget, strategies, args.rounds, args.seed, engines,
-        args.workers, _resolve_store(args.store),
-    )
+    store = _resolve_store(args.store)
+    executor = None
+    workers = []
+    if args.distributed is not None:
+        from repro.search import DistributedExecutor
+
+        if store is None:
+            get_logger("search").error(
+                "search --distributed needs an experiment store "
+                "(--store URI or REPRO_STORE_DIR)"
+            )
+            return 2
+        executor = DistributedExecutor(label=f"search:{args.workload}")
+        if args.distributed > 0:
+            # Materialise the store (mkdir + index) before the workers
+            # probe it, or they would race the first driver write.
+            store.backend.initialize()
+            workers = _spawn_search_workers(args.distributed, store.uri)
+    try:
+        result = _run_search(
+            args.workload, args.scale, args.images, args.train,
+            args.test, args.budget, strategies, args.rounds, args.seed,
+            engines, args.workers, store, executor=executor,
+        )
+    finally:
+        _reap_search_workers(workers)
     if args.json:
         _emit_json({"search": _search_doc(result, args.workload)})
     else:
         _print_search_result(result, args.workload)
+    return 0
+
+
+def _restore_sigint() -> None:
+    """Make Ctrl-C / ``kill -INT`` work even when launched as ``cmd &``.
+
+    Shells start background jobs with SIGINT set to ignore, and Python
+    keeps an inherited ignore — so a long-running server/worker would
+    be unstoppable by SIGINT.  These commands rely on
+    ``KeyboardInterrupt`` for graceful shutdown, so restore the default
+    handler explicitly.
+    """
+    import signal
+
+    if signal.getsignal(signal.SIGINT) == signal.SIG_IGN:
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+
+
+def _cmd_search_worker(args: argparse.Namespace) -> int:
+    from repro.search import run_worker
+    from repro.store import require_store
+
+    _restore_sigint()
+    store = require_store(args.store)
+    log = get_logger("search-worker")
+    log.info(f"search worker draining {store.uri}")
+    try:
+        executed = run_worker(
+            store,
+            poll=args.poll,
+            idle_timeout=args.idle_timeout,
+            max_items=args.max_items,
+        )
+    except KeyboardInterrupt:
+        log.info("search worker: shutting down")
+        return 0
+    log.info(f"search worker done ({executed} items)")
     return 0
 
 
@@ -647,7 +765,7 @@ def _runs_ledger(args: argparse.Namespace):
     from repro.store import RunLedger, require_store
 
     store = require_store(args.store_dir)
-    return store, RunLedger(store.root)
+    return store, RunLedger(store)
 
 
 def _stage_hits(manifest: Dict) -> str:
@@ -803,17 +921,36 @@ def _cmd_runs_resume(args: argparse.Namespace) -> int:
 
 
 def _cmd_runs_gc(args: argparse.Namespace) -> int:
-    store, ledger = _runs_ledger(args)
-    keep_kinds = () if args.all else None
-    stats = store.gc(ledger.referenced_artifacts(),
-                     keep_kinds=keep_kinds)
-    if args.json:
-        _emit_json({"gc": stats, "store": str(store.root)})
-    else:
-        print(
-            f"gc {store.root}: removed {stats['removed']} artifacts "
-            f"({stats['freed_bytes']} bytes), kept {stats['kept']}"
+    from repro.errors import StoreError
+
+    try:
+        store, ledger = _runs_ledger(args)
+        keep_kinds = () if args.all else None
+        stats = store.gc(
+            ledger.referenced_artifacts(),
+            keep_kinds=keep_kinds,
+            dry_run=args.dry_run,
         )
+    except StoreError as exc:
+        print(f"gc failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        _emit_json({"gc": stats, "store": store.uri})
+        return 0
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"gc {store.uri}: {verb} {stats['removed']} artifacts "
+        f"({stats['freed_bytes']} bytes), kept {stats['kept']}"
+    )
+    by_kind = stats.get("by_kind") or {}
+    if by_kind:
+        print(format_table(
+            ["kind", "artifacts", "bytes"],
+            [
+                [kind, entry["count"], entry["bytes"]]
+                for kind, entry in sorted(by_kind.items())
+            ],
+        ))
     return 0
 
 
@@ -859,7 +996,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             else "open (no API keys)"
         )
         where = (
-            str(coordinator.store.root) if coordinator.store else "none"
+            coordinator.store.uri if coordinator.store else "none"
         )
         log.info(
             f"repro serve on http://{args.host}:{actual_port} "
@@ -867,6 +1004,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
 
     try:
+        _restore_sigint()
         asyncio.run(
             serve_forever(app, host=args.host, port=port, ready=ready)
         )
@@ -998,11 +1136,40 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--engines", default="K-Neighbors",
                         help="comma-separated learning engines")
+    search.add_argument(
+        "--distributed", type=int, default=None, metavar="N",
+        help="run islands on a store-backed work queue serviced by N "
+             "spawned search-worker processes (0 = rely on externally "
+             "started workers); requires a store",
+    )
     _add_workers_arg(search)
     _add_store_arg(search)
     _add_trace_arg(search)
     search.add_argument("--json", action="store_true",
                         help="machine-readable result document")
+
+    worker = sub.add_parser(
+        "search-worker",
+        help="execute distributed-search work items from a store",
+    )
+    worker.add_argument(
+        "--store", default=None, metavar="URI",
+        help="experiment store to drain (path or URI; default: "
+             "REPRO_STORE_DIR)",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5,
+        help="seconds between empty queue scans (default: 0.5)",
+    )
+    worker.add_argument(
+        "--idle-timeout", type=float, default=None,
+        help="exit after this many idle seconds (default: run until "
+             "killed)",
+    )
+    worker.add_argument(
+        "--max-items", type=int, default=None,
+        help="exit after executing this many items",
+    )
 
     runs = sub.add_parser(
         "runs", help="experiment-store run ledger operations"
@@ -1017,9 +1184,10 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in specs.items():
         cmd = runs_sub.add_parser(name, help=help_text)
         cmd.add_argument(
-            "--store-dir", default=None,
-            help="store root (default: REPRO_STORE_DIR / "
-                 "REPRO_CACHE_DIR / .repro-store)",
+            "--store-dir", default=None, metavar="URI",
+            help="store root or URI (sqlite:PATH, "
+                 "sharded:PATH?shards=N, http://host:port; default: "
+                 "REPRO_STORE_DIR / REPRO_CACHE_DIR / .repro-store)",
         )
         cmd.add_argument("--json", action="store_true",
                          help="machine-readable output")
@@ -1038,6 +1206,11 @@ def build_parser() -> argparse.ArgumentParser:
                 "--all", action="store_true",
                 help="also drop unreferenced shared pools "
                      "(synthesis reports, libraries)",
+            )
+            cmd.add_argument(
+                "--dry-run", action="store_true",
+                help="report what would be removed (per-kind counts "
+                     "and byte totals) without deleting anything",
             )
 
     serve = sub.add_parser(
@@ -1081,6 +1254,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "workloads": _cmd_workloads,
     "search": _cmd_search,
+    "search-worker": _cmd_search_worker,
     "runs": _cmd_runs,
     "serve": _cmd_serve,
     "export-verilog": _cmd_export_verilog,

@@ -174,7 +174,7 @@ class AutoAx:
         if ledger is None and store is not None:
             from repro.store import RunLedger
 
-            ledger = RunLedger(store.root)
+            ledger = RunLedger(store)
         self.ledger = ledger
         self.run_kind = run_kind
         self.run_label = run_label or accelerator.name

@@ -299,7 +299,7 @@ def _record_build(
         [kind, width, count]
         for (kind, width), count in sorted(plan.counts.items())
     ]
-    RunLedger(store.root).record(
+    RunLedger(store).record(
         run_id,
         kind="library-build",
         label="library:" + "-".join(

@@ -1,0 +1,425 @@
+"""Distributed portfolio search: islands as store-leased work items.
+
+The portfolio runner's rounds are synchronous barriers, so the unit of
+distribution is one *(round, island)* task.  The driver publishes each
+round's tasks as ``work-item`` artifacts in the experiment store,
+detached workers lease and execute them with the very same
+:func:`~repro.search.portfolio._run_island` function the in-process
+runner uses, and the driver merges the ``work-result`` artifacts in
+island order — which keeps the paper's **bit-identical for any
+topology** contract: every RNG state travels inside the task, every
+float crosses the wire through exact JSON repr round-trips, and the
+merge order never depends on who computed what, or when.
+
+Coordination is store-native (no extra channel — any
+:class:`~repro.store.backends.StoreBackend`, local or remote, works):
+
+* ``work-queue``     — one document per search run (status open/done).
+* ``search-context`` — the pickled ``(space, qor_model, hw_model,
+  strategies)`` bundle workers execute against.
+* ``work-item``      — one per (round, island): encoded task.
+* ``work-lease``     — best-effort mutual exclusion with expiry
+  (``REPRO_LEASE_TTL``, default 30 s).  A crashed worker's lease
+  lapses and another worker re-executes the item; duplicate execution
+  is harmless because tasks are deterministic and results are
+  content-keyed, so the driver merges one result exactly once.
+* ``work-result``    — the encoded island outcome.
+
+None of these kinds is in :data:`~repro.store.artifacts.ArtifactStore.
+SHARED_KINDS` and no manifest references them, so ``repro runs gc``
+sweeps any queue a crashed driver left behind.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dse import DSEResult
+from repro.errors import StoreError
+from repro.store.hashing import content_hash
+from repro.telemetry import get_metrics
+from repro.utils.validation import check_env_float
+
+#: Artifact kinds of the store-backed work queue.
+QUEUE_KIND = "work-queue"
+ITEM_KIND = "work-item"
+LEASE_KIND = "work-lease"
+RESULT_KIND = "work-result"
+CONTEXT_KIND = "search-context"
+
+#: Environment knob: seconds until an unrefreshed lease lapses.
+LEASE_TTL_ENV = "REPRO_LEASE_TTL"
+DEFAULT_LEASE_TTL = 30.0
+
+
+def lease_ttl() -> float:
+    """Resolve the lease TTL: ``REPRO_LEASE_TTL`` (validated), else 30 s."""
+    raw = os.environ.get(LEASE_TTL_ENV)
+    if raw is None:
+        return DEFAULT_LEASE_TTL
+    return check_env_float(raw, source=LEASE_TTL_ENV, minimum=0.1)
+
+
+# -- keys -------------------------------------------------------------------
+
+
+def queue_key(queue_id: str) -> str:
+    return content_hash({"work-queue": queue_id})
+
+
+def context_key(queue_id: str) -> str:
+    return content_hash({"search-context": queue_id})
+
+
+def item_key(queue_id: str, round_i: int, island: int) -> str:
+    return content_hash(
+        {"work-item": queue_id, "round": round_i, "island": island}
+    )
+
+
+def result_key(item: str) -> str:
+    return content_hash({"work-result": item})
+
+
+def lease_key(item: str) -> str:
+    return content_hash({"work-lease": item})
+
+
+# -- task/outcome codecs ----------------------------------------------------
+#
+# JSON keeps floats exact (repr round-trip) and Python ints unbounded,
+# so PCG64 state dicts and objective points survive the wire
+# bit-for-bit; configurations are re-tupled on decode, matching what
+# the checkpoint resume path already does.
+
+
+def encode_task(task) -> Dict:
+    idx, rng_state, front_points, front_configs, state, slice_n = task
+    return {
+        "island": idx,
+        "rng_state": rng_state,
+        "front_points": np.asarray(front_points, dtype=float).tolist(),
+        "front_configs": [list(c) for c in front_configs],
+        "state": state,
+        "slice": slice_n,
+    }
+
+
+def decode_task(doc: Dict) -> Tuple:
+    points = np.asarray(doc["front_points"], dtype=float)
+    if points.size == 0:
+        points = points.reshape(0, 2)
+    configs = [
+        tuple(int(g) for g in c) for c in doc["front_configs"]
+    ]
+    return (
+        doc["island"],
+        doc["rng_state"],
+        points,
+        configs,
+        doc["state"],
+        doc["slice"],
+    )
+
+
+def encode_outcome(outcome) -> Dict:
+    idx, result, rng_state, state, seconds = outcome
+    return {
+        "island": idx,
+        "rng_state": rng_state,
+        "state": state,
+        "seconds": seconds,
+        "result": {
+            "configs": [list(c) for c in result.configs],
+            "points": np.asarray(
+                result.points, dtype=float
+            ).tolist(),
+            "evaluations": result.evaluations,
+            "inserts": result.inserts,
+            "restarts": result.restarts,
+        },
+    }
+
+
+def decode_outcome(doc: Dict) -> Tuple:
+    raw = doc["result"]
+    points = np.asarray(raw["points"], dtype=float)
+    if points.size == 0:
+        points = points.reshape(0, 2)
+    result = DSEResult(
+        configs=[
+            tuple(int(g) for g in c) for c in raw["configs"]
+        ],
+        points=points,
+        evaluations=int(raw["evaluations"]),
+        inserts=int(raw["inserts"]),
+        restarts=int(raw["restarts"]),
+    )
+    return (
+        doc["island"],
+        result,
+        doc["rng_state"],
+        doc["state"],
+        doc["seconds"],
+    )
+
+
+# -- driver side ------------------------------------------------------------
+
+
+class DistributedExecutor:
+    """Round executor that fans island tasks out through the store.
+
+    Plugs into :class:`~repro.search.portfolio.PortfolioRunner` via its
+    ``executor`` argument; the runner binds it to the run's store and
+    queue id, then calls :meth:`run_round` once per round and
+    :meth:`finish` when the search ends (any mix of local and remote
+    workers may be draining the queue meanwhile).
+    """
+
+    def __init__(
+        self,
+        poll_interval: float = 0.2,
+        timeout: Optional[float] = None,
+        label: str = "search",
+    ) -> None:
+        if poll_interval <= 0:
+            raise StoreError("poll_interval must be positive")
+        self.poll_interval = poll_interval
+        self.timeout = timeout
+        self.label = label
+        self.store = None
+        self.queue_id: Optional[str] = None
+
+    def bind(self, store, queue_id: str, context) -> None:
+        """Attach to ``store`` and publish the queue + worker context."""
+        if store is None:
+            raise StoreError(
+                "distributed search requires an experiment store "
+                "(--store or REPRO_STORE_DIR)"
+            )
+        self.store = store
+        self.queue_id = queue_id
+        store.put(CONTEXT_KIND, context_key(queue_id), context)
+        store.put(
+            QUEUE_KIND,
+            queue_key(queue_id),
+            {
+                "version": 1,
+                "queue": queue_id,
+                "label": self.label,
+                "status": "open",
+                "context_key": context_key(queue_id),
+                "created": time.time(),
+            },
+        )
+        get_metrics().inc("search.distributed.queues")
+
+    def run_round(self, round_i: int, tasks: List) -> List:
+        """Publish one round's tasks; block until every result is in."""
+        if self.store is None or self.queue_id is None:
+            raise StoreError("executor is not bound to a store")
+        metrics = get_metrics()
+        pending: Dict[str, int] = {}
+        for task in tasks:
+            island = task[0]
+            ikey = item_key(self.queue_id, round_i, island)
+            self.store.put(
+                ITEM_KIND,
+                ikey,
+                {
+                    "version": 1,
+                    "queue": self.queue_id,
+                    "round": round_i,
+                    "island": island,
+                    "task": encode_task(task),
+                },
+            )
+            pending[ikey] = island
+            metrics.inc("search.distributed.items")
+        outcomes: Dict[int, Tuple] = {}
+        deadline = (
+            time.monotonic() + self.timeout
+            if self.timeout is not None
+            else None
+        )
+        while pending:
+            for ikey in list(pending):
+                doc = self.store.get(RESULT_KIND, result_key(ikey))
+                if doc is None:
+                    continue
+                outcome = decode_outcome(doc["outcome"])
+                outcomes[pending.pop(ikey)] = outcome
+            if not pending:
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                raise StoreError(
+                    f"distributed round {round_i} timed out with "
+                    f"{len(pending)} unfinished island(s) — are any "
+                    "workers running?"
+                )
+            time.sleep(self.poll_interval)
+        # Task submission order, exactly like the in-process runtime.
+        return [outcomes[task[0]] for task in tasks]
+
+    def finish(self, status: str = "done") -> None:
+        """Close the queue and sweep its coordination artifacts."""
+        if self.store is None or self.queue_id is None:
+            return
+        store, qid = self.store, self.queue_id
+        for kind in (ITEM_KIND, RESULT_KIND, LEASE_KIND):
+            for key in store.keys(kind):
+                doc = store.get(kind, key)
+                if doc and doc.get("queue") == qid:
+                    store.delete(kind, key)
+        store.delete(CONTEXT_KIND, context_key(qid))
+        qdoc = store.get(QUEUE_KIND, queue_key(qid))
+        if qdoc is not None:
+            qdoc["status"] = status
+            store.put(QUEUE_KIND, queue_key(qid), qdoc)
+        self.store = None
+        self.queue_id = None
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _acquire_lease(
+    store, queue_id: str, item: str, worker_id: str, ttl: float
+) -> bool:
+    """Best-effort lease: write, re-read, check we won.
+
+    Two workers racing on one fresh item can in principle both win —
+    that only costs a duplicate (deterministic, content-keyed)
+    execution, never a wrong result.  An expired lease counts as
+    absent, which is how a crashed worker's item comes back.
+    """
+    metrics = get_metrics()
+    key = lease_key(item)
+    now = time.time()
+    current = store.get(LEASE_KIND, key)
+    if current is not None and current.get("expires", 0) > now:
+        return False
+    if current is not None:
+        metrics.inc("search.lease.expired_taken")
+    token = os.urandom(8).hex()
+    store.put(
+        LEASE_KIND,
+        key,
+        {
+            "queue": queue_id,
+            "item": item,
+            "worker": worker_id,
+            "token": token,
+            "expires": now + ttl,
+        },
+    )
+    check = store.get(LEASE_KIND, key)
+    if check is None or check.get("token") != token:
+        metrics.inc("search.lease.lost")
+        return False
+    metrics.inc("search.lease.acquired")
+    return True
+
+
+def _context_for(store, cache: Dict, queue_doc: Dict):
+    qid = queue_doc["queue"]
+    if qid not in cache:
+        cache[qid] = store.get(
+            CONTEXT_KIND, queue_doc["context_key"]
+        )
+    return cache[qid]
+
+
+def service_once(
+    store,
+    contexts: Optional[Dict] = None,
+    worker_id: str = "local",
+    ttl: Optional[float] = None,
+) -> int:
+    """One scan over every open queue; returns items executed."""
+    from repro.search.portfolio import _run_island
+
+    if contexts is None:
+        contexts = {}
+    if ttl is None:
+        ttl = lease_ttl()
+    metrics = get_metrics()
+    executed = 0
+    for qkey in store.keys(QUEUE_KIND):
+        queue_doc = store.get(QUEUE_KIND, qkey)
+        if not queue_doc or queue_doc.get("status") != "open":
+            continue
+        qid = queue_doc["queue"]
+        for ikey in store.keys(ITEM_KIND):
+            doc = store.get(ITEM_KIND, ikey)
+            if not doc or doc.get("queue") != qid:
+                continue
+            rkey = result_key(ikey)
+            if store.get(RESULT_KIND, rkey) is not None:
+                continue
+            if not _acquire_lease(store, qid, ikey, worker_id, ttl):
+                continue
+            context = _context_for(store, contexts, queue_doc)
+            if context is None:
+                # The driver swept the queue between our scans.
+                store.delete(LEASE_KIND, lease_key(ikey))
+                continue
+            outcome = _run_island(context, decode_task(doc["task"]))
+            store.put(
+                RESULT_KIND,
+                rkey,
+                {
+                    "queue": qid,
+                    "item": ikey,
+                    "worker": worker_id,
+                    "outcome": encode_outcome(outcome),
+                },
+            )
+            store.delete(LEASE_KIND, lease_key(ikey))
+            metrics.inc("search.worker.items")
+            executed += 1
+    return executed
+
+
+def run_worker(
+    store,
+    poll: float = 0.5,
+    idle_timeout: Optional[float] = None,
+    max_items: Optional[int] = None,
+    worker_id: Optional[str] = None,
+) -> int:
+    """Drain work queues until idle; returns total items executed.
+
+    The loop services every open queue it can see, sleeping ``poll``
+    seconds between empty scans.  It exits after ``idle_timeout``
+    seconds without work (``None`` runs until killed) or once
+    ``max_items`` items have been executed.
+    """
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    ttl = lease_ttl()
+    contexts: Dict = {}
+    total = 0
+    idle_since = time.monotonic()
+    while True:
+        executed = service_once(
+            store, contexts, worker_id=worker_id, ttl=ttl
+        )
+        total += executed
+        if max_items is not None and total >= max_items:
+            return total
+        if executed:
+            idle_since = time.monotonic()
+            continue
+        if (
+            idle_timeout is not None
+            and time.monotonic() - idle_since >= idle_timeout
+        ):
+            return total
+        time.sleep(poll)

@@ -87,7 +87,7 @@ class Coordinator:
         if store is not None:
             from repro.store import RunLedger
 
-            self._ledger = RunLedger(store.root)
+            self._ledger = RunLedger(store)
         self.stats: Dict[str, int] = {
             "submitted": 0,
             "pipeline_passes": 0,

@@ -19,6 +19,11 @@ GET    ``/v1/metrics``               telemetry scrape (JSON; add
                                      ``?format=prometheus`` for text
                                      exposition)
 GET    ``/v1/ledger``                ``serve-job`` run-ledger manifests
+*      ``/v1/store/*``               shared-artifact-store API (see
+                                     :mod:`repro.serve.store_api`):
+                                     streamed content-addressed blobs
+                                     with ETag-by-content-hash, key
+                                     listing, gc, run manifests
 ====== ============================= =====================================
 
 Authentication: when API keys are configured every endpoint except
@@ -45,6 +50,8 @@ from repro.errors import BudgetExceededError, ValidationError
 from repro.serve.auth import ApiKeyRegistry
 from repro.serve.coordinator import Coordinator
 from repro.serve.jobs import JobRequest
+from repro.serve.store_api import HttpError as _HttpError
+from repro.serve.store_api import StoreApi, _read_body
 from repro.telemetry import get_metrics, render_prometheus
 
 #: Environment knob: default TCP port of ``repro serve``.
@@ -91,14 +98,6 @@ def default_port() -> int:
                          maximum=65535)
 
 
-class _HttpError(Exception):
-    """An error with a client-facing status code."""
-
-    def __init__(self, status: int, message: str):
-        super().__init__(message)
-        self.status = status
-
-
 class ServeApp:
     """Routes + request plumbing around one coordinator."""
 
@@ -111,13 +110,21 @@ class ServeApp:
             coordinator if coordinator is not None else Coordinator()
         )
         self.keys = keys if keys is not None else ApiKeyRegistry()
+        self.store_api = StoreApi(self)
 
     # -- request framing -----------------------------------------------------
 
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> Tuple[str, str, Dict[str, str], bytes]:
+    ) -> Tuple[str, str, Dict[str, str]]:
+        """Parse the request line + headers; the body stays unread.
+
+        Each route reads its own body (see
+        :func:`repro.serve.store_api._read_body`) so the JSON endpoints
+        keep their small :data:`MAX_BODY_BYTES` cap while store blob
+        uploads stream under the much larger store cap.
+        """
         line = await reader.readline()
         if not line:
             raise ConnectionResetError("empty request")
@@ -140,17 +147,7 @@ class ServeApp:
                 break
             name, _, value = raw.decode("latin-1").partition(":")
             headers[name.strip().lower()] = value.strip()
-        body = b""
-        length = headers.get("content-length")
-        if length is not None:
-            try:
-                n = int(length)
-            except ValueError:
-                raise _HttpError(400, "bad Content-Length") from None
-            if n > MAX_BODY_BYTES:
-                raise _HttpError(413, "request body too large")
-            body = await reader.readexactly(n)
-        return method.upper(), target, headers, body
+        return method.upper(), target, headers
 
     @staticmethod
     def _respond(
@@ -209,7 +206,7 @@ class ServeApp:
     ) -> None:
         try:
             try:
-                method, target, headers, body = await self._read_request(
+                method, target, headers = await self._read_request(
                     reader
                 )
             except ConnectionResetError:
@@ -218,7 +215,7 @@ class ServeApp:
             metrics.inc("serve.http_requests")
             try:
                 await self._route(
-                    method, target, headers, body, writer
+                    method, target, headers, reader, writer
                 )
             except _HttpError as exc:
                 metrics.inc(f"serve.http_{exc.status}")
@@ -251,7 +248,7 @@ class ServeApp:
         method: str,
         target: str,
         headers: Dict[str, str],
-        body: bytes,
+        reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
     ) -> None:
         url = urlsplit(target)
@@ -273,9 +270,16 @@ class ServeApp:
 
         account = self._account_for(headers)
 
-        if path == "/v1/workloads" and method == "GET":
+        if path.startswith("/v1/store"):
+            doc = await self.store_api.handle(
+                method, path, query, headers, reader, writer
+            )
+            if doc is not None:
+                self._respond(writer, 200, doc)
+        elif path == "/v1/workloads" and method == "GET":
             self._respond(writer, 200, self._workloads_doc())
         elif path == "/v1/jobs" and method == "POST":
+            body = await _read_body(reader, headers, MAX_BODY_BYTES)
             await self._submit(account, body, writer)
         elif path == "/v1/jobs" and method == "GET":
             jobs = self.coordinator.board.jobs_for(account.key_id)
@@ -340,7 +344,7 @@ class ServeApp:
             raise _HttpError(404, "no experiment store attached")
         from repro.store import RunLedger
 
-        ledger = RunLedger(self.coordinator.store.root)
+        ledger = RunLedger(self.coordinator.store)
         return {"runs": ledger.runs(kind="serve-job")}
 
     async def _submit(self, account, body: bytes, writer) -> None:

@@ -1,0 +1,309 @@
+"""The ``/v1/store/*`` API — one server as a shared artifact store.
+
+Mounted by :class:`~repro.serve.server.ServeApp` when ``repro serve``
+has an experiment store attached; every endpoint is auth-gated by the
+same API keys as the job API.  The wire protocol is what
+:class:`~repro.store.remote.RemoteBackend` speaks:
+
+====== ================================== ============================
+Method Path                               Meaning
+====== ================================== ============================
+GET    ``/v1/store/stat``                 store identity + per-kind stats
+GET    ``/v1/store/keys[?kind=K]``        indexed artifacts (kind, key,
+                                          sha256, size)
+GET    ``/v1/store/blob/<kind>/<key>``    blob bytes, streamed, with an
+                                          ``ETag`` of the content hash
+PUT    ``/v1/store/blob/<kind>/<key>``    store bytes (idempotent:
+                                          content-addressed); returns
+                                          the digest the server indexed
+DELETE ``/v1/store/blob/<kind>/<key>``    evict one entry
+POST   ``/v1/store/gc``                   garbage-collect; body carries
+                                          ``referenced`` /
+                                          ``keep_kinds`` / ``dry_run``
+GET    ``/v1/store/runs``                 every run-ledger manifest
+GET    ``/v1/store/runs/<id>``            one manifest
+PUT    ``/v1/store/runs/<id>``            write one manifest
+DELETE ``/v1/store/runs/<id>``            drop one manifest
+====== ================================== ============================
+
+Blob bodies bypass the small JSON request cap (they stream in and out
+in chunks, bounded by :data:`MAX_STORE_BODY`), and identifiers are
+validated against a conservative charset so a remote key can never
+escape the blob tree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from typing import Dict, Optional
+
+from repro.telemetry import get_metrics
+
+#: Upper bound on a store request body (blobs and gc root sets).
+MAX_STORE_BODY = 64 * 1024 * 1024
+
+#: Streaming chunk size for blob request/response bodies.
+_CHUNK = 64 * 1024
+
+#: Safe identifier charsets: no separators, no leading dot — a remote
+#: kind/key can never traverse out of ``objects/``.
+_IDENT = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$")
+_EXT = re.compile(r"^[A-Za-z0-9]{1,8}$")
+
+
+class HttpError(Exception):
+    """An error with a client-facing status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+def _ident(value: str, what: str) -> str:
+    if not _IDENT.match(value):
+        raise HttpError(400, f"invalid {what} {value!r}")
+    return value
+
+
+async def _read_body(reader, headers: Dict[str, str],
+                     limit: int) -> bytes:
+    """Read a Content-Length framed body in chunks, bounded by ``limit``."""
+    length = headers.get("content-length")
+    if length is None:
+        return b""
+    try:
+        n = int(length)
+    except ValueError:
+        raise HttpError(400, "bad Content-Length") from None
+    if n < 0:
+        raise HttpError(400, "bad Content-Length")
+    if n > limit:
+        # Drain the oversize body (bounded by what the sender actually
+        # wrote) so the client reads a clean 413 instead of a
+        # connection reset mid-upload.
+        remaining = n
+        while remaining > 0:
+            chunk = await reader.read(min(_CHUNK, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+        raise HttpError(413, "request body too large")
+    body = bytearray()
+    while len(body) < n:
+        chunk = await reader.read(min(_CHUNK, n - len(body)))
+        if not chunk:
+            raise HttpError(400, "truncated request body")
+        body.extend(chunk)
+    return bytes(body)
+
+
+class StoreApi:
+    """Routes under ``/v1/store`` against the coordinator's store.
+
+    Store calls are synchronous (sqlite + file IO) and run on the event
+    loop's default executor so a slow disk never stalls the listener;
+    the backends are thread-safe (see
+    :class:`~repro.store.backends.SqliteBackend`).
+    """
+
+    def __init__(self, app) -> None:
+        self._app = app  # ServeApp; store is late-bound via coordinator
+
+    def _store(self):
+        store = self._app.coordinator.store
+        if store is None:
+            raise HttpError(404, "no experiment store attached")
+        return store
+
+    @staticmethod
+    async def _call(fn, *args):
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
+
+    async def handle(
+        self,
+        method: str,
+        path: str,
+        query: Dict[str, str],
+        headers: Dict[str, str],
+        reader,
+        writer,
+    ) -> Optional[Dict]:
+        """Serve one store request.
+
+        Returns the JSON document to send with status 200, or ``None``
+        when the response (a streamed blob) was already written.
+        """
+        get_metrics().inc("serve.store_requests")
+        store = self._store()
+        parts = [part for part in path.split("/") if part]
+        tail = parts[2:]  # after 'v1', 'store'
+        if tail == ["stat"] and method == "GET":
+            return {
+                "store": {
+                    "uri": store.uri,
+                    "scheme": store.backend.scheme,
+                    "kinds": await self._call(store.stats),
+                }
+            }
+        if tail == ["keys"] and method == "GET":
+            kind = query.get("kind")
+            if kind is not None:
+                _ident(kind, "kind")
+            refs = await self._call(store.backend.iter_refs, kind)
+            return {
+                "artifacts": [
+                    {
+                        "kind": ref.kind,
+                        "key": ref.key,
+                        "sha256": ref.sha256,
+                        "size": ref.size,
+                    }
+                    for ref in refs
+                ]
+            }
+        if len(tail) == 3 and tail[0] == "blob":
+            kind = _ident(tail[1], "kind")
+            key = _ident(tail[2], "key")
+            return await self._blob(
+                method, store, kind, key, headers, reader, writer
+            )
+        if tail == ["gc"] and method == "POST":
+            return await self._gc(store, headers, reader)
+        if tail and tail[0] == "runs":
+            return await self._runs(
+                method, store, tail[1:], headers, reader
+            )
+        raise HttpError(404, f"no store route for {method} {path}")
+
+    # -- blobs ---------------------------------------------------------------
+
+    async def _blob(
+        self, method, store, kind, key, headers, reader, writer
+    ) -> Optional[Dict]:
+        backend = store.backend
+        ext = store._codec(kind).ext
+        if method == "GET":
+            data = await self._call(
+                backend.get_bytes, kind, key, ext
+            )
+            if data is None:
+                raise HttpError(404, f"no artifact {kind}/{key}")
+            import hashlib
+
+            await self._stream_blob(
+                writer, data, hashlib.sha256(data).hexdigest()
+            )
+            return None
+        if method == "PUT":
+            requested = headers.get("x-repro-ext")
+            if requested is not None:
+                if not _EXT.match(requested):
+                    raise HttpError(400,
+                                    f"invalid ext {requested!r}")
+                ext = requested
+            meta = None
+            raw_meta = headers.get("x-repro-meta")
+            if raw_meta:
+                try:
+                    meta = json.loads(raw_meta)
+                except json.JSONDecodeError:
+                    raise HttpError(
+                        400, "X-Repro-Meta must be JSON"
+                    ) from None
+            data = await _read_body(reader, headers, MAX_STORE_BODY)
+            ref = await self._call(
+                backend.put_bytes, kind, key, data, ext, meta
+            )
+            return {"sha256": ref.sha256, "size": ref.size}
+        if method == "DELETE":
+            await self._call(backend.delete, kind, key, ext)
+            return {"deleted": f"{kind}/{key}"}
+        raise HttpError(405, "blob endpoints are GET/PUT/DELETE")
+
+    @staticmethod
+    async def _stream_blob(writer, data: bytes, digest: str) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/octet-stream\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f'ETag: "{digest}"\r\n'
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        for start in range(0, len(data), _CHUNK):
+            writer.write(data[start:start + _CHUNK])
+            await writer.drain()
+
+    # -- maintenance ---------------------------------------------------------
+
+    async def _gc(self, store, headers, reader) -> Dict:
+        body = await _read_body(reader, headers, MAX_STORE_BODY)
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise HttpError(400, "gc body must be JSON") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "gc body must be a JSON object")
+        try:
+            referenced = [
+                (str(kind), str(key))
+                for kind, key in payload.get("referenced", [])
+            ]
+        except (TypeError, ValueError):
+            raise HttpError(
+                400, "referenced must be [kind, key] pairs"
+            ) from None
+        keep_kinds = payload.get("keep_kinds")
+        stats = await self._call(
+            store.gc, referenced, keep_kinds,
+            bool(payload.get("dry_run", False)),
+        )
+        return {"gc": stats}
+
+    # -- run-ledger manifests ------------------------------------------------
+
+    async def _runs(
+        self, method, store, tail, headers, reader
+    ) -> Dict:
+        backend = store.backend
+        if not tail:
+            if method != "GET":
+                raise HttpError(405, "run listing is GET-only")
+            return {
+                "runs": await self._call(backend.list_manifests)
+            }
+        if len(tail) != 1:
+            raise HttpError(404, "no such store route")
+        run_id = _ident(tail[0], "run id")
+        if method == "GET":
+            manifest = await self._call(
+                backend.get_manifest, run_id
+            )
+            if manifest is None:
+                raise HttpError(404, f"no run {run_id!r}")
+            return {"run": manifest}
+        if method == "PUT":
+            body = await _read_body(reader, headers, MAX_STORE_BODY)
+            try:
+                manifest = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise HttpError(
+                    400, "manifest body must be JSON"
+                ) from None
+            if not isinstance(manifest, dict):
+                raise HttpError(
+                    400, "manifest body must be a JSON object"
+                )
+            await self._call(backend.put_manifest, run_id, manifest)
+            return {"run_id": run_id}
+        if method == "DELETE":
+            removed = await self._call(
+                backend.delete_manifest, run_id
+            )
+            if not removed:
+                raise HttpError(404, f"no run {run_id!r}")
+            return {"deleted": run_id}
+        raise HttpError(405, "run endpoints are GET/PUT/DELETE")

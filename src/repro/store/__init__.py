@@ -26,8 +26,17 @@ persistent and shareable:
   :class:`~repro.store.synth_cache.StoreSynthCache` so reports are
   shared across processes and runs.
 
-Disk layout (everything under ``REPRO_STORE_DIR``, falling back to the
-legacy ``REPRO_CACHE_DIR`` and then ``.repro-store``)::
+The byte layer underneath is pluggable (see
+:mod:`~repro.store.backends`): the same facade runs over the default
+single-sqlite tree (``sqlite:PATH``), N hash-sharded subtrees
+(``sharded:PATH?shards=N``) or a remote ``repro serve`` instance
+(``http://host:port``) — one store URI grammar, parsed by
+:func:`~repro.store.uri.parse_store_uri`, accepted everywhere a store
+location is (``--store``, ``REPRO_STORE_DIR``).
+
+Default (sqlite) disk layout — everything under ``REPRO_STORE_DIR``,
+falling back to the legacy ``REPRO_CACHE_DIR`` and then
+``.repro-store``::
 
     index.sqlite3                       artifact index
     objects/<kind>/<k0k1>/<key>.<ext>   content-addressed blobs
@@ -44,6 +53,13 @@ from repro.store.artifacts import (
     open_store,
     require_store,
 )
+from repro.store.backends import (
+    ShardedBackend,
+    SqliteBackend,
+    StoreBackend,
+    atomic_write_bytes,
+)
+from repro.store.uri import parse_store_uri
 from repro.store.hashing import (
     accelerator_fingerprint,
     canonical_json,
@@ -68,14 +84,19 @@ __all__ = [
     "MemorySynthCache",
     "RunLedger",
     "STORE_ENV",
+    "ShardedBackend",
+    "SqliteBackend",
+    "StoreBackend",
     "StoreSynthCache",
     "accelerator_fingerprint",
+    "atomic_write_bytes",
     "canonical_json",
     "content_hash",
     "default_store_dir",
     "images_fingerprint",
     "library_fingerprint",
     "open_store",
+    "parse_store_uri",
     "require_store",
     "space_fingerprint",
     "synth_cache_for",

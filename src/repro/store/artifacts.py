@@ -1,11 +1,19 @@
-"""Content-addressed artifact cache: sqlite3 index + file blobs.
+"""Content-addressed artifact cache: typed codecs over a store backend.
 
-Layout on disk (everything under one *store root*)::
+:class:`ArtifactStore` is the facade every consumer uses; the actual
+blob/index plumbing lives behind the
+:class:`~repro.store.backends.StoreBackend` protocol, so one facade
+serves every topology:
 
-    <root>/
-      index.sqlite3             -- (kind, key) -> blob metadata
-      objects/<kind>/<k0k1>/<key>.<ext>   -- the blobs themselves
-      runs/<run_id>.json        -- run-ledger manifests (ledger.py)
+* ``sqlite:PATH`` (default) — single sqlite index + blob tree::
+
+      <root>/
+        index.sqlite3             -- (kind, key) -> blob metadata
+        objects/<kind>/<k0k1>/<key>.<ext>   -- the blobs themselves
+        runs/<run_id>.json        -- run-ledger manifests (ledger.py)
+
+* ``sharded:PATH?shards=N`` — N such subtrees, hash-routed.
+* ``http://host:port``      — a ``repro serve`` instance's store API.
 
 Writes are crash- and concurrency-safe without locks: blobs land via
 write-to-temp + :func:`os.replace` (atomic on POSIX within one
@@ -24,77 +32,45 @@ and operand profiles are pickles (stdlib, local trusted cache).
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import pickle
-import sqlite3
-import tempfile
-import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import StoreError
+from repro.store.backends import (  # noqa: F401  (re-exported compat)
+    _TMP_PREFIX,
+    ArtifactRef,
+    SqliteBackend,
+    StoreBackend,
+    atomic_write_bytes,
+)
+from repro.store.uri import parse_store_uri
 from repro.telemetry import get_metrics
 from repro.utils.validation import check_env_dir
 
-#: Environment knobs: the store root, and the legacy library-cache root
-#: (used as a fallback store root so old workflows keep one cache tree).
+#: Environment knobs: the store root (a path or store URI), and the
+#: legacy library-cache root (used as a fallback store root so old
+#: workflows keep one cache tree).
 STORE_ENV = "REPRO_STORE_DIR"
 CACHE_ENV = "REPRO_CACHE_DIR"
 
 #: Default store root in the working tree.
 DEFAULT_STORE_DIR = ".repro-store"
 
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS artifacts (
-    kind TEXT NOT NULL,
-    key TEXT NOT NULL,
-    filename TEXT NOT NULL,
-    sha256 TEXT NOT NULL,
-    size INTEGER NOT NULL,
-    created_at REAL NOT NULL,
-    meta TEXT NOT NULL DEFAULT '{}',
-    PRIMARY KEY (kind, key)
-)
-"""
-
-#: Prefix of in-flight temp files (pre-rename); gc must never touch them.
-_TMP_PREFIX = ".tmp-"
-
-
-def atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` via temp file + :func:`os.replace`.
-
-    The rename is atomic within one filesystem, so concurrent readers
-    see either the previous content or the full new content, never a
-    torn write.  Shared by blob writes and ledger manifests.
-    """
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        dir=path.parent, prefix=_TMP_PREFIX, suffix=path.suffix
-    )
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(data)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
-
 
 def default_store_dir() -> Path:
-    """Resolve the store root: ``REPRO_STORE_DIR``, legacy
+    """Resolve the *local* store root: ``REPRO_STORE_DIR``, legacy
     ``REPRO_CACHE_DIR``, then ``.repro-store``.
 
     Set-but-blank values are configuration errors (see
-    :func:`~repro.utils.validation.check_env_dir`), not silent fallbacks.
+    :func:`~repro.utils.validation.check_env_dir`), not silent
+    fallbacks.  Callers that also accept store URIs go through
+    :func:`open_store` instead, which resolves the same knobs through
+    :func:`~repro.store.uri.parse_store_uri`.
     """
     for env in (STORE_ENV, CACHE_ENV):
         value = os.environ.get(env)
@@ -188,6 +164,17 @@ def _pickle_decode(data: bytes):
     return pickle.loads(data)
 
 
+def _zpickle_encode(obj) -> bytes:
+    # Configuration spaces are mostly repetitive PMF float arrays that
+    # deflate >100x — worth it for blobs that cross the network to
+    # every distributed-search worker.
+    return zlib.compress(_pickle_encode(obj), 6)
+
+
+def _zpickle_decode(data: bytes):
+    return _pickle_decode(zlib.decompress(data))
+
+
 #: kind -> codec.  Unlisted kinds fall back to canonical JSON.
 CODECS: Dict[str, Codec] = {
     "library": Codec(_library_encode, _library_decode, "json"),
@@ -201,97 +188,83 @@ CODECS: Dict[str, Codec] = {
     "dse": Codec(_json_encode, _json_decode, "json"),
     "profiles": Codec(_pickle_encode, _pickle_decode, "pkl"),
     "models": Codec(_pickle_encode, _pickle_decode, "pkl"),
+    # Pickled (space, models, strategies) bundle shared with detached
+    # distributed-search workers through the store itself.
+    "search-context": Codec(_zpickle_encode, _zpickle_decode, "pklz"),
 }
 
 _DEFAULT_CODEC = Codec(_json_encode, _json_decode, "json")
 
 
-@dataclass(frozen=True)
-class ArtifactRef:
-    """A stored artifact's address plus blob metadata."""
-
-    kind: str
-    key: str
-    path: Path
-    sha256: str
-    size: int
-
-
 class ArtifactStore:
-    """Content-addressed blob cache under one root directory.
+    """Typed content-addressed cache over one store backend.
 
-    Persistent state is only the root path, so a store is cheap to
-    construct, safe to share across fork() and picklable into worker
-    processes.  The sqlite connection is cached per process (keyed by
-    pid: a forked child opens its own rather than reusing the parent's,
-    which sqlite forbids) and never crosses pickling.
+    ``ArtifactStore(root)`` keeps the historic constructor: a bare path
+    opens the default :class:`~repro.store.backends.SqliteBackend` with
+    the exact pre-protocol on-disk format (zero migration).  Pass
+    ``backend=`` (usually from
+    :func:`~repro.store.uri.parse_store_uri`) for any other topology.
+
+    Stores are cheap to construct, safe to share across fork() and
+    picklable into worker processes — live connections never cross
+    either boundary (see :mod:`repro.store.backends`).
     """
 
-    def __init__(self, root) -> None:
-        self.root = Path(root)
-        self._conn: Optional[sqlite3.Connection] = None
-        self._conn_pid: Optional[int] = None
+    def __init__(
+        self, root=None, backend: Optional[StoreBackend] = None
+    ) -> None:
+        if backend is None:
+            if root is None:
+                raise StoreError(
+                    "ArtifactStore needs a root path or a backend"
+                )
+            if isinstance(root, StoreBackend):
+                backend = root
+            else:
+                backend = SqliteBackend(Path(root))
+        self.backend = backend
 
     def __getstate__(self):
-        return {"root": self.root}
+        return {"backend": self.backend}
 
     def __setstate__(self, state):
-        self.root = state["root"]
-        self._conn = None
-        self._conn_pid = None
+        if "backend" in state:
+            self.backend = state["backend"]
+        else:  # pre-protocol pickles carried only the root path
+            self.backend = SqliteBackend(state["root"])
+
+    @property
+    def root(self) -> Optional[Path]:
+        """Local root directory (``None`` for remote backends)."""
+        return self.backend.root
+
+    @property
+    def uri(self) -> str:
+        """Round-trippable store URI of the underlying backend."""
+        return self.backend.uri
 
     # -- plumbing -----------------------------------------------------------
 
-    def _connect(self) -> sqlite3.Connection:
-        pid = os.getpid()
-        if self._conn is None or self._conn_pid != pid:
-            self.root.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(
-                self.root / "index.sqlite3", timeout=30.0
-            )
-            conn.execute(_SCHEMA)
-            self._conn = conn
-            self._conn_pid = pid
-        return self._conn
+    def _connect(self):
+        # Compat shim for callers (and tests) that poke the sqlite
+        # index directly; only meaningful on local sqlite backends.
+        return self.backend._connect()
 
     @staticmethod
     def _codec(kind: str) -> Codec:
         return CODECS.get(kind, _DEFAULT_CODEC)
 
     def _blob_path(self, kind: str, key: str) -> Path:
-        ext = self._codec(kind).ext
-        return self.root / "objects" / kind / key[:2] / f"{key}.{ext}"
+        return self.backend._blob_path(kind, key, self._codec(kind).ext)
 
     def _index(
         self, kind: str, key: str, path: Path, digest: str,
         size: int, meta: Optional[Dict],
     ) -> None:
-        with self._connect() as conn:
-            conn.execute(
-                "INSERT OR REPLACE INTO artifacts "
-                "(kind, key, filename, sha256, size, created_at, meta) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (
-                    kind,
-                    key,
-                    str(path.relative_to(self.root)),
-                    digest,
-                    size,
-                    time.time(),
-                    json.dumps(meta or {}, sort_keys=True),
-                ),
-            )
+        self.backend._index(kind, key, path, digest, size, meta)
 
     def _evict(self, kind: str, key: str) -> None:
-        with self._connect() as conn:
-            conn.execute(
-                "DELETE FROM artifacts WHERE kind = ? AND key = ?",
-                (kind, key),
-            )
-        try:
-            self._blob_path(kind, key).unlink()
-        except OSError:
-            pass
+        self.backend.delete(kind, key, self._codec(kind).ext)
 
     # -- primary API --------------------------------------------------------
 
@@ -300,14 +273,13 @@ class ArtifactStore:
     ) -> ArtifactRef:
         """Encode and store ``obj`` under ``(kind, key)`` atomically."""
         data = self._codec(kind).encode(obj)
-        digest = hashlib.sha256(data).hexdigest()
-        path = self._blob_path(kind, key)
-        atomic_write_bytes(path, data)
-        self._index(kind, key, path, digest, len(data), meta)
+        ref = self.backend.put_bytes(
+            kind, key, data, ext=self._codec(kind).ext, meta=meta
+        )
         metrics = get_metrics()
         metrics.inc("store.puts")
         metrics.inc("store.bytes_written", len(data))
-        return ArtifactRef(kind, key, path, digest, len(data))
+        return ref
 
     def get(self, kind: str, key: str):
         """Decode the artifact at ``(kind, key)``; ``None`` on any miss.
@@ -315,28 +287,16 @@ class ArtifactStore:
         Corruption (truncated or undecodable blob) and staleness (index
         row without blob) are *transparent* misses: the entry is evicted
         and the caller recomputes.  The blob is the source of truth and
-        the index only a cache of it: a blob without an index row (a
-        writer died between rename and insert) is adopted on read, and a
-        checksum mismatch with a still-decodable blob (two writers raced
-        on one key; the last rename won) re-indexes the surviving bytes
-        instead of discarding them.
+        the index only a cache of it — the backends adopt orphan blobs
+        and re-index checksum drift on read (see
+        :meth:`repro.store.backends.StoreBackend.get_bytes`), while
+        decode failures are evicted here, above the byte layer.
         """
-        with self._connect() as conn:
-            row = conn.execute(
-                "SELECT filename, sha256 FROM artifacts "
-                "WHERE kind = ? AND key = ?",
-                (kind, key),
-            ).fetchone()
-        path = self._blob_path(kind, key)
-        if row is not None:
-            path = self.root / row[0]
         metrics = get_metrics()
-        try:
-            data = path.read_bytes()
-        except OSError:
-            if row is not None:  # stale index entry: blob is gone
-                self._evict(kind, key)
-                metrics.inc("store.evictions")
+        data = self.backend.get_bytes(
+            kind, key, ext=self._codec(kind).ext
+        )
+        if data is None:
             metrics.inc("store.misses")
             return None
         try:
@@ -346,9 +306,6 @@ class ArtifactStore:
             metrics.inc("store.evictions")
             metrics.inc("store.misses")
             return None
-        digest = hashlib.sha256(data).hexdigest()
-        if row is None or digest != row[1]:
-            self._index(kind, key, path, digest, len(data), None)
         metrics.inc("store.hits")
         metrics.inc("store.bytes_read", len(data))
         return obj
@@ -364,21 +321,8 @@ class ArtifactStore:
     def entries(
         self, kind: Optional[str] = None
     ) -> List[ArtifactRef]:
-        """Index rows as :class:`ArtifactRef`, optionally one kind."""
-        if not (self.root / "index.sqlite3").exists():
-            return []
-        query = "SELECT kind, key, filename, sha256, size FROM artifacts"
-        params: Tuple = ()
-        if kind is not None:
-            query += " WHERE kind = ?"
-            params = (kind,)
-        with self._connect() as conn:
-            rows = conn.execute(query + " ORDER BY kind, key",
-                                params).fetchall()
-        return [
-            ArtifactRef(k, key, self.root / fn, sha, size)
-            for k, key, fn, sha, size in rows
-        ]
+        """Indexed artifacts as :class:`ArtifactRef`, optionally one kind."""
+        return self.backend.iter_refs(kind)
 
     def keys(self, kind: str) -> List[str]:
         return [ref.key for ref in self.entries(kind)]
@@ -403,68 +347,63 @@ class ArtifactStore:
         self,
         referenced: Iterable[Tuple[str, str]],
         keep_kinds: Optional[Iterable[str]] = None,
-    ) -> Dict[str, int]:
+        dry_run: bool = False,
+    ) -> Dict:
         """Drop artifacts not in ``referenced`` plus orphan blob files.
 
         ``referenced`` lists the ``(kind, key)`` pairs to keep (typically
         the union of all run-ledger manifests' artifact refs).  Kinds in
         ``keep_kinds`` (default :data:`SHARED_KINDS`) survive without a
         reference — synthesis reports and libraries are shared across
-        runs rather than owned by one manifest.  Returns removal
-        statistics.
+        runs rather than owned by one manifest.  With ``dry_run``
+        nothing is deleted; the statistics describe what a real pass
+        would remove.  Returns removal statistics including per-kind
+        ``by_kind`` count/byte buckets.
         """
-        keep: Set[Tuple[str, str]] = set(referenced)
+        keep: Set[Tuple[str, str]] = set(
+            (kind, key) for kind, key in referenced
+        )
         shared = set(
             self.SHARED_KINDS if keep_kinds is None else keep_kinds
         )
-        removed = 0
-        freed = 0
-        kept = 0
-        keep_paths: Set[Path] = set()
-        for ref in self.entries():
-            if (ref.kind, ref.key) in keep or ref.kind in shared:
-                kept += 1
-                keep_paths.add(ref.path)
-                continue
-            removed += 1
-            freed += ref.size
-            self._evict(ref.kind, ref.key)
-        objects = self.root / "objects"
-        if objects.is_dir():
-            for path in sorted(objects.rglob("*")):
-                if path.name.startswith(_TMP_PREFIX):
-                    continue  # in-flight write of a concurrent process
-                if path.is_file() and path not in keep_paths:
-                    try:
-                        size = path.stat().st_size
-                        path.unlink()
-                    except OSError:
-                        continue
-                    removed += 1
-                    freed += size
+        stats = self.backend.gc(keep, shared, dry_run=dry_run)
         metrics = get_metrics()
         metrics.inc("store.gc_runs")
-        metrics.inc("store.gc_removed", removed)
-        metrics.inc("store.gc_freed_bytes", freed)
-        return {"removed": removed, "freed_bytes": freed, "kept": kept}
+        if not dry_run:
+            metrics.inc("store.gc_removed", stats["removed"])
+            metrics.inc("store.gc_freed_bytes", stats["freed_bytes"])
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<ArtifactStore root={self.root}>"
+        return f"<ArtifactStore {self.uri}>"
 
 
 def open_store(root=None) -> ArtifactStore:
-    """An :class:`ArtifactStore` at ``root`` (default: env-resolved)."""
+    """An :class:`ArtifactStore` at ``root`` (default: env-resolved).
+
+    ``root`` may be a path, a store URI (``sqlite:``/``sharded:``/
+    ``http://``), a backend, or an existing store (returned as-is);
+    ``REPRO_STORE_DIR`` accepts the same URIs.
+    """
+    if isinstance(root, ArtifactStore):
+        return root
     if root is None:
-        root = default_store_dir()
-    return ArtifactStore(root)
+        for env in (STORE_ENV, CACHE_ENV):
+            value = os.environ.get(env)
+            if value is not None:
+                root = check_env_dir(value, source=env)
+                break
+        else:
+            root = DEFAULT_STORE_DIR
+    return ArtifactStore(backend=parse_store_uri(root))
 
 
 def require_store(root=None) -> ArtifactStore:
-    """Like :func:`open_store` but the root must already exist."""
+    """Like :func:`open_store` but the store must already exist."""
     store = open_store(root)
-    if not store.root.is_dir():
+    if not store.backend.exists():
         raise StoreError(
-            f"no experiment store at {store.root} (run with --store or "
+            f"no experiment store at {store.uri} (run with --store or "
             f"set {STORE_ENV} first)"
         )
     return store

@@ -1,0 +1,718 @@
+"""Pluggable storage backends — the byte layer under the artifact store.
+
+:class:`StoreBackend` is the protocol every store topology implements:
+content-addressed blob operations (``put_bytes`` / ``get_bytes`` /
+``delete`` / ``iter_refs`` / ``gc``) plus the run-ledger manifest
+primitives.  :class:`~repro.store.artifacts.ArtifactStore` layers the
+typed codecs on top and every consumer (stage caches,
+:class:`~repro.store.synth_cache.StoreSynthCache`,
+:class:`~repro.store.ledger.RunLedger`, the distributed-search work
+queue) goes through that facade, so swapping the backend swaps the
+topology without touching a single caller.
+
+Implementations in this module:
+
+* :class:`SqliteBackend` — the original single ``index.sqlite3`` + blob
+  tree under one root.  The default; the on-disk format is unchanged,
+  so every pre-protocol ``.repro-store`` opens as-is.
+* :class:`ShardedBackend` — N hash-sharded sqlite+blob subtrees under
+  one root (``shards/00 .. shards/NN``), concurrent-writer friendly
+  because writers hash to different indexes.  The shard count is
+  recorded in a root manifest (``store-manifest.json``) and validated
+  on open, so a store can never be silently reopened with the wrong
+  topology.
+
+:class:`~repro.store.remote.RemoteBackend` (its own module: it is the
+only backend with a network dependency) speaks the versioned
+``/v1/store/*`` HTTP API served by ``repro serve``.
+
+All backends are cheap to construct, picklable (live sqlite
+connections and locks never cross pickling) and fork-aware: a cached
+connection is pid-guarded the same way the runtime pid-guards its
+shared-memory segments, so a forked child opens its own handle and
+never finalises the parent's.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import tempfile
+import threading
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.telemetry import get_metrics
+
+#: Prefix of in-flight temp files (pre-rename); gc must never touch them.
+_TMP_PREFIX = ".tmp-"
+
+#: Root manifest of non-default store layouts (sharded trees).
+STORE_MANIFEST = "store-manifest.json"
+
+#: Shard count of a ``sharded:`` store created without ``?shards=N``.
+DEFAULT_SHARDS = 8
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS artifacts (
+    kind TEXT NOT NULL,
+    key TEXT NOT NULL,
+    filename TEXT NOT NULL,
+    sha256 TEXT NOT NULL,
+    size INTEGER NOT NULL,
+    created_at REAL NOT NULL,
+    meta TEXT NOT NULL DEFAULT '{}',
+    PRIMARY KEY (kind, key)
+)
+"""
+
+#: sqlite connections inherited across ``fork`` are parked here instead
+#: of being closed: sqlite3 forbids touching (even closing) a
+#: connection from a process other than the one that created it, so a
+#: forked child must never finalise the parent's handle — the same
+#: discipline as the runtime's pid-guarded shared-memory segments,
+#: which forked children never unlink.
+_FORK_PARKED_CONNS: List[sqlite3.Connection] = []
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + :func:`os.replace`.
+
+    The rename is atomic within one filesystem, so concurrent readers
+    see either the previous content or the full new content, never a
+    torn write.  Shared by blob writes and ledger manifests.
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=_TMP_PREFIX, suffix=path.suffix
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class ArtifactRef:
+    """A stored artifact's address plus blob metadata.
+
+    ``path`` is the local blob file for filesystem-backed stores and
+    ``None`` for remote ones (the blob lives on the server).
+    """
+
+    kind: str
+    key: str
+    path: Optional[Path]
+    sha256: str
+    size: int
+
+
+def _empty_gc_stats(dry_run: bool) -> Dict:
+    return {
+        "removed": 0,
+        "freed_bytes": 0,
+        "kept": 0,
+        "dry_run": dry_run,
+        "by_kind": {},
+    }
+
+
+def _gc_count(stats: Dict, kind: str, size: int) -> None:
+    stats["removed"] += 1
+    stats["freed_bytes"] += size
+    bucket = stats["by_kind"].setdefault(kind, {"count": 0, "bytes": 0})
+    bucket["count"] += 1
+    bucket["bytes"] += size
+
+
+def _merge_gc_stats(into: Dict, part: Dict) -> None:
+    into["removed"] += part["removed"]
+    into["freed_bytes"] += part["freed_bytes"]
+    into["kept"] += part["kept"]
+    for kind, bucket in part["by_kind"].items():
+        out = into["by_kind"].setdefault(kind, {"count": 0, "bytes": 0})
+        out["count"] += bucket["count"]
+        out["bytes"] += bucket["bytes"]
+
+
+class _LocalManifests:
+    """Run-ledger manifest files under ``<root>/runs/``.
+
+    One shared implementation for the path-mode
+    :class:`~repro.store.ledger.RunLedger` and the local backends, so
+    ``RunLedger(store.root)`` and ``RunLedger(store)`` observe the same
+    documents on a local store.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.runs_dir = Path(root) / "runs"
+
+    def put(self, run_id: str, manifest: Dict) -> None:
+        data = json.dumps(manifest, sort_keys=True, indent=2)
+        atomic_write_bytes(
+            self.runs_dir / f"{run_id}.json", data.encode("utf-8")
+        )
+
+    def get(self, run_id: str) -> Optional[Dict]:
+        try:
+            return json.loads(
+                (self.runs_dir / f"{run_id}.json").read_text()
+            )
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def list(self) -> List[Dict]:
+        if not self.runs_dir.is_dir():
+            return []
+        manifests = []
+        for path in sorted(self.runs_dir.glob("*.json")):
+            if path.name.startswith("."):
+                continue  # in-flight atomic write of another process
+            try:
+                manifests.append(json.loads(path.read_text()))
+            except (OSError, json.JSONDecodeError):
+                continue
+        return manifests
+
+    def delete(self, run_id: str) -> bool:
+        try:
+            (self.runs_dir / f"{run_id}.json").unlink()
+        except OSError:
+            return False
+        return True
+
+
+class StoreBackend(ABC):
+    """Byte-level store protocol; see the module docstring.
+
+    Keys are content hashes (hex), kinds are short identifiers; the
+    codec layer above decides what the bytes mean.  ``ext`` is the blob
+    filename suffix of the kind's codec — pure cosmetics for local
+    trees, carried so every topology lays blobs out identically.
+    """
+
+    #: URI scheme of this backend ("sqlite", "sharded", "http").
+    scheme: str = ""
+
+    @property
+    @abstractmethod
+    def uri(self) -> str:
+        """Round-trippable store URI of this backend."""
+
+    @property
+    def root(self) -> Optional[Path]:
+        """Local root directory, or ``None`` for remote backends."""
+        return None
+
+    @abstractmethod
+    def exists(self) -> bool:
+        """Whether the store is present (dir exists / server answers)."""
+
+    def initialize(self) -> None:
+        """Create local state so :meth:`exists` answers True.
+
+        A no-op for backends without local state (remote stores exist
+        iff the server does).  Used by drivers that hand the store URI
+        to other processes before their own first write.
+        """
+
+    # -- blobs ---------------------------------------------------------------
+
+    @abstractmethod
+    def put_bytes(
+        self,
+        kind: str,
+        key: str,
+        data: bytes,
+        ext: str = "json",
+        meta: Optional[Dict] = None,
+    ) -> ArtifactRef:
+        """Store ``data`` under ``(kind, key)``; idempotent."""
+
+    @abstractmethod
+    def get_bytes(
+        self, kind: str, key: str, ext: str = "json"
+    ) -> Optional[bytes]:
+        """The blob bytes at ``(kind, key)``, or ``None`` on a miss.
+
+        Local backends self-heal here: stale index rows are evicted,
+        orphan blobs adopted, checksum drift re-indexed.
+        """
+
+    @abstractmethod
+    def delete(self, kind: str, key: str, ext: str = "json") -> None:
+        """Drop ``(kind, key)``; missing entries are a no-op."""
+
+    @abstractmethod
+    def iter_refs(self, kind: Optional[str] = None) -> List[ArtifactRef]:
+        """Indexed artifacts sorted by ``(kind, key)``."""
+
+    @abstractmethod
+    def gc(
+        self,
+        referenced: Set[Tuple[str, str]],
+        keep_kinds: Set[str],
+        dry_run: bool = False,
+    ) -> Dict:
+        """Drop artifacts not referenced or of a kept kind.
+
+        With ``dry_run`` nothing is deleted; the returned statistics
+        (``removed``/``freed_bytes``/``kept``/``by_kind``) describe
+        what a real pass would remove.
+        """
+
+    # -- run-ledger manifests ------------------------------------------------
+
+    @abstractmethod
+    def put_manifest(self, run_id: str, manifest: Dict) -> None:
+        """Write (atomically) one run manifest."""
+
+    @abstractmethod
+    def get_manifest(self, run_id: str) -> Optional[Dict]:
+        """One run manifest, or ``None``."""
+
+    @abstractmethod
+    def list_manifests(self) -> List[Dict]:
+        """Every decodable run manifest (unsorted)."""
+
+    @abstractmethod
+    def delete_manifest(self, run_id: str) -> bool:
+        """Drop one manifest; ``False`` when absent."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.uri}>"
+
+
+class SqliteBackend(StoreBackend):
+    """The original single-host layout: one sqlite index + blob tree.
+
+    Persistent state is only the root path, so the backend is cheap to
+    construct, safe to share across ``fork()`` and picklable into
+    worker processes.  The sqlite connection is cached per process
+    (keyed by pid: a forked child opens its own and *parks* the
+    inherited parent handle rather than closing it, which sqlite
+    forbids across processes) and opened with
+    ``check_same_thread=False`` behind an instance lock so the serve
+    layer's executor threads can share one backend.
+    """
+
+    scheme = "sqlite"
+
+    def __init__(self, root) -> None:
+        self._root = Path(root)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        self._lock = threading.RLock()
+        self._check_layout()
+
+    def _check_layout(self) -> None:
+        manifest = self._root / STORE_MANIFEST
+        if not manifest.is_file():
+            return
+        try:
+            fmt = json.loads(manifest.read_text()).get("format")
+        except (OSError, json.JSONDecodeError):
+            return
+        if fmt and fmt != self.scheme:
+            raise StoreError(
+                f"store at {self._root} is a {fmt!r} layout; open it "
+                f"with a {fmt}:{self._root} URI"
+            )
+
+    def __getstate__(self):
+        return {"root": self._root}
+
+    def __setstate__(self, state):
+        self._root = state["root"]
+        self._conn = None
+        self._conn_pid = None
+        self._lock = threading.RLock()
+
+    @property
+    def uri(self) -> str:
+        return f"sqlite:{self._root}"
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def exists(self) -> bool:
+        return self._root.is_dir()
+
+    def initialize(self) -> None:
+        self._connect()
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _connect(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        with self._lock:
+            if self._conn is not None and self._conn_pid != pid:
+                # Connected before a fork: the child parks the
+                # inherited handle (never closes or reuses it) and
+                # opens its own, exactly like the runtime's shm
+                # segments are pid-guarded against child unlinks.
+                _FORK_PARKED_CONNS.append(self._conn)
+                self._conn = None
+            if self._conn is None:
+                self._root.mkdir(parents=True, exist_ok=True)
+                conn = sqlite3.connect(
+                    self._root / "index.sqlite3",
+                    timeout=30.0,
+                    check_same_thread=False,
+                )
+                conn.execute(_SCHEMA)
+                self._conn = conn
+                self._conn_pid = pid
+            return self._conn
+
+    def _blob_path(self, kind: str, key: str, ext: str) -> Path:
+        return self._root / "objects" / kind / key[:2] / f"{key}.{ext}"
+
+    def _index(
+        self, kind: str, key: str, path: Path, digest: str,
+        size: int, meta: Optional[Dict],
+    ) -> None:
+        with self._lock, self._connect() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO artifacts "
+                "(kind, key, filename, sha256, size, created_at, meta) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    kind,
+                    key,
+                    str(path.relative_to(self._root)),
+                    digest,
+                    size,
+                    time.time(),
+                    json.dumps(meta or {}, sort_keys=True),
+                ),
+            )
+
+    def _row(self, kind: str, key: str):
+        with self._lock, self._connect() as conn:
+            return conn.execute(
+                "SELECT filename, sha256 FROM artifacts "
+                "WHERE kind = ? AND key = ?",
+                (kind, key),
+            ).fetchone()
+
+    def _evict(self, kind: str, key: str, ext: str = "json") -> None:
+        self._drop_row(kind, key)
+        try:
+            self._blob_path(kind, key, ext).unlink()
+        except OSError:
+            pass
+
+    def _drop_row(self, kind: str, key: str) -> None:
+        with self._lock, self._connect() as conn:
+            conn.execute(
+                "DELETE FROM artifacts WHERE kind = ? AND key = ?",
+                (kind, key),
+            )
+
+    # -- blobs ---------------------------------------------------------------
+
+    def put_bytes(
+        self,
+        kind: str,
+        key: str,
+        data: bytes,
+        ext: str = "json",
+        meta: Optional[Dict] = None,
+    ) -> ArtifactRef:
+        digest = hashlib.sha256(data).hexdigest()
+        path = self._blob_path(kind, key, ext)
+        atomic_write_bytes(path, data)
+        self._index(kind, key, path, digest, len(data), meta)
+        return ArtifactRef(kind, key, path, digest, len(data))
+
+    def get_bytes(
+        self, kind: str, key: str, ext: str = "json"
+    ) -> Optional[bytes]:
+        row = self._row(kind, key)
+        path = self._blob_path(kind, key, ext)
+        if row is not None:
+            path = self._root / row[0]
+        try:
+            data = path.read_bytes()
+        except OSError:
+            if row is not None:  # stale index entry: blob is gone
+                self._evict(kind, key, ext)
+                get_metrics().inc("store.evictions")
+            return None
+        digest = hashlib.sha256(data).hexdigest()
+        if row is None or digest != row[1]:
+            # A blob without an index row (a writer died between
+            # rename and insert) is adopted; a checksum mismatch with
+            # surviving bytes (two writers raced; the last rename won)
+            # re-indexes them instead of discarding them.
+            self._index(kind, key, path, digest, len(data), None)
+        return data
+
+    def delete(self, kind: str, key: str, ext: str = "json") -> None:
+        self._evict(kind, key, ext)
+
+    def iter_refs(self, kind: Optional[str] = None) -> List[ArtifactRef]:
+        if not (self._root / "index.sqlite3").exists():
+            return []
+        query = "SELECT kind, key, filename, sha256, size FROM artifacts"
+        params: Tuple = ()
+        if kind is not None:
+            query += " WHERE kind = ?"
+            params = (kind,)
+        with self._lock, self._connect() as conn:
+            rows = conn.execute(query + " ORDER BY kind, key",
+                                params).fetchall()
+        return [
+            ArtifactRef(k, key, self._root / fn, sha, size)
+            for k, key, fn, sha, size in rows
+        ]
+
+    def gc(
+        self,
+        referenced: Set[Tuple[str, str]],
+        keep_kinds: Set[str],
+        dry_run: bool = False,
+    ) -> Dict:
+        stats = _empty_gc_stats(dry_run)
+        gone_paths: Set[Path] = set()
+        keep_paths: Set[Path] = set()
+        for ref in self.iter_refs():
+            if (ref.kind, ref.key) in referenced or ref.kind in keep_kinds:
+                stats["kept"] += 1
+                keep_paths.add(ref.path)
+                continue
+            _gc_count(stats, ref.kind, ref.size)
+            gone_paths.add(ref.path)
+            if not dry_run:
+                self._drop_row(ref.kind, ref.key)
+                try:
+                    ref.path.unlink()
+                except OSError:
+                    pass
+        objects = self._root / "objects"
+        if objects.is_dir():
+            for path in sorted(objects.rglob("*")):
+                if path.name.startswith(_TMP_PREFIX):
+                    continue  # in-flight write of a concurrent process
+                if (
+                    path.is_file()
+                    and path not in keep_paths
+                    and path not in gone_paths
+                ):
+                    try:
+                        size = path.stat().st_size
+                        if not dry_run:
+                            path.unlink()
+                    except OSError:
+                        continue
+                    kind = path.relative_to(objects).parts[0]
+                    _gc_count(stats, kind, size)
+        return stats
+
+    # -- manifests -----------------------------------------------------------
+
+    @property
+    def _manifests(self) -> _LocalManifests:
+        return _LocalManifests(self._root)
+
+    def put_manifest(self, run_id: str, manifest: Dict) -> None:
+        self._manifests.put(run_id, manifest)
+
+    def get_manifest(self, run_id: str) -> Optional[Dict]:
+        return self._manifests.get(run_id)
+
+    def list_manifests(self) -> List[Dict]:
+        return self._manifests.list()
+
+    def delete_manifest(self, run_id: str) -> bool:
+        return self._manifests.delete(run_id)
+
+
+class ShardedBackend(StoreBackend):
+    """N hash-sharded :class:`SqliteBackend` subtrees under one root.
+
+    ``(kind, key)`` hashes to one shard, so concurrent writers spread
+    across N independent sqlite indexes instead of serialising on one.
+    The shard count is written to ``store-manifest.json`` when the
+    store is created and validated on every open: reopening with a
+    different ``?shards=N`` is a :class:`~repro.errors.StoreError`, not
+    a silently split cache.  Run manifests live unsharded at the root
+    (they are few, small, and enumerated as a set).
+    """
+
+    scheme = "sharded"
+
+    def __init__(self, root, shards: Optional[int] = None) -> None:
+        self._root = Path(root)
+        recorded = self._read_manifest()
+        if recorded is not None:
+            if shards is not None and shards != recorded:
+                raise StoreError(
+                    f"sharded store at {self._root} has {recorded} "
+                    f"shards (root manifest); cannot reopen with "
+                    f"shards={shards}"
+                )
+            shards = recorded
+        elif shards is None:
+            shards = DEFAULT_SHARDS
+        if shards < 1:
+            raise StoreError("a sharded store needs shards >= 1")
+        self.shards = int(shards)
+        self._backends = [
+            SqliteBackend(self._root / "shards" / f"{i:02d}")
+            for i in range(self.shards)
+        ]
+        self._manifest_written = recorded is not None
+
+    def _read_manifest(self) -> Optional[int]:
+        manifest = self._root / STORE_MANIFEST
+        if not manifest.is_file():
+            if (self._root / "index.sqlite3").is_file():
+                raise StoreError(
+                    f"store at {self._root} is a plain sqlite layout; "
+                    f"open it with sqlite:{self._root}"
+                )
+            return None
+        try:
+            doc = json.loads(manifest.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(
+                f"unreadable store manifest at {manifest}: {exc}"
+            ) from None
+        if doc.get("format") != self.scheme:
+            raise StoreError(
+                f"store at {self._root} is a "
+                f"{doc.get('format')!r} layout, not sharded"
+            )
+        count = doc.get("shards")
+        if not isinstance(count, int) or count < 1:
+            raise StoreError(
+                f"store manifest at {manifest} has an invalid shard "
+                f"count {count!r}"
+            )
+        return count
+
+    def _ensure_manifest(self) -> None:
+        if self._manifest_written:
+            return
+        doc = {"format": self.scheme, "version": 1,
+               "shards": self.shards}
+        atomic_write_bytes(
+            self._root / STORE_MANIFEST,
+            json.dumps(doc, sort_keys=True, indent=2).encode("utf-8"),
+        )
+        self._manifest_written = True
+
+    def __getstate__(self):
+        return {"root": self._root, "shards": self.shards,
+                "written": self._manifest_written}
+
+    def __setstate__(self, state):
+        self._root = state["root"]
+        self.shards = state["shards"]
+        self._backends = [
+            SqliteBackend(self._root / "shards" / f"{i:02d}")
+            for i in range(self.shards)
+        ]
+        self._manifest_written = state["written"]
+
+    @property
+    def uri(self) -> str:
+        return f"sharded:{self._root}?shards={self.shards}"
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def exists(self) -> bool:
+        return self._root.is_dir()
+
+    def initialize(self) -> None:
+        self._ensure_manifest()
+        for backend in self._backends:
+            backend.initialize()
+
+    def _shard(self, kind: str, key: str) -> int:
+        digest = hashlib.sha256(f"{kind}:{key}".encode("utf-8"))
+        return int.from_bytes(digest.digest()[:8], "big") % self.shards
+
+    def _route(self, kind: str, key: str) -> SqliteBackend:
+        shard = self._shard(kind, key)
+        get_metrics().inc(f"store.shard.{shard:02d}.ops")
+        return self._backends[shard]
+
+    # -- blobs ---------------------------------------------------------------
+
+    def put_bytes(self, kind, key, data, ext="json", meta=None):
+        self._ensure_manifest()
+        ref = self._route(kind, key).put_bytes(
+            kind, key, data, ext=ext, meta=meta
+        )
+        return ref
+
+    def get_bytes(self, kind, key, ext="json"):
+        shard = self._shard(kind, key)
+        metrics = get_metrics()
+        metrics.inc(f"store.shard.{shard:02d}.ops")
+        data = self._backends[shard].get_bytes(kind, key, ext=ext)
+        if data is not None:
+            metrics.inc(f"store.shard.{shard:02d}.hits")
+        return data
+
+    def delete(self, kind, key, ext="json"):
+        self._route(kind, key).delete(kind, key, ext=ext)
+
+    def iter_refs(self, kind: Optional[str] = None) -> List[ArtifactRef]:
+        refs: List[ArtifactRef] = []
+        for backend in self._backends:
+            refs.extend(backend.iter_refs(kind))
+        refs.sort(key=lambda ref: (ref.kind, ref.key))
+        return refs
+
+    def gc(
+        self,
+        referenced: Set[Tuple[str, str]],
+        keep_kinds: Set[str],
+        dry_run: bool = False,
+    ) -> Dict:
+        stats = _empty_gc_stats(dry_run)
+        for backend in self._backends:
+            _merge_gc_stats(
+                stats, backend.gc(referenced, keep_kinds, dry_run)
+            )
+        return stats
+
+    # -- manifests -----------------------------------------------------------
+
+    @property
+    def _manifests(self) -> _LocalManifests:
+        return _LocalManifests(self._root)
+
+    def put_manifest(self, run_id: str, manifest: Dict) -> None:
+        self._ensure_manifest()
+        self._manifests.put(run_id, manifest)
+
+    def get_manifest(self, run_id: str) -> Optional[Dict]:
+        return self._manifests.get(run_id)
+
+    def list_manifests(self) -> List[Dict]:
+        return self._manifests.list()
+
+    def delete_manifest(self, run_id: str) -> bool:
+        return self._manifests.delete(run_id)

@@ -1,25 +1,31 @@
 """Run ledger — every pipeline invocation as a reproducible manifest.
 
-A *manifest* is one JSON document under ``<store root>/runs/`` recording
-what a run was (kind, label, parameters, seed), what identified its
-inputs (the config hash), how it went (per-stage wall time and cache
-hit/miss) and which store artifacts it produced or reused.  Manifests
-make runs enumerable (``repro runs list``), inspectable (``show``),
-re-executable against the warm store (``resume``) and the root set for
-garbage collection (``gc`` keeps exactly the artifacts some manifest
-references).
+A *manifest* is one JSON document recording what a run was (kind,
+label, parameters, seed), what identified its inputs (the config
+hash), how it went (per-stage wall time and cache hit/miss) and which
+store artifacts it produced or reused.  Manifests make runs enumerable
+(``repro runs list``), inspectable (``show``), re-executable against
+the warm store (``resume``) and the root set for garbage collection
+(``gc`` keeps exactly the artifacts some manifest references).
+
+The ledger is topology-agnostic: construct it from an
+:class:`~repro.store.artifacts.ArtifactStore` (or a raw
+:class:`~repro.store.backends.StoreBackend`) and manifests route
+through the backend's manifest primitives — local stores keep the
+historic ``<root>/runs/<run_id>.json`` files, remote stores round-trip
+through the ``/v1/store/runs`` API.  A bare path still works and means
+the local filesystem layout.
 """
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import StoreError
-from repro.store.artifacts import atomic_write_bytes
+from repro.store.backends import StoreBackend, _LocalManifests
 
 #: Manifest format version (bump on incompatible schema changes).
 MANIFEST_VERSION = 1
@@ -30,14 +36,37 @@ def _iso(ts: float) -> str:
 
 
 class RunLedger:
-    """Append-only collection of run manifests under one store root."""
+    """Append-only collection of run manifests of one store."""
 
     def __init__(self, root) -> None:
-        self.root = Path(root)
+        backend = getattr(root, "backend", None)  # an ArtifactStore
+        if backend is None and isinstance(root, StoreBackend):
+            backend = root
+        if backend is not None:
+            self._backend: Optional[StoreBackend] = backend
+            self.root = backend.root
+            self._local = (
+                _LocalManifests(backend.root)
+                if backend.root is not None
+                else None
+            )
+        else:
+            self._backend = None
+            self.root = Path(root)
+            self._local = _LocalManifests(self.root)
 
     @property
     def runs_dir(self) -> Path:
-        return self.root / "runs"
+        if self._local is not None:
+            return self._local.runs_dir
+        raise StoreError(
+            f"ledger at {self._where()} has no local runs directory"
+        )
+
+    def _where(self) -> str:
+        if self._backend is not None:
+            return self._backend.uri
+        return str(self.runs_dir)
 
     # -- creation -----------------------------------------------------------
 
@@ -79,9 +108,10 @@ class RunLedger:
         }
         if extra:
             manifest["extra"] = extra
-        path = self.runs_dir / f"{run_id}.json"
-        data = json.dumps(manifest, sort_keys=True, indent=2)
-        atomic_write_bytes(path, data.encode("utf-8"))
+        if self._backend is not None:
+            self._backend.put_manifest(run_id, manifest)
+        else:
+            self._local.put(run_id, manifest)
         return manifest
 
     # -- enumeration --------------------------------------------------------
@@ -92,19 +122,14 @@ class RunLedger:
         ``kind`` restricts the listing to one manifest kind (e.g.
         ``"serve-job"`` — the serving layer's audit log).
         """
-        if not self.runs_dir.is_dir():
-            return []
-        manifests = []
-        for path in sorted(self.runs_dir.glob("*.json")):
-            if path.name.startswith("."):
-                continue  # in-flight atomic write of another process
-            try:
-                manifest = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                continue
-            if kind is not None and manifest.get("kind") != kind:
-                continue
-            manifests.append(manifest)
+        if self._backend is not None:
+            manifests = self._backend.list_manifests()
+        else:
+            manifests = self._local.list()
+        if kind is not None:
+            manifests = [
+                m for m in manifests if m.get("kind") == kind
+            ]
         manifests.sort(
             key=lambda m: (m.get("created_ts", 0.0),
                            m.get("run_id", ""))
@@ -112,25 +137,29 @@ class RunLedger:
         return manifests
 
     def get(self, run_id: str) -> Dict:
-        path = self.runs_dir / f"{run_id}.json"
-        try:
-            return json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        if self._backend is not None:
+            manifest = self._backend.get_manifest(run_id)
+        else:
+            manifest = self._local.get(run_id)
+        if manifest is None:
             raise StoreError(
-                f"no run {run_id!r} in ledger at {self.runs_dir}"
-            ) from None
+                f"no run {run_id!r} in ledger at {self._where()}"
+            )
+        return manifest
 
     def latest(self) -> Optional[Dict]:
         manifests = self.runs()
         return manifests[-1] if manifests else None
 
     def delete(self, run_id: str) -> None:
-        try:
-            (self.runs_dir / f"{run_id}.json").unlink()
-        except OSError:
+        if self._backend is not None:
+            removed = self._backend.delete_manifest(run_id)
+        else:
+            removed = self._local.delete(run_id)
+        if not removed:
             raise StoreError(
-                f"no run {run_id!r} in ledger at {self.runs_dir}"
-            ) from None
+                f"no run {run_id!r} in ledger at {self._where()}"
+            )
 
     # -- garbage-collection roots -------------------------------------------
 
@@ -144,4 +173,4 @@ class RunLedger:
         return refs
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<RunLedger root={self.root}>"
+        return f"<RunLedger {self._where()}>"

@@ -1,0 +1,343 @@
+"""Remote store backend: stdlib HTTP client for the ``/v1/store`` API.
+
+:class:`RemoteBackend` speaks the versioned ``/v1/store/*`` API that
+``repro serve`` exposes (see :mod:`repro.serve.store_api`), turning one
+server into the shared artifact store of many clients and search
+workers.  Get/put are content-addressed — a retried ``PUT`` rewrites
+identical bytes under the same key, a retried ``GET`` re-reads them —
+so every verb here is safe to retry; transient failures (connection
+errors, timeouts, 5xx) are retried with bounded exponential backoff.
+
+Integrity is verified end to end: blob responses carry an
+``ETag`` of the content hash which the client checks against the bytes
+it received (a mismatch is treated as transport corruption and
+retried), and a ``PUT`` cross-checks the digest the server computed
+against the local one.
+
+Environment knobs (all optional):
+
+* ``REPRO_STORE_TIMEOUT`` — per-request timeout, seconds (default 10).
+* ``REPRO_STORE_RETRIES`` — retries after the first attempt (default 3).
+* ``REPRO_STORE_KEY``     — API key sent as a bearer token.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.store.backends import ArtifactRef, StoreBackend
+from repro.telemetry import get_metrics
+from repro.utils.validation import check_env_float, check_env_int
+
+#: Environment knobs of the HTTP client.
+TIMEOUT_ENV = "REPRO_STORE_TIMEOUT"
+RETRIES_ENV = "REPRO_STORE_RETRIES"
+KEY_ENV = "REPRO_STORE_KEY"
+
+DEFAULT_TIMEOUT = 10.0
+DEFAULT_RETRIES = 3
+
+#: Backoff before retry ``n`` (0-based): 0.1 * 2**n, capped at 2 s.
+_BACKOFF_BASE = 0.1
+_BACKOFF_CAP = 2.0
+
+
+class _NotFound(Exception):
+    """Internal: the server answered 404 (a plain miss, never retried)."""
+
+
+class _Corrupt(Exception):
+    """Internal: response bytes contradict their ETag; retry transport."""
+
+
+def _env_timeout() -> float:
+    value = os.environ.get(TIMEOUT_ENV)
+    if value is None:
+        return DEFAULT_TIMEOUT
+    return check_env_float(value, source=TIMEOUT_ENV, minimum=0.01)
+
+
+def _env_retries() -> int:
+    value = os.environ.get(RETRIES_ENV)
+    if value is None:
+        return DEFAULT_RETRIES
+    return check_env_int(value, source=RETRIES_ENV, minimum=0,
+                         maximum=100)
+
+
+class RemoteBackend(StoreBackend):
+    """Store backend served over HTTP by ``repro serve``.
+
+    Holds no sockets between requests, so instances are trivially
+    picklable into worker processes and safe across ``fork``.
+    """
+
+    scheme = "http"
+
+    def __init__(
+        self,
+        base_url: str,
+        api_key: Optional[str] = None,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.api_key = (
+            api_key if api_key is not None else os.environ.get(KEY_ENV)
+        )
+        self.timeout = timeout if timeout is not None else _env_timeout()
+        self.retries = retries if retries is not None else _env_retries()
+
+    @property
+    def uri(self) -> str:
+        return self.base_url
+
+    @property
+    def root(self) -> Optional[Path]:
+        return None
+
+    def exists(self) -> bool:
+        try:
+            self._request("GET", "/v1/store/stat")
+        except (StoreError, _NotFound):
+            return False
+        return True
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Tuple[bytes, Dict[str, str]]:
+        """One logical request with retries; ``(body, headers)``.
+
+        404 raises :class:`_NotFound` immediately (a miss is a valid
+        answer, not a fault); other 4xx raise :class:`StoreError`
+        without retrying; connection errors, timeouts, 5xx and ETag
+        corruption retry with bounded exponential backoff until the
+        budget is spent.
+        """
+        metrics = get_metrics()
+        metrics.inc("store.remote.requests")
+        url = self.base_url + path
+        last_error: Optional[str] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                metrics.inc("store.remote.retries")
+                time.sleep(
+                    min(_BACKOFF_BASE * (2 ** (attempt - 1)),
+                        _BACKOFF_CAP)
+                )
+            request = urllib.request.Request(
+                url, data=body, method=method
+            )
+            request.add_header("Accept", "*/*")
+            if self.api_key:
+                request.add_header(
+                    "Authorization", f"Bearer {self.api_key}"
+                )
+            for name, value in (headers or {}).items():
+                request.add_header(name, value)
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    data = response.read()
+                    reply = {
+                        k.lower(): v
+                        for k, v in response.headers.items()
+                    }
+                self._check_etag(data, reply)
+                return data, reply
+            except _Corrupt:
+                last_error = "content hash mismatch (corrupt transfer)"
+            except urllib.error.HTTPError as exc:
+                if exc.code == 404:
+                    raise _NotFound(path) from None
+                detail = self._error_detail(exc)
+                last_error = f"HTTP {exc.code}: {detail}"
+                if exc.code < 500:
+                    metrics.inc("store.remote.errors")
+                    raise StoreError(
+                        f"store request {method} {url} failed "
+                        f"({last_error})"
+                    ) from None
+            except (urllib.error.URLError, TimeoutError, OSError) as exc:
+                last_error = str(exc)
+        metrics.inc("store.remote.errors")
+        raise StoreError(
+            f"store request {method} {url} failed after "
+            f"{self.retries + 1} attempts ({last_error})"
+        )
+
+    @staticmethod
+    def _error_detail(exc: urllib.error.HTTPError) -> str:
+        try:
+            doc = json.loads(exc.read().decode("utf-8"))
+            return str(doc.get("error", doc))
+        except Exception:
+            return exc.reason or "error"
+
+    @staticmethod
+    def _check_etag(data: bytes, headers: Dict[str, str]) -> None:
+        etag = headers.get("etag", "").strip('"')
+        if etag and hashlib.sha256(data).hexdigest() != etag:
+            raise _Corrupt()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        doc: Optional[Dict] = None,
+    ) -> Dict:
+        body = None
+        headers = {}
+        if doc is not None:
+            body = json.dumps(doc, sort_keys=True).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        data, _ = self._request(method, path, body=body,
+                                headers=headers)
+        return json.loads(data.decode("utf-8")) if data else {}
+
+    @staticmethod
+    def _blob_path_for(kind: str, key: str) -> str:
+        return (
+            "/v1/store/blob/"
+            f"{urllib.parse.quote(kind, safe='')}/"
+            f"{urllib.parse.quote(key, safe='')}"
+        )
+
+    # -- blobs ---------------------------------------------------------------
+
+    def put_bytes(
+        self,
+        kind: str,
+        key: str,
+        data: bytes,
+        ext: str = "json",
+        meta: Optional[Dict] = None,
+    ) -> ArtifactRef:
+        headers = {
+            "Content-Type": "application/octet-stream",
+            "X-Repro-Ext": ext,
+        }
+        if meta:
+            headers["X-Repro-Meta"] = json.dumps(meta, sort_keys=True)
+        reply, _ = self._request(
+            "PUT", self._blob_path_for(kind, key), body=data,
+            headers=headers,
+        )
+        doc = json.loads(reply.decode("utf-8"))
+        digest = hashlib.sha256(data).hexdigest()
+        if doc.get("sha256") != digest:
+            raise StoreError(
+                f"server stored {kind}/{key} with digest "
+                f"{doc.get('sha256')!r}, expected {digest!r}"
+            )
+        return ArtifactRef(kind, key, None, digest, len(data))
+
+    def get_bytes(
+        self, kind: str, key: str, ext: str = "json"
+    ) -> Optional[bytes]:
+        try:
+            data, _ = self._request(
+                "GET", self._blob_path_for(kind, key)
+            )
+        except _NotFound:
+            return None
+        return data
+
+    def delete(self, kind: str, key: str, ext: str = "json") -> None:
+        try:
+            self._request("DELETE", self._blob_path_for(kind, key))
+        except _NotFound:
+            pass
+
+    def iter_refs(self, kind: Optional[str] = None) -> List[ArtifactRef]:
+        path = "/v1/store/keys"
+        if kind is not None:
+            path += "?kind=" + urllib.parse.quote(kind, safe="")
+        try:
+            doc = self._json("GET", path)
+        except _NotFound:
+            return []
+        refs = [
+            ArtifactRef(
+                entry["kind"], entry["key"], None,
+                entry["sha256"], entry["size"],
+            )
+            for entry in doc.get("artifacts", [])
+        ]
+        refs.sort(key=lambda ref: (ref.kind, ref.key))
+        return refs
+
+    def gc(
+        self,
+        referenced: Set[Tuple[str, str]],
+        keep_kinds: Set[str],
+        dry_run: bool = False,
+    ) -> Dict:
+        doc = self._json(
+            "POST",
+            "/v1/store/gc",
+            {
+                "referenced": sorted(list(pair) for pair in referenced),
+                "keep_kinds": sorted(keep_kinds),
+                "dry_run": bool(dry_run),
+            },
+        )
+        stats = doc.get("gc")
+        if not isinstance(stats, dict):
+            raise StoreError(
+                f"malformed gc reply from {self.base_url}: {doc!r}"
+            )
+        return stats
+
+    # -- manifests -----------------------------------------------------------
+
+    def put_manifest(self, run_id: str, manifest: Dict) -> None:
+        self._json(
+            "PUT",
+            "/v1/store/runs/" + urllib.parse.quote(run_id, safe=""),
+            manifest,
+        )
+
+    def get_manifest(self, run_id: str) -> Optional[Dict]:
+        try:
+            doc = self._json(
+                "GET",
+                "/v1/store/runs/"
+                + urllib.parse.quote(run_id, safe=""),
+            )
+        except _NotFound:
+            return None
+        return doc.get("run")
+
+    def list_manifests(self) -> List[Dict]:
+        try:
+            return self._json("GET", "/v1/store/runs").get("runs", [])
+        except _NotFound:
+            return []
+
+    def delete_manifest(self, run_id: str) -> bool:
+        try:
+            self._json(
+                "DELETE",
+                "/v1/store/runs/"
+                + urllib.parse.quote(run_id, safe=""),
+            )
+        except _NotFound:
+            return False
+        return True

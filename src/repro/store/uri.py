@@ -1,0 +1,83 @@
+"""Store-URI parsing — one scheme, parsed in one place.
+
+Every surface that accepts a store location (``--store``,
+``REPRO_STORE_DIR``, ``repro serve``, the search workers) takes the
+same URI grammar:
+
+* ``sqlite:PATH``            — single sqlite index + blob tree (default)
+* ``sharded:PATH?shards=N``  — N hash-sharded subtrees under one root
+* ``http://host:port``       — remote store served by ``repro serve``
+* ``PATH``                   — bare paths mean ``sqlite:PATH``
+
+:func:`parse_store_uri` returns the matching
+:class:`~repro.store.backends.StoreBackend`; callers wrap it in an
+:class:`~repro.store.artifacts.ArtifactStore` (or use
+:func:`~repro.store.artifacts.open_store`, which accepts URIs
+directly).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from urllib.parse import parse_qs
+
+from repro.errors import ValidationError
+from repro.store.backends import ShardedBackend, SqliteBackend, StoreBackend
+from repro.utils.validation import check_env_int
+
+__all__ = ["parse_store_uri"]
+
+
+def parse_store_uri(target) -> StoreBackend:
+    """The :class:`StoreBackend` described by ``target``.
+
+    ``target`` may already be a backend (returned as-is), a
+    :class:`~pathlib.Path` (always a local sqlite store; never
+    re-parsed, so odd filenames round-trip), or a URI string per the
+    module docstring.  Malformed URIs raise
+    :class:`~repro.errors.ValidationError`.
+    """
+    if isinstance(target, StoreBackend):
+        return target
+    if isinstance(target, Path):
+        return SqliteBackend(target)
+    text = str(target).strip()
+    if not text:
+        raise ValidationError(
+            f"store URI must be non-empty, got {target!r}"
+        )
+    if text.startswith("sqlite:"):
+        path = text[len("sqlite:"):]
+        if not path:
+            raise ValidationError(
+                f"store URI {text!r} is missing a path"
+            )
+        return SqliteBackend(Path(path))
+    if text.startswith("sharded:"):
+        rest = text[len("sharded:"):]
+        path, _, query = rest.partition("?")
+        if not path:
+            raise ValidationError(
+                f"store URI {text!r} is missing a path"
+            )
+        shards = None
+        if query:
+            params = parse_qs(query, keep_blank_values=True)
+            unknown = sorted(set(params) - {"shards"})
+            if unknown:
+                raise ValidationError(
+                    f"store URI {text!r} has unknown parameters: "
+                    f"{', '.join(unknown)}"
+                )
+            shards = check_env_int(
+                params["shards"][-1],
+                source=f"store URI {text!r} shards",
+                minimum=1,
+                maximum=4096,
+            )
+        return ShardedBackend(Path(path), shards=shards)
+    if text.startswith(("http://", "https://")):
+        from repro.store.remote import RemoteBackend
+
+        return RemoteBackend(text)
+    return SqliteBackend(Path(text))

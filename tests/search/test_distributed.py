@@ -1,0 +1,244 @@
+"""Distributed search: leases, worker crash recovery, topology identity.
+
+The contract under test is the paper's determinism bar lifted onto a
+work queue: however many workers execute the islands — in threads, in
+processes, through a remote store, or after one of them dies mid-round
+— the merged front is bit-identical to the single-process run.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.search import DistributedExecutor, PortfolioRunner, run_worker
+from repro.search.distributed import (
+    ITEM_KIND,
+    LEASE_KIND,
+    QUEUE_KIND,
+    RESULT_KIND,
+    _acquire_lease,
+    lease_key,
+    lease_ttl,
+)
+from repro.store import ArtifactStore
+
+STRATEGIES = ("hill", "nsga2:population_size=12", "random")
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def _run(space, models, *, store=None, executor=None, budget=500,
+         seed=11, rounds=2, strategies=STRATEGIES):
+    qor, hw = models
+    return PortfolioRunner(
+        space, qor, hw, strategies=strategies, rounds=rounds,
+        seed=seed, store=store, executor=executor,
+    ).run(budget)
+
+
+def _worker_main(store, **kwargs):
+    try:
+        run_worker(store, **kwargs)
+    except StoreError:
+        pass  # the served store shut down under us — test is over
+
+
+def _drain_in_thread(store, *, n=1, idle_timeout=10.0, poll=0.02):
+    """Start ``n`` worker threads draining ``store``; returns them."""
+    threads = [
+        threading.Thread(
+            target=_worker_main,
+            args=(store,),
+            kwargs={
+                "poll": poll,
+                "idle_timeout": idle_timeout,
+                "worker_id": f"test-worker-{i}",
+            },
+            daemon=True,
+        )
+        for i in range(n)
+    ]
+    for thread in threads:
+        thread.start()
+    return threads
+
+
+def _assert_same_front(a, b):
+    assert a.configs == b.configs
+    assert np.array_equal(a.points, b.points)
+    assert a.evaluations == b.evaluations
+    assert [
+        (r.round, r.island, r.strategy, r.evaluations, r.front_size)
+        for r in a.islands
+    ] == [
+        (r.round, r.island, r.strategy, r.evaluations, r.front_size)
+        for r in b.islands
+    ]
+
+
+class TestLeases:
+    def test_fresh_lease_is_exclusive(self, store):
+        assert _acquire_lease(store, "q", "item-1", "alice", ttl=30.0)
+        assert not _acquire_lease(store, "q", "item-1", "bob",
+                                  ttl=30.0)
+
+    def test_expired_lease_is_taken_over(self, store):
+        assert _acquire_lease(store, "q", "item-1", "alice", ttl=0.1)
+        time.sleep(0.2)
+        assert _acquire_lease(store, "q", "item-1", "bob", ttl=30.0)
+        doc = store.get(LEASE_KIND, lease_key("item-1"))
+        assert doc["worker"] == "bob"
+
+    def test_ttl_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LEASE_TTL", "2.5")
+        assert lease_ttl() == 2.5
+        monkeypatch.delenv("REPRO_LEASE_TTL")
+        assert lease_ttl() == 30.0
+
+
+class TestExecutor:
+    def test_unbound_round_rejected(self):
+        with pytest.raises(StoreError, match="not bound"):
+            DistributedExecutor().run_round(0, [])
+
+    def test_bind_requires_store(self):
+        with pytest.raises(StoreError, match="store"):
+            DistributedExecutor().bind(None, "q", context=None)
+
+    def test_round_timeout_names_the_problem(self, store):
+        executor = DistributedExecutor(
+            poll_interval=0.02, timeout=0.2
+        )
+        executor.bind(store, "q", context=("ctx",))
+        task = (0, {"rng": 1}, np.zeros((0, 2)), [], {}, 100)
+        with pytest.raises(StoreError, match="workers running"):
+            executor.run_round(0, [task])
+
+    def test_distributed_requires_store(self, sobel_space, models):
+        with pytest.raises(StoreError, match="store"):
+            _run(sobel_space, models, store=None,
+                 executor=DistributedExecutor())
+
+
+class TestTopologyIdentity:
+    def test_single_worker_matches_serial(
+        self, sobel_space, models, store
+    ):
+        serial = _run(sobel_space, models)
+        _drain_in_thread(store, n=1)
+        dist = _run(
+            sobel_space, models, store=store,
+            executor=DistributedExecutor(
+                poll_interval=0.02, timeout=120
+            ),
+        )
+        _assert_same_front(serial, dist)
+
+    def test_two_workers_match_serial(
+        self, sobel_space, models, store
+    ):
+        serial = _run(sobel_space, models)
+        _drain_in_thread(store, n=2)
+        dist = _run(
+            sobel_space, models, store=store,
+            executor=DistributedExecutor(
+                poll_interval=0.02, timeout=120
+            ),
+        )
+        _assert_same_front(serial, dist)
+
+    def test_queue_swept_after_run(self, sobel_space, models, store):
+        _drain_in_thread(store, n=1)
+        _run(
+            sobel_space, models, store=store,
+            executor=DistributedExecutor(
+                poll_interval=0.02, timeout=120
+            ),
+        )
+        for kind in (ITEM_KIND, RESULT_KIND, LEASE_KIND,
+                     "search-context"):
+            assert store.keys(kind) == []
+        [qkey] = store.keys(QUEUE_KIND)
+        assert store.get(QUEUE_KIND, qkey)["status"] == "done"
+
+    def test_crashed_worker_lease_lapses_and_run_completes(
+        self, sobel_space, models, store, monkeypatch
+    ):
+        """Items leased by a dead worker are re-executed bit-identically.
+
+        Simulated crash: every item of round 0 is leased by a phantom
+        worker that will never produce results.  With a short TTL the
+        leases lapse and the live worker takes the items over.
+        """
+        monkeypatch.setenv("REPRO_LEASE_TTL", "0.5")
+        serial = _run(sobel_space, models)
+
+        executor = DistributedExecutor(poll_interval=0.02, timeout=120)
+        original_run_round = executor.run_round
+        state = {"sabotaged": False}
+
+        def sabotaging_run_round(round_i, tasks):
+            if not state["sabotaged"]:
+                state["sabotaged"] = True
+                from repro.search.distributed import item_key
+
+                for task in tasks:
+                    ikey = item_key(executor.queue_id, round_i,
+                                    task[0])
+                    assert _acquire_lease(
+                        store, executor.queue_id, ikey,
+                        "phantom-worker", ttl=0.5,
+                    )
+            return original_run_round(round_i, tasks)
+
+        monkeypatch.setattr(executor, "run_round",
+                            sabotaging_run_round)
+
+        # Bind first so the phantom leases exist before the worker
+        # starts scanning; the worker must wait out the TTL.
+        _drain_in_thread(store, n=1, idle_timeout=20.0)
+        dist = _run(sobel_space, models, store=store,
+                    executor=executor)
+        _assert_same_front(serial, dist)
+
+
+class TestRemoteTopology:
+    def test_remote_store_worker_matches_serial(
+        self, sobel_space, models, tmp_path
+    ):
+        """Driver and worker meet only through a served HTTP store."""
+        from repro.serve import (
+            ApiKeyRegistry,
+            Coordinator,
+            ServeApp,
+            ServerThread,
+        )
+        from repro.store import open_store
+
+        serial = _run(sobel_space, models)
+
+        app = ServeApp(
+            Coordinator(
+                store=ArtifactStore(tmp_path / "served")
+            ),
+            ApiKeyRegistry(None),
+        )
+        server = ServerThread(app).start()
+        try:
+            remote_store = open_store(server.base_url)
+            _drain_in_thread(remote_store, n=1, idle_timeout=30.0)
+            dist = _run(
+                sobel_space, models, store=remote_store,
+                executor=DistributedExecutor(
+                    poll_interval=0.05, timeout=240
+                ),
+            )
+        finally:
+            server.stop()
+        _assert_same_front(serial, dist)

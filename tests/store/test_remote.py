@@ -1,0 +1,194 @@
+"""RemoteBackend HTTP semantics: retries, backoff, ETag, error taxonomy.
+
+A scripted stub server (no repro serve involved) hands back canned
+responses so every failure mode is exercised deterministically:
+transient 5xx retried, 404 an immediate miss, other 4xx an immediate
+error, corrupt ETag retried as transport damage, digest mismatch on
+PUT rejected.
+"""
+
+import hashlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, HTTPServer
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.remote import RemoteBackend
+
+KEY = "a" * 64
+
+
+class StubStoreServer:
+    """Serves a scripted list of responses and records every request."""
+
+    def __init__(self):
+        self.responses = []
+        self.requests = []
+        self.headers = []
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):
+                pass
+
+            def _serve(self):
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                outer.requests.append(
+                    (self.command, self.path, body)
+                )
+                outer.headers.append(dict(self.headers))
+                if not outer.responses:
+                    status, headers, payload = 500, {}, b"unscripted"
+                else:
+                    status, headers, payload = outer.responses.pop(0)
+                self.send_response(status)
+                for name, value in headers.items():
+                    self.send_header(name, value)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            do_GET = do_PUT = do_DELETE = do_POST = _serve
+
+        self.httpd = HTTPServer(("127.0.0.1", 0), Handler)
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self.thread.start()
+        self.base_url = (
+            f"http://127.0.0.1:{self.httpd.server_address[1]}"
+        )
+
+    def script(self, status, payload=b"", headers=None):
+        self.responses.append((status, headers or {}, payload))
+
+    def stop(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.thread.join(timeout=10)
+
+
+@pytest.fixture()
+def stub():
+    server = StubStoreServer()
+    yield server
+    server.stop()
+
+
+def backend_for(stub, retries=2):
+    return RemoteBackend(stub.base_url, timeout=5.0, retries=retries)
+
+
+def ok_blob(data):
+    etag = hashlib.sha256(data).hexdigest()
+    return 200, data, {"ETag": f'"{etag}"'}
+
+
+class TestRetries:
+    def test_transient_500_is_retried(self, stub, monkeypatch):
+        monkeypatch.setattr("repro.store.remote._BACKOFF_BASE", 0.001)
+        status, data, headers = ok_blob(b'{"x": 1}')
+        stub.script(500, b"flaky")
+        stub.script(status, data, headers)
+        assert backend_for(stub).get_bytes("dse", KEY) == b'{"x": 1}'
+        assert len(stub.requests) == 2
+
+    def test_retry_budget_exhausted_raises(self, stub, monkeypatch):
+        monkeypatch.setattr("repro.store.remote._BACKOFF_BASE", 0.001)
+        for _ in range(3):
+            stub.script(503, b"down")
+        with pytest.raises(StoreError, match="3 attempts"):
+            backend_for(stub, retries=2).get_bytes("dse", KEY)
+        assert len(stub.requests) == 3
+
+    def test_corrupt_etag_is_retried(self, stub, monkeypatch):
+        monkeypatch.setattr("repro.store.remote._BACKOFF_BASE", 0.001)
+        stub.script(200, b'{"x": 1}', {"ETag": '"' + "0" * 64 + '"'})
+        status, data, headers = ok_blob(b'{"x": 1}')
+        stub.script(status, data, headers)
+        assert backend_for(stub).get_bytes("dse", KEY) == b'{"x": 1}'
+        assert len(stub.requests) == 2
+
+    def test_persistent_corruption_raises(self, stub, monkeypatch):
+        monkeypatch.setattr("repro.store.remote._BACKOFF_BASE", 0.001)
+        for _ in range(3):
+            stub.script(200, b'{"x": 1}',
+                        {"ETag": '"' + "0" * 64 + '"'})
+        with pytest.raises(StoreError, match="hash mismatch"):
+            backend_for(stub, retries=2).get_bytes("dse", KEY)
+
+    def test_connection_refused_raises_store_error(self):
+        backend = RemoteBackend(
+            "http://127.0.0.1:1", timeout=0.2, retries=0
+        )
+        with pytest.raises(StoreError, match="failed after 1"):
+            backend.get_bytes("dse", KEY)
+
+
+class TestErrorTaxonomy:
+    def test_404_is_a_miss_not_retried(self, stub):
+        stub.script(404, b'{"error": "no such artifact"}')
+        assert backend_for(stub).get_bytes("dse", KEY) is None
+        assert len(stub.requests) == 1
+
+    def test_4xx_raises_immediately(self, stub):
+        stub.script(400, json.dumps({"error": "bad key"}).encode())
+        with pytest.raises(StoreError, match="bad key"):
+            backend_for(stub).get_bytes("dse", "-bad-")
+        assert len(stub.requests) == 1
+
+    def test_delete_missing_is_noop(self, stub):
+        stub.script(404, b'{"error": "no such artifact"}')
+        backend_for(stub).delete("dse", KEY)  # no exception
+
+    def test_manifest_miss_is_none(self, stub):
+        stub.script(404, b'{"error": "no such run"}')
+        assert backend_for(stub).get_manifest("nope") is None
+
+
+class TestPut:
+    def test_put_round_trip_and_digest_check(self, stub):
+        data = b'{"x": 1}'
+        digest = hashlib.sha256(data).hexdigest()
+        stub.script(200, json.dumps(
+            {"sha256": digest, "size": len(data)}
+        ).encode())
+        ref = backend_for(stub).put_bytes(
+            "dse", KEY, data, ext="json", meta={"note": "hi"}
+        )
+        assert (ref.sha256, ref.size) == (digest, len(data))
+        method, path, body = stub.requests[0]
+        assert (method, body) == ("PUT", data)
+        assert path == f"/v1/store/blob/dse/{KEY}"
+
+    def test_put_digest_mismatch_raises(self, stub):
+        stub.script(200, json.dumps(
+            {"sha256": "0" * 64, "size": 8}
+        ).encode())
+        with pytest.raises(StoreError, match="digest"):
+            backend_for(stub).put_bytes("dse", KEY, b'{"x": 1}')
+
+    def test_malformed_gc_reply_raises(self, stub):
+        stub.script(200, json.dumps({"surprise": True}).encode())
+        with pytest.raises(StoreError, match="malformed gc"):
+            backend_for(stub).gc(set(), set())
+
+
+class TestAuth:
+    def test_api_key_sent_as_bearer(self, stub, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_KEY", "sk-test")
+        stub.script(404, b"{}")
+        RemoteBackend(stub.base_url, retries=0).get_bytes("dse", KEY)
+        assert stub.headers[0].get("Authorization") == "Bearer sk-test"
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_TIMEOUT", "3.5")
+        monkeypatch.setenv("REPRO_STORE_RETRIES", "7")
+        monkeypatch.setenv("REPRO_STORE_KEY", "sk-env")
+        backend = RemoteBackend("http://localhost:1")
+        assert backend.timeout == 3.5
+        assert backend.retries == 7
+        assert backend.api_key == "sk-env"

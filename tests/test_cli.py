@@ -179,6 +179,32 @@ class TestCommands:
             ["run", "--no-store"]
         ).store is False
 
+    def test_restore_sigint_unignores(self):
+        """Background-job SIGINT=ignore must be reset to default.
+
+        Shells start ``cmd &`` jobs with SIGINT ignored; serve and
+        search-worker rely on KeyboardInterrupt for graceful shutdown.
+        """
+        import signal
+
+        from repro.cli import _restore_sigint
+
+        previous = signal.getsignal(signal.SIGINT)
+        try:
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+            _restore_sigint()
+            assert (signal.getsignal(signal.SIGINT)
+                    is signal.default_int_handler)
+
+            def custom(signum, frame):  # pragma: no cover - handler
+                pass
+
+            signal.signal(signal.SIGINT, custom)
+            _restore_sigint()  # a live handler is left alone
+            assert signal.getsignal(signal.SIGINT) is custom
+        finally:
+            signal.signal(signal.SIGINT, previous)
+
     def test_export_verilog_stdout(self, capsys):
         assert main(["export-verilog", "--accelerator", "sobel"]) == 0
         out = capsys.readouterr().out
@@ -312,6 +338,51 @@ class TestStoreCommands:
         # a second run is still fully warm after gc
         warm = self._run_json(capsys)
         assert set(warm["stage_cache"].values()) == {"hit"}
+
+    def test_runs_gc_dry_run_deletes_nothing(self, store_env,
+                                             capsys):
+        from repro.store import open_store
+
+        self._run_json(capsys)
+        store = open_store()
+        store.put("dse", "f" * 64, {"orphan": True})
+
+        assert main(["runs", "gc", "--dry-run", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["gc"]["dry_run"] is True
+        assert doc["gc"]["removed"] >= 1
+        assert doc["gc"]["by_kind"]["dse"]["count"] >= 1
+        assert doc["gc"]["by_kind"]["dse"]["bytes"] > 0
+        # nothing was deleted: the orphan is still there
+        assert store.get("dse", "f" * 64) == {"orphan": True}
+
+        # human-readable output shows would-delete per kind
+        assert main(["runs", "gc", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove" in out and "dse" in out
+
+        # and the real pass removes exactly what the dry run promised
+        assert main(["runs", "gc", "--json"]) == 0
+        real = json.loads(capsys.readouterr().out)["gc"]
+        assert real["removed"] == doc["gc"]["removed"]
+        assert store.get("dse", "f" * 64) is None
+
+    def test_runs_gc_missing_store_exits_nonzero(self, tmp_path,
+                                                 monkeypatch, capsys):
+        monkeypatch.setenv(
+            "REPRO_STORE_DIR", str(tmp_path / "absent")
+        )
+        assert main(["runs", "gc"]) == 1
+        assert "no experiment store" in capsys.readouterr().err
+
+    def test_runs_accept_store_uri(self, store_env, capsys):
+        run_id = self._run_json(capsys)["run_id"]
+        assert main(
+            ["runs", "list", "--store-dir", f"sqlite:{store_env}",
+             "--json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [m["run_id"] for m in doc["runs"]] == [run_id]
 
     def test_runs_show_unknown_id(self, store_env, capsys):
         from repro.errors import StoreError
