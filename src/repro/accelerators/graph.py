@@ -31,7 +31,7 @@ from __future__ import annotations
 import enum
 import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -317,6 +317,101 @@ class GraphProgram:
         if capture is None and not os.environ.get(NO_FUSION_ENV):
             return self._execute_fused(regs, impls)
         return self._execute_classic(regs, impls, capture)
+
+    def execute_batch(
+        self,
+        input_values: Dict[str, np.ndarray],
+        tables: Sequence[Optional[Tuple[np.ndarray, np.ndarray, int, int]]],
+        assume_masked: bool = False,
+    ) -> np.ndarray:
+        """Run the program for ``C`` configurations in one pass.
+
+        ``tables`` aligns with :attr:`op_names`; each entry is ``None``
+        (the op stays exact for every configuration) or a tuple
+        ``(flat_lut, rows, width, mask)`` where ``flat_lut`` is the
+        concatenation of the candidate LUTs of that op (``4**width``
+        entries per candidate, int64) and ``rows`` holds the ``(C,)``
+        per-configuration candidate indices.  Each such op becomes a
+        single gather ``flat_lut[((a & mask) << width | (b & mask)) +
+        (rows << 2*width)]`` that grows a leading configuration axis;
+        exact ops and the wiring steps broadcast across it for free.
+
+        Per configuration ``c`` the result is bit-identical to
+        ``execute(input_values, assignment_c)``: the gathered values are
+        exactly the per-record LUT entries, and the exact/wiring steps
+        run the same ufuncs on the same int64 values (broadcasting only
+        adds the leading axis).  The returned array broadcasts against
+        ``(C,) + batch_shape``; the leading configuration axis is
+        present as soon as any op consumed a table.  Capture mode is not
+        supported here — callers that need operand capture use the
+        per-configuration :meth:`execute` path.
+        """
+        if len(tables) != len(self.op_names):
+            raise AcceleratorError(
+                f"expected {len(self.op_names)} table entries, "
+                f"got {len(tables)}"
+            )
+        regs: List[Optional[np.ndarray]] = [None] * self.n_regs
+        base_rank = 0
+        for name, reg, mask in self.inputs:
+            if name not in input_values:
+                raise AcceleratorError(
+                    f"missing value for input {name!r}"
+                )
+            if assume_masked:
+                value = input_values[name]
+            else:
+                value = (
+                    np.asarray(input_values[name], dtype=np.int64) & mask
+                )
+            regs[reg] = value
+            if isinstance(value, np.ndarray):
+                base_rank = max(base_rank, value.ndim)
+        # Pad every input array to one common rank so the configuration
+        # axis added by the gathers is unambiguous (always axis 0).
+        # Leading length-1 axes broadcast exactly like absent axes, so
+        # values are unchanged.
+        for name, reg, _ in self.inputs:
+            value = regs[reg]
+            if (
+                isinstance(value, np.ndarray)
+                and 0 < value.ndim < base_rank
+            ):
+                regs[reg] = value.reshape(
+                    (1,) * (base_rank - value.ndim) + value.shape
+                )
+        for reg, value in self.consts:
+            regs[reg] = value
+        row_shape = (-1,) + (1,) * base_rank
+        for step, dead in zip(self.steps, self.releases):
+            code = step[0]
+            if code == _OP:
+                _, dest, a, b, mask, exact, opi = step
+                av = regs[a]
+                bv = regs[b]
+                entry = tables[opi]
+                if entry is not None:
+                    flat, rows, width, op_mask = entry
+                    idx = ((av & op_mask) << width) | (bv & op_mask)
+                    offsets = (rows << (2 * width)).reshape(row_shape)
+                    regs[dest] = flat[idx + offsets]
+                elif exact == _EXACT_ADD:
+                    regs[dest] = (av & mask) + (bv & mask)
+                elif exact == _EXACT_SUB:
+                    regs[dest] = (av & mask) - (bv & mask)
+                else:
+                    regs[dest] = (av & mask) * (bv & mask)
+            elif code == _SHL:
+                regs[step[1]] = regs[step[2]] << step[3]
+            elif code == _SHR:
+                regs[step[1]] = regs[step[2]] >> step[3]
+            elif code == _ABS:
+                regs[step[1]] = np.abs(regs[step[2]])
+            else:  # _CLIP
+                regs[step[1]] = np.clip(regs[step[2]], step[3], step[4])
+            for reg in dead:
+                regs[reg] = None
+        return regs[self.out_reg]
 
     def _execute_classic(self, regs, impls, capture):
         """One allocating numpy call per sub-expression (reference path)."""

@@ -38,6 +38,7 @@ from repro.circuits.multipliers import (
 )
 from repro.circuits.characterization import ErrorStats, characterize
 from repro.circuits.luts import build_lut, lut_index
+from repro.circuits.netlist_backed import NetlistCircuit, wrap_netlist
 
 __all__ = [
     "ArithmeticCircuit",
@@ -60,7 +61,9 @@ __all__ = [
     "MitchellMultiplier",
     "DrumMultiplier",
     "ErrorStats",
+    "NetlistCircuit",
     "characterize",
     "build_lut",
     "lut_index",
+    "wrap_netlist",
 ]

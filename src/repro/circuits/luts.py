@@ -56,7 +56,14 @@ def lut_index(a: np.ndarray, b: np.ndarray, width: int) -> np.ndarray:
 
 
 def build_lut(circuit: ArithmeticCircuit) -> np.ndarray:
-    """Exhaustive output table of ``circuit`` (int64, length ``4**width``)."""
+    """Exhaustive output table of ``circuit`` (int64, length ``4**width``).
+
+    Netlist-backed circuits (anything exposing a ``packed_lut`` hook,
+    e.g. :class:`~repro.circuits.netlist_backed.NetlistCircuit`) are
+    simulated over the grid with bit-packed planes — 64 operand pairs
+    per machine word per gate — instead of ``4**width`` word-mode
+    gate evaluations; the table is bit-identical either way.
+    """
     n = circuit.width
     if n > MAX_LUT_WIDTH:
         raise CircuitError(
@@ -64,13 +71,24 @@ def build_lut(circuit: ArithmeticCircuit) -> np.ndarray:
             f"widths above {MAX_LUT_WIDTH} must use evaluate()"
         )
     a, b = operand_grid(n)
+    packed = getattr(circuit, "packed_lut", None)
+    if callable(packed):
+        return np.asarray(packed(a, b), dtype=np.int64)
     return np.asarray(circuit.evaluate(a, b), dtype=np.int64)
 
 
 def build_exact_lut(circuit: ArithmeticCircuit) -> np.ndarray:
-    """Exhaustive table of the *exact* operation at the circuit's width."""
+    """Exhaustive table of the *exact* operation at the circuit's width.
+
+    Netlist-backed circuits route through their ``packed_exact_lut``
+    hook (bit-packed simulation of the exact netlist); the result is
+    bit-identical to the arithmetic reference.
+    """
     n = circuit.width
     if n > MAX_LUT_WIDTH:
         raise CircuitError(f"width {n} exceeds LUT limit {MAX_LUT_WIDTH}")
     a, b = operand_grid(n)
+    packed = getattr(circuit, "packed_exact_lut", None)
+    if callable(packed):
+        return np.asarray(packed(a, b), dtype=np.int64)
     return np.asarray(circuit.exact(a, b), dtype=np.int64)

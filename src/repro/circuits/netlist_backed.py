@@ -1,0 +1,143 @@
+"""Behavioural circuit view of a structural netlist.
+
+:class:`NetlistCircuit` adapts a gate-level netlist (ports ``a``/``b``
+in, ``y`` out — the convention of every structural builder) to the
+:class:`~repro.circuits.base.ArithmeticCircuit` interface, so externally
+supplied or synthesis-optimised netlists can enter the characterisation
+pipeline like any behavioural family.
+
+The LUT builders recognise the wrapper: exhaustive characterisation of a
+netlist-backed circuit runs :func:`~repro.netlist.simulate.simulate_packed`
+over the cached operand grid — 64 operand pairs per machine word per
+gate — instead of ``4**width`` word-mode evaluations, and the exact
+reference LUT rides the same packed path over the exact netlist of the
+wrapped operation.  Both are bit-identical to the word-mode simulation
+(asserted in the test-suite); the netlist output word is folded back to
+the behavioural result convention, which for subtraction means
+sign-extending the ``width + 1``-bit two's-complement word into the
+signed range ``(-2**width, 2**width)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits.base import (
+    ArithmeticCircuit,
+    ExactAdder,
+    ExactMultiplier,
+    ExactSubtractor,
+    Operation,
+)
+from repro.errors import CircuitError
+from repro.netlist.netlist import Netlist
+from repro.netlist.simulate import simulate, simulate_packed
+
+__all__ = ["NetlistCircuit", "wrap_netlist"]
+
+
+class NetlistCircuit(ArithmeticCircuit):
+    """An :class:`ArithmeticCircuit` whose truth is a netlist.
+
+    ``netlist`` must expose two ``width``-bit inputs ``a`` and ``b``
+    and one output ``y`` of the operation's result width.  ``evaluate``
+    simulates the netlist (word mode — fine for scattered operand
+    batches); the packed hooks below are picked up by
+    :func:`~repro.circuits.luts.build_lut` /
+    :func:`~repro.circuits.luts.build_exact_lut` for exhaustive grids.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        op: Operation,
+        width: int,
+        name: Optional[str] = None,
+    ):
+        super().__init__(width, name or f"{op.value}{width}_netlist")
+        self.op = op
+        for port, bits in (("a", width), ("b", width)):
+            nets = netlist.inputs.get(port)
+            if nets is None or len(nets) != bits:
+                raise CircuitError(
+                    f"netlist input {port!r} must be {bits} bits wide"
+                )
+        out = netlist.outputs.get("y")
+        if out is None or len(out) != self.result_width:
+            raise CircuitError(
+                f"netlist output 'y' must be {self.result_width} bits "
+                f"wide for {op.value}{width}"
+            )
+        macros = sorted(
+            {g.cell.name for g in netlist.gates if g.cell.is_macro}
+        )
+        if macros:
+            raise CircuitError(
+                f"netlist contains opaque macro cells {macros}; only "
+                "gate-level netlists are simulatable"
+            )
+        self.netlist = netlist
+        self._exact_netlist: Optional[Netlist] = None
+
+    def params(self) -> Dict[str, object]:
+        return {"op": self.op.value, "width": self.width}
+
+    def _decode(self, y: np.ndarray) -> np.ndarray:
+        """Fold the unsigned output word back to the behavioural range."""
+        if self.op is Operation.SUB:
+            wout = self.result_width
+            return y - ((y >> (wout - 1)) << wout)
+        return y
+
+    def _compute(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._decode(simulate(self.netlist, {"a": a, "b": b})["y"])
+
+    # -- packed LUT hooks (used by repro.circuits.luts) ----------------------
+
+    def packed_lut(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Outputs over an exhaustive operand grid, bit-packed planes."""
+        return self._decode(
+            simulate_packed(self.netlist, {"a": a, "b": b})["y"]
+        )
+
+    def packed_exact_lut(
+        self, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        """Exact-operation outputs over the grid, via the exact netlist."""
+        if self._exact_netlist is None:
+            from repro.netlist.builders import build_netlist
+
+            exact_model = {
+                Operation.ADD: ExactAdder,
+                Operation.SUB: ExactSubtractor,
+                Operation.MUL: ExactMultiplier,
+            }[self.op](self.width)
+            self._exact_netlist = build_netlist(exact_model)
+        return self._decode(
+            simulate_packed(self._exact_netlist, {"a": a, "b": b})["y"]
+        )
+
+
+def wrap_netlist(
+    circuit: ArithmeticCircuit, optimized: bool = False
+) -> NetlistCircuit:
+    """The netlist-backed view of a behavioural circuit.
+
+    Builds the structural netlist of ``circuit`` (optionally running
+    the synthesis optimiser over it) and wraps it; the result evaluates
+    and characterises identically to ``circuit`` but through gate-level
+    simulation.
+    """
+    from repro.netlist.builders import build_netlist
+
+    netlist = build_netlist(circuit)
+    if optimized:
+        from repro.synthesis.synthesizer import optimize
+
+        optimize(netlist)
+        netlist.validate()
+    return NetlistCircuit(
+        netlist, circuit.op, circuit.width, name=f"{circuit.name}_netlist"
+    )

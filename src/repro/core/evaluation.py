@@ -9,8 +9,11 @@ The implementation lives in :mod:`repro.core.engine`:
 :class:`AcceleratorEvaluator` is the historical name of (and a drop-in
 alias for) :class:`~repro.core.engine.EvaluationEngine`, which compiles
 the accelerator graph, batches all (image x scenario) runs into one
-vectorised pass, memoises synthesis and can fan ``evaluate_many`` out to
-worker processes.
+vectorised pass, memoises synthesis, and analyses whole configuration
+batches in one configuration-axis compiled pass (``evaluate_many``
+stacks the per-config LUTs and lets the runtime cost model pick between
+that vectorized pass, a process pool, and the serial loop — all
+bit-identical).
 """
 
 from __future__ import annotations

@@ -90,6 +90,54 @@ def _tournament(rank, crowd, rng, count):
     return np.where(pick_a, a, b)
 
 
+def make_offspring(
+    space: ConfigurationSpace,
+    population: np.ndarray,
+    rank: np.ndarray,
+    crowd: np.ndarray,
+    rng: RngLike,
+    crossover_prob: float = 0.9,
+    mutation_prob: float = 0.2,
+) -> np.ndarray:
+    """One generation of NSGA-II offspring from a ranked population.
+
+    Binary tournament selection (lower rank, higher crowding, fair
+    coin on full ties), uniform per-slot crossover on consecutive
+    pairs, then per-gene mutation that redraws genes uniformly from
+    the slot's candidate list.  This is the exact variation operator
+    of :func:`nsga2_search` — split out so benchmarks and other
+    explorers can build realistic generation batches; for a given RNG
+    state it consumes the same draws in the same order as the
+    in-loop code it replaced, so trajectories are unchanged.
+    """
+    gen = ensure_rng(rng)
+    population = np.asarray(population, dtype=np.int64)
+    population_size = population.shape[0]
+    if population_size < 2 or population_size % 2:
+        raise DSEError("offspring need an even population of >= 2")
+    sizes = np.asarray(space.slot_sizes())
+    n_slots = space.n_slots
+    if population.shape[1] != n_slots:
+        raise DSEError(
+            f"genome width {population.shape[1]} != {n_slots} slots"
+        )
+    parents = _tournament(
+        np.asarray(rank), np.asarray(crowd), gen, population_size
+    )
+    children = population[parents].copy()
+    # uniform crossover on consecutive pairs
+    for i in range(0, population_size, 2):
+        if gen.random() < crossover_prob:
+            swap = gen.random(n_slots) < 0.5
+            tmp = children[i, swap].copy()
+            children[i, swap] = children[i + 1, swap]
+            children[i + 1, swap] = tmp
+    # per-gene mutation: redraw uniformly
+    mutate = gen.random(children.shape) < (mutation_prob / n_slots)
+    redraw = (gen.random(children.shape) * sizes).astype(np.int64)
+    return np.where(mutate, redraw, children)
+
+
 def nsga2_search(
     space: ConfigurationSpace,
     qor_model: EstimationModel,
@@ -124,8 +172,6 @@ def nsga2_search(
     if budget is None:
         budget = EvaluationBudget(population_size * (generations + 1))
     gen = ensure_rng(rng)
-    sizes = np.asarray(space.slot_sizes())
-    n_slots = space.n_slots
 
     initial: List[Configuration] = []
     if seeds:
@@ -153,7 +199,7 @@ def nsga2_search(
         population, objectives = _evolve(
             space, population, objectives, estimate, gen,
             population_size, generations, crossover_prob,
-            mutation_prob, budget, sizes, n_slots,
+            mutation_prob, budget,
         )
 
     front_idx = pareto_front_indices(objectives)
@@ -185,8 +231,6 @@ def _evolve(
     crossover_prob,
     mutation_prob,
     budget,
-    sizes,
-    n_slots,
 ):
     """The NSGA-II generation loop (split out for readability)."""
     for _ in range(generations):
@@ -199,20 +243,10 @@ def _evolve(
             rank[front] = level
             crowd[front] = crowding_distance(objectives[front])
 
-        parents = _tournament(rank, crowd, gen, population_size)
-        children = population[parents].copy()
-        # uniform crossover on consecutive pairs
-        for i in range(0, population_size, 2):
-            if gen.random() < crossover_prob:
-                swap = gen.random(n_slots) < 0.5
-                tmp = children[i, swap].copy()
-                children[i, swap] = children[i + 1, swap]
-                children[i + 1, swap] = tmp
-        # per-gene mutation: redraw uniformly
-        mutate = gen.random(children.shape) < (mutation_prob / n_slots)
-        redraw = (gen.random(children.shape) * sizes).astype(np.int64)
-        children = np.where(mutate, redraw, children)
-
+        children = make_offspring(
+            space, population, rank, crowd, gen,
+            crossover_prob, mutation_prob,
+        )
         child_obj = estimate(children)
 
         merged = np.vstack([population, children])

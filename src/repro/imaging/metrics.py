@@ -159,6 +159,45 @@ class BatchedSsim:
         numerator /= mu_bb
         return np.mean(numerator, axis=(1, 2))
 
+    def batch(self, test: np.ndarray) -> np.ndarray:
+        """Per-run SSIM of a ``(C, runs, H, W)`` configuration stack.
+
+        Vectorises :meth:`__call__` across a leading configuration axis:
+        the Gaussian window runs with ``sigma = 0`` on the two leading
+        axes (scipy skips zero-sigma axes entirely), the reference-side
+        statistics broadcast, and the arithmetic is the same in-place
+        ufunc chain — so row ``c`` of the returned ``(C, runs)`` score
+        matrix is bit-identical to ``__call__(test[c])``.
+        """
+        b = np.asarray(test, dtype=float)
+        if b.ndim != 4 or b.shape[1:] != self._ref.shape:
+            raise ValueError(
+                f"expected a (C,) + {self._ref.shape} stack, "
+                f"got {b.shape}"
+            )
+        sigma4 = (0.0,) + self._sigma
+
+        def blur4(stack):
+            return ndimage.gaussian_filter(
+                stack, sigma=sigma4, truncate=self._truncate,
+                mode="reflect",
+            )
+
+        mu_b = blur4(b)
+        mu_bb = blur4(b * b)
+        mu_ab = blur4(self._ref * b)
+        mu_ab -= self._mu_a * mu_b
+        mu_ab *= 2.0
+        mu_ab += self._c2
+        numerator = (self._two_mu_a * mu_b + self._c1) * mu_ab
+        mu_b *= mu_b
+        mu_bb -= mu_b
+        mu_bb += self._var_a_c2
+        mu_b += self._mu_a_sq_c1
+        numerator /= mu_b
+        numerator /= mu_bb
+        return np.mean(numerator, axis=(2, 3))
+
 
 def ssim_batch(
     reference: np.ndarray, test: np.ndarray, **kwargs

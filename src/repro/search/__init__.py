@@ -34,6 +34,7 @@ from repro.search.portfolio import (
     IslandReport,
     PortfolioResult,
     PortfolioRunner,
+    analyze_front,
 )
 from repro.search.strategies import (
     STRATEGIES,
@@ -61,6 +62,7 @@ __all__ = [
     "RandomStrategy",
     "STRATEGIES",
     "SearchStrategy",
+    "analyze_front",
     "make_strategy",
     "run_worker",
     "service_once",

@@ -96,6 +96,47 @@ class PortfolioResult:
         )
 
 
+def analyze_front(
+    result: "PortfolioResult",
+    space: ConfigurationSpace,
+    engine,
+    workers: Optional[int] = None,
+) -> List[Dict]:
+    """Exact analysis of a merged front in one batched engine pass.
+
+    Search fronts carry *model-estimated* objectives; before acting on
+    one (writing a report, picking a deployment point) the front should
+    be re-measured with the real evaluation path.  This helper funnels
+    every front configuration through a single
+    :meth:`~repro.core.engine.EvaluationEngine.evaluate_many` call — so
+    the whole front rides one configuration-axis batched pass instead
+    of a per-config loop — and returns, per configuration, the model
+    estimates next to the measured values:
+
+    ``[{"config", "estimated_qor", "estimated_cost", "qor", "area",
+    "delay", "power"}, ...]`` in front order.
+    """
+    if len(result.configs) != result.points.shape[0]:
+        raise DSEError("front configs and points are out of sync")
+    measured = engine.evaluate_many(
+        space, result.configs, workers=workers
+    )
+    return [
+        {
+            "config": tuple(int(g) for g in config),
+            "estimated_qor": float(result.points[i, 0]),
+            "estimated_cost": float(result.points[i, 1]),
+            "qor": real.qor,
+            "area": real.area,
+            "delay": real.delay,
+            "power": real.power,
+        }
+        for i, (config, real) in enumerate(
+            zip(result.configs, measured)
+        )
+    ]
+
+
 def _split_evenly(total: int, parts: int) -> List[int]:
     """Split ``total`` into ``parts`` integers differing by at most 1."""
     base, extra = divmod(total, parts)

@@ -1,0 +1,96 @@
+"""Netlist-backed circuits: packed gate-level LUTs == behavioural truth.
+
+:class:`~repro.circuits.netlist_backed.NetlistCircuit` routes exhaustive
+characterisation through ``simulate_packed`` instead of ``4**width``
+word-mode gate evaluations.  The contract is bit-identity: for every
+buildable family, the packed LUT, the exact-reference LUT, word-mode
+evaluation and the derived :class:`ErrorStats` must all equal the
+behavioural model's — decoding included (subtraction folds the
+``width + 1``-bit output word back into the signed behavioural range).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    BlockSubtractor,
+    DrumMultiplier,
+    ExactAdder,
+    ExactMultiplier,
+    ExactSubtractor,
+    NetlistCircuit,
+    QuAdAdder,
+    RecursiveApproxMultiplier,
+    TruncatedAdder,
+    TruncatedSubtractor,
+    build_lut,
+    characterize,
+    wrap_netlist,
+)
+from repro.circuits.base import Operation
+from repro.circuits.luts import build_exact_lut
+from repro.errors import CircuitError
+from repro.netlist.builders import build_netlist
+
+FAMILIES = [
+    ExactAdder(6),
+    ExactSubtractor(6),
+    ExactMultiplier(4),
+    TruncatedAdder(8, 3, "zero"),
+    QuAdAdder(8, [4, 4], [0, 2]),
+    TruncatedSubtractor(8, 3, "zero"),
+    BlockSubtractor(8, [4, 4], [0, 2]),
+    RecursiveApproxMultiplier(4, [0]),
+]
+
+
+@pytest.mark.parametrize(
+    "circuit", FAMILIES, ids=lambda c: c.name
+)
+class TestPackedEquivalence:
+    def test_lut_bit_identical(self, circuit):
+        wrapped = wrap_netlist(circuit)
+        assert np.array_equal(build_lut(wrapped), build_lut(circuit))
+
+    def test_exact_lut_bit_identical(self, circuit):
+        wrapped = wrap_netlist(circuit)
+        assert np.array_equal(
+            build_exact_lut(wrapped), build_exact_lut(circuit)
+        )
+
+    def test_word_mode_matches_packed(self, circuit, rng):
+        wrapped = wrap_netlist(circuit)
+        a = rng.integers(0, 1 << circuit.width, size=64)
+        b = rng.integers(0, 1 << circuit.width, size=64)
+        assert np.array_equal(
+            wrapped.evaluate(a, b), circuit.evaluate(a, b)
+        )
+
+    def test_characterisation_identical(self, circuit):
+        wrapped = wrap_netlist(circuit)
+        assert characterize(wrapped) == characterize(circuit)
+
+
+def test_optimised_netlist_still_equivalent():
+    circuit = TruncatedAdder(8, 3, "zero")
+    wrapped = wrap_netlist(circuit, optimized=True)
+    assert np.array_equal(build_lut(wrapped), build_lut(circuit))
+
+
+def test_wrapper_name_and_params():
+    circuit = ExactAdder(6)
+    wrapped = wrap_netlist(circuit)
+    assert wrapped.name == f"{circuit.name}_netlist"
+    assert wrapped.params() == {"op": "add", "width": 6}
+
+
+def test_macro_cells_rejected():
+    drum = DrumMultiplier(8, 4)
+    with pytest.raises(CircuitError, match="macro"):
+        wrap_netlist(drum)
+
+
+def test_port_width_validated():
+    netlist = build_netlist(ExactAdder(6))
+    with pytest.raises(CircuitError, match="input 'a'"):
+        NetlistCircuit(netlist, Operation.ADD, 8)

@@ -1,0 +1,322 @@
+"""Engine-level contract of the configuration-axis batched path.
+
+The property layer (``tests/accelerators/test_property_config_batch``)
+pins ``GraphProgram.execute_batch`` against random graphs; this module
+pins everything the engine stacks on top of it:
+
+* ``evaluate_many`` returns the same results whichever execution mode
+  the cost model picks (classic loop, vectorized pass, process pool);
+* config-axis tiling (``REPRO_CONFIG_TILE`` or the auto budget) never
+  changes a byte of the output;
+* ``BatchedSsim.batch`` rows are bit-identical to per-slice calls;
+* the lazy space caches (stacked LUTs, impl memo) and the engine's
+  probe cache behave across reuse and pickling (worker shipping);
+* the runtime's three-way cost model picks ``vectorized`` exactly when
+  the margins say so — including where the pool is unavailable.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import runtime as rt
+from repro.core.engine import (
+    CONFIG_TILE_ENV,
+    NO_CONFIG_BATCH_ENV,
+    EvaluationEngine,
+)
+from repro.core.runtime import get_runtime, reset_runtime
+from repro.errors import ValidationError
+from repro.imaging.metrics import BatchedSsim
+
+
+@pytest.fixture()
+def fresh_runtime():
+    reset_runtime()
+    yield get_runtime()
+    reset_runtime()
+
+
+def some_configs(space, n=6, rng=17):
+    configs = space.random_configurations(n, rng=rng)
+    # Duplicates ride along: evaluate_many analyses them once but must
+    # still report them at their original positions.
+    return list(configs) + list(configs[:2])
+
+
+class TestEvaluateManyModes:
+    def test_classic_vectorized_and_pool_identical(
+        self, sobel_space, sobel_evaluator, monkeypatch, fresh_runtime
+    ):
+        configs = some_configs(sobel_space)
+
+        monkeypatch.setenv(NO_CONFIG_BATCH_ENV, "1")
+        classic = sobel_evaluator.evaluate_many(sobel_space, configs)
+        monkeypatch.delenv(NO_CONFIG_BATCH_ENV)
+
+        batched = sobel_evaluator.evaluate_many(sobel_space, configs)
+        assert batched == classic
+
+        # Force the pool even on a single-core host: ``always`` is the
+        # operator override the hybrid model never second-guesses.
+        monkeypatch.setenv(rt.PARALLEL_MODE_ENV, "always")
+        pooled = sobel_evaluator.evaluate_many(
+            sobel_space, configs, workers=2
+        )
+        assert pooled == classic
+        assert fresh_runtime.last_decision.mode == "parallel"
+
+    def test_duplicates_share_one_analysis(
+        self, sobel_space, sobel_evaluator
+    ):
+        configs = some_configs(sobel_space)
+        results = sobel_evaluator.evaluate_many(sobel_space, configs)
+        assert len(results) == len(configs)
+        for i, config in enumerate(configs):
+            assert results[i] == results[configs.index(config)]
+
+    def test_forced_vectorized_matches_serial(
+        self, sobel_space, sobel_evaluator
+    ):
+        """The vectorized pass itself (not just whatever mode the cost
+        model happens to pick) is bit-identical to ``evaluate``."""
+        configs = list(sobel_space.random_configurations(5, rng=29))
+        tables = sobel_evaluator._batch_tables(sobel_space, configs)
+        assert tables is not None
+        vectorized = sobel_evaluator._evaluate_vectorized(
+            sobel_space, configs, tables
+        )
+        serial = [
+            sobel_evaluator.evaluate(sobel_space, c) for c in configs
+        ]
+        assert vectorized == serial
+
+
+class TestConfigTiling:
+    def test_any_tile_size_is_identity(
+        self, sobel_space, sobel_evaluator, monkeypatch
+    ):
+        configs = some_configs(sobel_space, n=7, rng=41)
+        monkeypatch.delenv(CONFIG_TILE_ENV, raising=False)
+        baseline = sobel_evaluator.evaluate_many(sobel_space, configs)
+        for tile in ("1", "3", "64"):
+            monkeypatch.setenv(CONFIG_TILE_ENV, tile)
+            assert (
+                sobel_evaluator.evaluate_many(sobel_space, configs)
+                == baseline
+            )
+
+    def test_tile_env_clamped_to_batch(
+        self, sobel_evaluator, monkeypatch
+    ):
+        monkeypatch.setenv(CONFIG_TILE_ENV, "64")
+        assert sobel_evaluator.config_tile(4) == 4
+        monkeypatch.setenv(CONFIG_TILE_ENV, "3")
+        assert sobel_evaluator.config_tile(4) == 3
+
+    def test_auto_tile_bounded(self, sobel_evaluator, monkeypatch):
+        monkeypatch.delenv(CONFIG_TILE_ENV, raising=False)
+        tile = sobel_evaluator.config_tile(5)
+        assert 1 <= tile <= 5
+
+    def test_invalid_tile_env_rejected(
+        self, sobel_evaluator, monkeypatch
+    ):
+        for bad in ("0", "", "many"):
+            monkeypatch.setenv(CONFIG_TILE_ENV, bad)
+            with pytest.raises(ValidationError):
+                sobel_evaluator.config_tile(4)
+
+
+class TestQorBatch:
+    def test_matches_per_config_qor(self, sobel_space, sobel_evaluator):
+        configs = list(sobel_space.random_configurations(6, rng=53))
+        tables = sobel_evaluator._batch_tables(sobel_space, configs)
+        scores = sobel_evaluator.qor_batch(tables, len(configs))
+        for c, config in enumerate(configs):
+            expected = sobel_evaluator.qor(
+                sobel_space.assignment_callables(config)
+            )
+            assert scores[c] == expected
+
+
+class TestBatchedSsimBatch:
+    def test_rows_match_per_slice_call(self, rng):
+        ref = rng.uniform(0.0, 255.0, size=(3, 17, 23))
+        ssim = BatchedSsim(ref)
+        test = rng.uniform(0.0, 255.0, size=(5, 3, 17, 23))
+        batch = ssim.batch(test)
+        assert batch.shape == (5, 3)
+        for c in range(5):
+            assert np.array_equal(batch[c], ssim(test[c]))
+
+    def test_rejects_wrong_rank_or_shape(self, rng):
+        ref = rng.uniform(0.0, 255.0, size=(2, 8, 8))
+        ssim = BatchedSsim(ref)
+        with pytest.raises(ValueError):
+            ssim.batch(rng.uniform(0.0, 255.0, size=(2, 8, 8)))
+        with pytest.raises(ValueError):
+            ssim.batch(rng.uniform(0.0, 255.0, size=(4, 2, 8, 9)))
+
+
+class TestSpaceCaches:
+    def test_assignment_callables_memoised(self, sobel_space):
+        config = sobel_space.random_configuration(rng=3)
+        first = sobel_space.assignment_callables(config)
+        second = sobel_space.assignment_callables(config)
+        assert first.keys() == second.keys()
+        for name in first:
+            assert first[name] is second[name]
+
+    def test_stacked_lut_cached_and_blockwise(self, sobel_space):
+        flat = sobel_space.stacked_lut(0)
+        assert flat is sobel_space.stacked_lut(0)
+        assert not flat.flags.writeable
+        group = sobel_space.choices[0]
+        block = 4 ** group[0].width
+        assert flat.shape == (len(group) * block,)
+        for i, record in enumerate(group):
+            assert np.array_equal(
+                flat[i * block:(i + 1) * block], record.lut()
+            )
+
+    def test_pickle_drops_lazy_caches(self, sobel_space):
+        config = sobel_space.random_configuration(rng=9)
+        sobel_space.stacked_lut(0)
+        sobel_space.assignment_callables(config)
+        clone = pickle.loads(pickle.dumps(sobel_space))
+        assert clone._slot_luts == {}
+        assert clone._impl_memo == {}
+        # The caches rebuild to the same tables on first use.
+        for k in range(clone.n_slots):
+            assert np.array_equal(
+                clone.stacked_lut(k), sobel_space.stacked_lut(k)
+            )
+
+
+class TestProbeCache:
+    def test_set_after_first_batch_then_reused(
+        self, sobel, small_images, sobel_space
+    ):
+        engine = EvaluationEngine(sobel, small_images)
+        assert engine._probe_sim is None
+        configs = some_configs(sobel_space, n=4, rng=61)
+        first = engine.evaluate_many(sobel_space, configs)
+        assert engine._probe_sim is not None
+        assert engine._probe_sim[0]() is sobel_space
+        # Steady state: the cached probe skips re-measurement but must
+        # not change any result.
+        assert engine.evaluate_many(sobel_space, configs) == first
+
+    def test_pickle_drops_probe_cache(
+        self, sobel, small_images, sobel_space
+    ):
+        engine = EvaluationEngine(sobel, small_images)
+        configs = some_configs(sobel_space, n=4, rng=67)
+        first = engine.evaluate_many(sobel_space, configs)
+        clone = pickle.loads(pickle.dumps(engine))
+        assert clone._probe_sim is None
+        assert clone.evaluate_many(sobel_space, configs) == first
+
+
+class TestHybridCostModel:
+    """Three-way decide(): margins, floors, and pool-free fallbacks."""
+
+    @pytest.fixture(autouse=True)
+    def _stable_knobs(self, monkeypatch):
+        monkeypatch.delenv(rt.PARALLEL_MODE_ENV, raising=False)
+        monkeypatch.delenv(rt.THRESHOLD_ENV, raising=False)
+        monkeypatch.setattr(rt, "_IN_WORKER", False)
+
+    def test_vectorized_below_pool_threshold(
+        self, fresh_runtime, monkeypatch
+    ):
+        monkeypatch.setattr(rt, "usable_cores", lambda: 4)
+        d = fresh_runtime.decide(
+            "t", n_tasks=4, workers=4,
+            probe_seconds=0.004, vectorized_seconds=0.004,
+        )
+        # est_serial = 12ms: under the 50ms pool threshold but over the
+        # 5ms vectorized floor, and the 4ms estimate clears the margin.
+        assert d.mode == "vectorized"
+        assert d.reason == "below-threshold"
+        assert d.est_vectorized_seconds == 0.004
+
+    def test_serial_below_vectorized_floor(
+        self, fresh_runtime, monkeypatch
+    ):
+        monkeypatch.setattr(rt, "usable_cores", lambda: 4)
+        d = fresh_runtime.decide(
+            "t", n_tasks=4, workers=4,
+            probe_seconds=0.0004, vectorized_seconds=0.0001,
+        )
+        assert d.mode == "serial"
+        assert d.reason == "below-threshold"
+
+    def test_vectorized_needs_margin_over_serial(
+        self, fresh_runtime, monkeypatch
+    ):
+        monkeypatch.setattr(rt, "usable_cores", lambda: 1)
+        d = fresh_runtime.decide(
+            "t", n_tasks=9, workers=1,
+            probe_seconds=0.05, vectorized_seconds=0.39,
+        )
+        # 0.39 >= 0.9 * 0.4: not enough predicted win, stay serial.
+        assert d.mode == "serial"
+
+    @pytest.mark.parametrize(
+        "env,workers,reason",
+        [
+            (None, 1, "workers<=1"),
+            ("never", 8, "REPRO_PARALLEL=never"),
+        ],
+    )
+    def test_vectorized_where_pool_unavailable(
+        self, fresh_runtime, monkeypatch, env, workers, reason
+    ):
+        if env is not None:
+            monkeypatch.setenv(rt.PARALLEL_MODE_ENV, env)
+        monkeypatch.setattr(rt, "usable_cores", lambda: 4)
+        before = fresh_runtime.stats["vectorized_batches"]
+        d = fresh_runtime.decide(
+            "t", n_tasks=9, workers=workers,
+            probe_seconds=0.05, vectorized_seconds=0.05,
+        )
+        assert d.mode == "vectorized"
+        assert d.reason == reason
+        assert fresh_runtime.stats["vectorized_batches"] == before + 1
+        assert fresh_runtime.last_decision is d
+
+    def test_single_core_still_vectorizes(
+        self, fresh_runtime, monkeypatch
+    ):
+        monkeypatch.setattr(rt, "usable_cores", lambda: 1)
+        d = fresh_runtime.decide(
+            "t", n_tasks=9, workers=8,
+            probe_seconds=0.05, vectorized_seconds=0.05,
+        )
+        assert d.mode == "vectorized"
+        assert d.reason == "single-core"
+
+    def test_always_overrides_vectorized(
+        self, fresh_runtime, monkeypatch
+    ):
+        monkeypatch.setenv(rt.PARALLEL_MODE_ENV, "always")
+        monkeypatch.setattr(rt, "usable_cores", lambda: 4)
+        d = fresh_runtime.decide(
+            "t", n_tasks=9, workers=4,
+            probe_seconds=0.05, vectorized_seconds=0.001,
+        )
+        assert d.mode == "parallel"
+        assert d.reason == "REPRO_PARALLEL=always"
+
+    def test_single_task_never_vectorizes(self, fresh_runtime):
+        d = fresh_runtime.decide(
+            "t", n_tasks=1, workers=4,
+            probe_seconds=0.05, vectorized_seconds=0.0,
+        )
+        assert d.mode == "serial"
+        assert d.reason == "single-task"
